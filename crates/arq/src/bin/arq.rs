@@ -1,0 +1,13 @@
+//! The `arq` command-line binary. All logic lives in [`arq::cli`]; this
+//! wrapper only handles process exit codes.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match arq::cli::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

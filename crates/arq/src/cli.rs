@@ -1,0 +1,536 @@
+//! The `arq` command-line tool.
+//!
+//! A thin, dependency-free front end over the library: generate
+//! calibrated traces, inspect them, run the cleaning/join pipeline,
+//! evaluate any rule-maintenance strategy, and run live policy
+//! simulations — all from the shell. The binary in `src/bin/arq.rs`
+//! forwards to [`run`], which returns its report as a string so the test
+//! suite can drive every subcommand in-process.
+//!
+//! ```text
+//! arq gen-trace --pairs 200000 --seed 7 --out trace.csv [--raw] [--upheaval]
+//! arq stats     --trace trace.csv [--raw]
+//! arq clean-join --raw capture.csv --out pairs.csv
+//! arq evaluate  --trace pairs.csv --strategy sliding --block 10000 --support 10 [--chart]
+//! arq simulate  --nodes 400 --queries 2000 --policy assoc --seed 1
+//! ```
+
+use arq_assoc::mine_pairs;
+use arq_assoc::pairs::mine_pairs_with_confidence;
+use arq_core::strategy::Strategy;
+use arq_core::{
+    evaluate, AdaptiveSlidingWindow, AssocPolicy, AssocPolicyConfig, HybridPolicy,
+    IncrementalStream, LazySlidingWindow, LossyStream, SlidingWindow, StaticRuleset,
+    TopicSlidingWindow,
+};
+use arq_gnutella::sim::{Network, SimConfig};
+use arq_gnutella::FloodPolicy;
+use arq_simkern::chart::{render, ChartOptions};
+use arq_trace::csvio;
+use arq_trace::stats::{pair_stats, raw_stats};
+use arq_trace::{SynthConfig, SynthTrace, TraceDb};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+/// A CLI failure with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Minimal flag parser: `--key value` pairs plus boolean `--flag`s.
+struct Flags {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    fn parse(args: &[String], booleans: &[&str]) -> Result<Flags, CliError> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(err(format!("expected a --flag, got `{flag}`")));
+            };
+            if booleans.contains(&name) {
+                pairs.push((name.to_string(), None));
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err(format!("--{name} needs a value")))?;
+                pairs.push((name.to_string(), Some(value.clone())));
+            }
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == name)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{name}: cannot parse `{v}`"))),
+        }
+    }
+
+    fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| err(format!("missing required flag --{name}")))
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+arq — adaptively routing P2P queries using association analysis
+
+USAGE: arq <COMMAND> [FLAGS]
+
+COMMANDS:
+  gen-trace   generate a calibrated synthetic trace (CSV)
+              --pairs N [--seed S] --out FILE [--raw] [--upheaval]
+  stats       describe a trace file
+              --trace FILE [--raw]
+  clean-join  clean GUIDs and join a raw capture into pairs
+              --raw FILE --out FILE
+  mine        mine one block's association rules and print the strongest
+              --trace FILE [--block N] [--support N] [--confidence F] [--top N]
+  evaluate    replay a trace through a rule-maintenance strategy
+              --trace FILE [--strategy NAME] [--block N] [--support N] [--chart]
+              strategies: static | sliding | lazy | adaptive | incremental | lossy | topic
+  simulate    run a live overlay simulation with a forwarding policy
+              [--nodes N] [--queries N] [--policy NAME] [--seed S]
+              policies: flood | assoc | hybrid
+  help        print this text
+";
+
+/// Executes one CLI invocation and returns its stdout-style report.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Ok(USAGE.to_string());
+    };
+    match command.as_str() {
+        "gen-trace" => gen_trace(rest),
+        "stats" => stats(rest),
+        "clean-join" => clean_join(rest),
+        "mine" => mine(rest),
+        "evaluate" => cmd_evaluate(rest),
+        "simulate" => simulate(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn gen_trace(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["raw", "upheaval"])?;
+    let pairs: usize = flags.parse_num("pairs", 100_000)?;
+    let seed: u64 = flags.parse_num("seed", 1)?;
+    let out = flags.required("out")?;
+    let cfg = if flags.has("upheaval") {
+        SynthConfig::paper_static(pairs, seed)
+    } else {
+        SynthConfig::paper_default(pairs, seed)
+    };
+    let gen = SynthTrace::new(cfg);
+    let file = File::create(out).map_err(|e| err(format!("creating {out}: {e}")))?;
+    let mut w = BufWriter::new(file);
+    let mut report = String::new();
+    if flags.has("raw") {
+        let (queries, replies) = gen.raw();
+        csvio::write_raw(&mut w, &queries, &replies).map_err(|e| err(e.to_string()))?;
+        let _ = writeln!(
+            report,
+            "wrote raw trace: {} queries, {} replies -> {out}",
+            queries.len(),
+            replies.len()
+        );
+    } else {
+        let pairs = gen.pairs();
+        csvio::write_pairs(&mut w, &pairs).map_err(|e| err(e.to_string()))?;
+        let _ = writeln!(report, "wrote pair trace: {} pairs -> {out}", pairs.len());
+    }
+    Ok(report)
+}
+
+fn stats(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["raw"])?;
+    let path = flags.required("trace")?;
+    let file = File::open(path).map_err(|e| err(format!("opening {path}: {e}")))?;
+    let mut report = String::new();
+    if flags.has("raw") {
+        let (queries, replies) =
+            csvio::read_raw(BufReader::new(file)).map_err(|e| err(e.to_string()))?;
+        let s = raw_stats(&queries, &replies);
+        let _ = writeln!(report, "raw trace {path}");
+        let _ = writeln!(report, "  queries:             {}", s.queries);
+        let _ = writeln!(report, "  replies:             {}", s.replies);
+        let _ = writeln!(report, "  answer ratio:        {:.3}", s.answer_ratio);
+        let _ = writeln!(report, "  distinct query hosts: {}", s.distinct_query_hosts);
+        let _ = writeln!(report, "  distinct GUIDs:      {}", s.distinct_guids);
+    } else {
+        let pairs = csvio::read_pairs(BufReader::new(file)).map_err(|e| err(e.to_string()))?;
+        let s = pair_stats(&pairs);
+        let _ = writeln!(report, "pair trace {path}");
+        let _ = writeln!(report, "  pairs:               {}", s.pairs);
+        let _ = writeln!(report, "  distinct sources:    {}", s.distinct_src);
+        let _ = writeln!(report, "  distinct reply vias: {}", s.distinct_via);
+        let _ = writeln!(report, "  distinct (src,via):  {}", s.distinct_pairs);
+        let _ = writeln!(report, "  pairs per source:    {:.1}", s.pairs_per_src);
+        let _ = writeln!(report, "  top pair share:      {:.4}", s.top_pair_share);
+    }
+    Ok(report)
+}
+
+fn clean_join(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let raw_path = flags.required("raw")?;
+    let out = flags.required("out")?;
+    let file = File::open(raw_path).map_err(|e| err(format!("opening {raw_path}: {e}")))?;
+    let (queries, replies) =
+        csvio::read_raw(BufReader::new(file)).map_err(|e| err(e.to_string()))?;
+    let mut db = TraceDb::new();
+    db.extend(queries, replies);
+    let (report_counts, pairs) = db.clean_and_join();
+    let out_file = File::create(out).map_err(|e| err(format!("creating {out}: {e}")))?;
+    csvio::write_pairs(BufWriter::new(out_file), &pairs).map_err(|e| err(e.to_string()))?;
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "cleaned: {} duplicate-GUID queries dropped, {} orphan replies dropped",
+        report_counts.duplicate_queries, report_counts.orphan_replies
+    );
+    let _ = writeln!(report, "joined: {} query-reply pairs -> {out}", pairs.len());
+    Ok(report)
+}
+
+fn mine(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let path = flags.required("trace")?;
+    let block: usize = flags.parse_num("block", 10_000)?;
+    let support: u64 = flags.parse_num("support", 10)?;
+    let confidence: f64 = flags.parse_num("confidence", 0.0)?;
+    let top: usize = flags.parse_num("top", 20)?;
+    let file = File::open(path).map_err(|e| err(format!("opening {path}: {e}")))?;
+    let pairs = csvio::read_pairs(BufReader::new(file)).map_err(|e| err(e.to_string()))?;
+    if pairs.is_empty() {
+        return Err(err("trace holds no pairs"));
+    }
+    let slice = &pairs[..block.min(pairs.len())];
+    let rules = if confidence > 0.0 {
+        mine_pairs_with_confidence(slice, support, confidence)
+    } else {
+        mine_pairs(slice, support)
+    };
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "mined {} rules over {} antecedents from {} pairs (support >= {support}{})",
+        rules.rule_count(),
+        rules.antecedent_count(),
+        slice.len(),
+        if confidence > 0.0 {
+            format!(", confidence >= {confidence}")
+        } else {
+            String::new()
+        }
+    );
+    let mut rows: Vec<_> = rules.iter().collect();
+    rows.sort_by_key(|&(_, _, c)| std::cmp::Reverse(c));
+    for (src, via, count) in rows.into_iter().take(top) {
+        let _ = writeln!(report, "  {{{src}}} -> {{{via}}}   support {count}");
+    }
+    Ok(report)
+}
+
+fn make_strategy(name: &str, support: u64, block: usize) -> Result<Box<dyn Strategy>, CliError> {
+    Ok(match name {
+        "static" => Box::new(StaticRuleset::new(support)),
+        "sliding" => Box::new(SlidingWindow::new(support)),
+        "lazy" => Box::new(LazySlidingWindow::new(support, 10)),
+        "adaptive" => Box::new(AdaptiveSlidingWindow::new(support, 10, 0.7)),
+        "incremental" => Box::new(IncrementalStream::new(support as f64, 2.0 * block as f64)),
+        "lossy" => Box::new(LossyStream::new(support, 1.0 / (2.0 * block as f64))),
+        "topic" => Box::new(TopicSlidingWindow::new(support)),
+        other => {
+            return Err(err(format!(
+                "unknown strategy `{other}` (try: static, sliding, lazy, adaptive, incremental, lossy, topic)"
+            )))
+        }
+    })
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["chart"])?;
+    let path = flags.required("trace")?;
+    let block: usize = flags.parse_num("block", 10_000)?;
+    let support: u64 = flags.parse_num("support", 10)?;
+    let name = flags.get("strategy").unwrap_or("sliding");
+    let file = File::open(path).map_err(|e| err(format!("opening {path}: {e}")))?;
+    let pairs = csvio::read_pairs(BufReader::new(file)).map_err(|e| err(e.to_string()))?;
+    if pairs.len() / block < 2 {
+        return Err(err(format!(
+            "trace has {} pairs: need at least two blocks of {block}",
+            pairs.len()
+        )));
+    }
+    let mut strategy = make_strategy(name, support, block)?;
+    let run = evaluate(strategy.as_mut(), &pairs, block);
+    let mut report = String::new();
+    let _ = writeln!(report, "strategy:        {}", run.strategy);
+    let _ = writeln!(report, "trials:          {}", run.trials);
+    let _ = writeln!(report, "avg coverage:    {:.3}", run.avg_coverage);
+    let _ = writeln!(report, "avg success:     {:.3}", run.avg_success);
+    let _ = writeln!(report, "regenerations:   {}", run.regenerations);
+    if let Some(bpr) = run.blocks_per_regen() {
+        let _ = writeln!(report, "blocks/regen:    {bpr:.2}");
+    }
+    if flags.has("chart") {
+        let _ = writeln!(
+            report,
+            "\n{}",
+            render(
+                "coverage (*) and success (+) per trial",
+                &[&run.coverage, &run.success],
+                &ChartOptions {
+                    y_range: Some((0.0, 1.0)),
+                    ..Default::default()
+                },
+            )
+        );
+    }
+    Ok(report)
+}
+
+fn simulate(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let nodes: usize = flags.parse_num("nodes", 400)?;
+    let queries: usize = flags.parse_num("queries", 2_000)?;
+    let seed: u64 = flags.parse_num("seed", 1)?;
+    let policy = flags.get("policy").unwrap_or("flood");
+    let cfg = SimConfig::default_with(nodes, queries, seed);
+    let mut report = String::new();
+    let metrics = match policy {
+        "flood" => Network::new(cfg, FloodPolicy).run().metrics,
+        "assoc" => {
+            let (r, p, _) =
+                Network::new(cfg, AssocPolicy::new(AssocPolicyConfig::default())).run_full();
+            let _ = writeln!(report, "rule usage:        {:.2}", p.rule_usage());
+            r.metrics
+        }
+        "hybrid" => {
+            let (r, p, _) =
+                Network::new(cfg, HybridPolicy::new(5, 2, AssocPolicyConfig::default())).run_full();
+            let _ = writeln!(report, "targeted fraction: {:.2}", p.targeted_fraction());
+            r.metrics
+        }
+        other => {
+            return Err(err(format!(
+                "unknown policy `{other}` (try: flood, assoc, hybrid)"
+            )))
+        }
+    };
+    let _ = writeln!(report, "policy:            {}", metrics.policy);
+    let _ = writeln!(report, "queries:           {}", metrics.queries);
+    let _ = writeln!(
+        report,
+        "messages/query:    {:.1}",
+        metrics.messages_per_query
+    );
+    let _ = writeln!(report, "success rate:      {:.3}", metrics.success_rate);
+    if let Some(h) = &metrics.first_hit_hops {
+        let _ = writeln!(report, "first-hit hops:    {:.2}", h.mean);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("arq-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        assert_eq!(run(&[]).unwrap(), USAGE);
+        assert_eq!(run(&args("help")).unwrap(), USAGE);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let e = run(&args("frobnicate")).unwrap_err();
+        assert!(e.0.contains("unknown command"));
+    }
+
+    #[test]
+    fn gen_stats_evaluate_pipeline() {
+        let trace = tmp("pipeline.csv");
+        let out = run(&args(&format!(
+            "gen-trace --pairs 30000 --seed 5 --out {trace}"
+        )))
+        .unwrap();
+        assert!(out.contains("30000 pairs"));
+
+        let out = run(&args(&format!("stats --trace {trace}"))).unwrap();
+        assert!(out.contains("pairs:               30000"));
+
+        let out = run(&args(&format!(
+            "evaluate --trace {trace} --strategy sliding --block 10000 --support 10"
+        )))
+        .unwrap();
+        assert!(out.contains("avg coverage"));
+        assert!(out.contains("trials:          2"));
+    }
+
+    #[test]
+    fn raw_clean_join_pipeline() {
+        let raw = tmp("raw.csv");
+        let pairs = tmp("joined.csv");
+        run(&args(&format!(
+            "gen-trace --pairs 3000 --seed 2 --out {raw} --raw"
+        )))
+        .unwrap();
+        let out = run(&args(&format!("stats --trace {raw} --raw"))).unwrap();
+        assert!(out.contains("answer ratio"));
+        let out = run(&args(&format!("clean-join --raw {raw} --out {pairs}"))).unwrap();
+        assert!(out.contains("joined:"));
+        let out = run(&args(&format!("stats --trace {pairs}"))).unwrap();
+        assert!(out.contains("distinct sources"));
+    }
+
+    #[test]
+    fn evaluate_rejects_short_traces_and_bad_strategy() {
+        let trace = tmp("short.csv");
+        run(&args(&format!(
+            "gen-trace --pairs 5000 --seed 3 --out {trace}"
+        )))
+        .unwrap();
+        let e = run(&args(&format!("evaluate --trace {trace} --block 10000"))).unwrap_err();
+        assert!(e.0.contains("at least two blocks"));
+        let e = run(&args(&format!(
+            "evaluate --trace {trace} --block 1000 --strategy bogus"
+        )))
+        .unwrap_err();
+        assert!(e.0.contains("unknown strategy"));
+    }
+
+    #[test]
+    fn mine_prints_ranked_rules() {
+        let trace = tmp("mine.csv");
+        run(&args(&format!(
+            "gen-trace --pairs 12000 --seed 8 --out {trace}"
+        )))
+        .unwrap();
+        let out = run(&args(&format!(
+            "mine --trace {trace} --block 10000 --support 10 --top 5"
+        )))
+        .unwrap();
+        assert!(out.contains("mined"), "{out}");
+        assert!(out.contains("support"), "{out}");
+        // Confidence cut shrinks the set.
+        let cut = run(&args(&format!(
+            "mine --trace {trace} --block 10000 --support 10 --confidence 0.3"
+        )))
+        .unwrap();
+        let count = |s: &str| -> u64 {
+            s.split_whitespace()
+                .nth(1)
+                .and_then(|w| w.parse().ok())
+                .unwrap_or(0)
+        };
+        assert!(count(&cut) <= count(&out), "confidence cut grew the set");
+    }
+
+    #[test]
+    fn evaluate_all_strategies_run() {
+        let trace = tmp("all.csv");
+        run(&args(&format!(
+            "gen-trace --pairs 20000 --seed 4 --out {trace}"
+        )))
+        .unwrap();
+        for s in [
+            "static",
+            "sliding",
+            "lazy",
+            "adaptive",
+            "incremental",
+            "lossy",
+            "topic",
+        ] {
+            let out = run(&args(&format!(
+                "evaluate --trace {trace} --strategy {s} --block 5000 --support 5"
+            )))
+            .unwrap_or_else(|e| panic!("strategy {s}: {e}"));
+            assert!(out.contains("avg success"), "strategy {s} output:\n{out}");
+        }
+    }
+
+    #[test]
+    fn simulate_policies() {
+        for p in ["flood", "assoc", "hybrid"] {
+            let out = run(&args(&format!(
+                "simulate --nodes 60 --queries 150 --policy {p} --seed 9"
+            )))
+            .unwrap_or_else(|e| panic!("policy {p}: {e}"));
+            assert!(out.contains("messages/query"), "policy {p} output:\n{out}");
+        }
+        let e = run(&args("simulate --policy bogus")).unwrap_err();
+        assert!(e.0.contains("unknown policy"));
+    }
+
+    #[test]
+    fn flag_parser_errors() {
+        let e = run(&args("gen-trace --pairs")).unwrap_err();
+        assert!(e.0.contains("needs a value"));
+        let e = run(&args("gen-trace positional")).unwrap_err();
+        assert!(e.0.contains("expected a --flag"));
+        let e = run(&args("gen-trace --pairs ten --out /tmp/x")).unwrap_err();
+        assert!(e.0.contains("cannot parse"));
+        let e = run(&args("gen-trace --pairs 100")).unwrap_err();
+        assert!(e.0.contains("missing required flag --out"));
+    }
+
+    #[test]
+    fn upheaval_flag_changes_the_trace() {
+        let a = tmp("plain.csv");
+        let b = tmp("upheaval.csv");
+        run(&args(&format!("gen-trace --pairs 2000 --seed 6 --out {a}"))).unwrap();
+        run(&args(&format!(
+            "gen-trace --pairs 2000 --seed 6 --out {b} --upheaval"
+        )))
+        .unwrap();
+        // Below the upheaval index the streams agree; the flag is still
+        // accepted and produces a valid file.
+        let pa = csvio::read_pairs(File::open(&a).unwrap()).unwrap();
+        let pb = csvio::read_pairs(File::open(&b).unwrap()).unwrap();
+        assert_eq!(pa.len(), pb.len());
+    }
+}

@@ -1,0 +1,213 @@
+//! Apriori frequent-itemset mining (Agrawal–Imieliński–Swami, SIGMOD'93 —
+//! reference \[15\] of the paper).
+//!
+//! Classic level-wise search: frequent k-itemsets are joined to form
+//! (k+1)-candidates, candidates with an infrequent k-subset are pruned
+//! (the *Apriori property*: support is anti-monotone), and the database
+//! is scanned once per level to count the survivors.
+
+use crate::transaction::{is_subset, ItemId, TransactionDb};
+use std::collections::HashMap;
+
+/// A frequent itemset with its absolute support count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// The items, sorted ascending.
+    pub items: Vec<ItemId>,
+    /// Absolute support (number of containing transactions).
+    pub count: u64,
+}
+
+/// Mines all itemsets with `support_count >= min_count`.
+///
+/// Results are sorted by (length, items) so output order is deterministic
+/// and easy to assert against.
+pub fn apriori(db: &TransactionDb, min_count: u64) -> Vec<FrequentItemset> {
+    assert!(
+        min_count >= 1,
+        "min_count of 0 would enumerate the power set"
+    );
+    let mut result: Vec<FrequentItemset> = Vec::new();
+
+    // Level 1: count single items.
+    let mut item_counts: HashMap<ItemId, u64> = HashMap::new();
+    for t in db.transactions() {
+        for &i in t {
+            *item_counts.entry(i).or_insert(0) += 1;
+        }
+    }
+    let mut current: Vec<FrequentItemset> = item_counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_count)
+        .map(|(i, count)| FrequentItemset {
+            items: vec![i],
+            count,
+        })
+        .collect();
+    current.sort_by(|a, b| a.items.cmp(&b.items));
+
+    while !current.is_empty() {
+        result.extend(current.iter().cloned());
+        let candidates = generate_candidates(&current);
+        if candidates.is_empty() {
+            break;
+        }
+        // Count candidates in one scan.
+        let mut counts = vec![0u64; candidates.len()];
+        for t in db.transactions() {
+            for (ci, cand) in candidates.iter().enumerate() {
+                if is_subset(cand, t) {
+                    counts[ci] += 1;
+                }
+            }
+        }
+        current = candidates
+            .into_iter()
+            .zip(counts)
+            .filter(|&(_, c)| c >= min_count)
+            .map(|(items, count)| FrequentItemset { items, count })
+            .collect();
+        current.sort_by(|a, b| a.items.cmp(&b.items));
+    }
+
+    result.sort_by(|a, b| (a.items.len(), &a.items).cmp(&(b.items.len(), &b.items)));
+    result
+}
+
+/// Joins frequent k-itemsets sharing a (k−1)-prefix and prunes candidates
+/// with any infrequent k-subset.
+fn generate_candidates(frequent: &[FrequentItemset]) -> Vec<Vec<ItemId>> {
+    use std::collections::HashSet;
+    let freq_set: HashSet<&[ItemId]> = frequent.iter().map(|f| f.items.as_slice()).collect();
+    let k = match frequent.first() {
+        Some(f) => f.items.len(),
+        None => return Vec::new(),
+    };
+    let mut candidates = Vec::new();
+    for (i, a) in frequent.iter().enumerate() {
+        for b in &frequent[i + 1..] {
+            // Both lists are sorted; join when first k-1 items agree.
+            if a.items[..k - 1] != b.items[..k - 1] {
+                break; // sorted order means no further prefix matches
+            }
+            let mut cand = a.items.clone();
+            cand.push(*b.items.last().unwrap());
+            // cand is sorted because b.last > a.last in sorted input.
+            debug_assert!(cand.windows(2).all(|w| w[0] < w[1]));
+            // Apriori prune: every k-subset must be frequent.
+            let all_subsets_frequent = (0..cand.len()).all(|skip| {
+                let sub: Vec<ItemId> = cand
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != skip)
+                    .map(|(_, &x)| x)
+                    .collect();
+                freq_set.contains(sub.as_slice())
+            });
+            if all_subsets_frequent {
+                candidates.push(cand);
+            }
+        }
+    }
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn market() -> TransactionDb {
+        let mut db = TransactionDb::new();
+        db.add_named(&["bread", "milk"]);
+        db.add_named(&["bread", "diapers", "beer", "eggs"]);
+        db.add_named(&["milk", "diapers", "beer", "cola"]);
+        db.add_named(&["bread", "milk", "diapers", "beer"]);
+        db.add_named(&["bread", "milk", "diapers", "cola"]);
+        db
+    }
+
+    fn find<'a>(
+        sets: &'a [FrequentItemset],
+        names: &[&str],
+        db: &TransactionDb,
+    ) -> Option<&'a FrequentItemset> {
+        let mut items: Vec<ItemId> = names.iter().map(|n| db.lookup(n).unwrap()).collect();
+        items.sort_unstable();
+        sets.iter().find(|f| f.items == items)
+    }
+
+    #[test]
+    fn textbook_market_basket() {
+        let db = market();
+        let sets = apriori(&db, 3);
+        // Frequent singles: bread(4), milk(4), diapers(4), beer(3).
+        assert_eq!(find(&sets, &["bread"], &db).unwrap().count, 4);
+        assert_eq!(find(&sets, &["beer"], &db).unwrap().count, 3);
+        assert!(find(&sets, &["eggs"], &db).is_none());
+        // The famous pair.
+        assert_eq!(find(&sets, &["diapers", "beer"], &db).unwrap().count, 3);
+        // {bread, milk} appears 3 times.
+        assert_eq!(find(&sets, &["bread", "milk"], &db).unwrap().count, 3);
+        // No triple reaches support 3.
+        assert!(sets.iter().all(|f| f.items.len() <= 2));
+    }
+
+    #[test]
+    fn min_count_one_finds_everything_present() {
+        let mut db = TransactionDb::new();
+        db.add_named(&["a", "b", "c"]);
+        let sets = apriori(&db, 1);
+        // 3 singles + 3 pairs + 1 triple.
+        assert_eq!(sets.len(), 7);
+        assert!(sets.iter().all(|f| f.count == 1));
+    }
+
+    #[test]
+    fn supports_are_antimonotone() {
+        let db = market();
+        let sets = apriori(&db, 1);
+        let by_items: HashMap<&[ItemId], u64> =
+            sets.iter().map(|f| (f.items.as_slice(), f.count)).collect();
+        for f in &sets {
+            if f.items.len() >= 2 {
+                for skip in 0..f.items.len() {
+                    let sub: Vec<ItemId> = f
+                        .items
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != skip)
+                        .map(|(_, &x)| x)
+                        .collect();
+                    let parent = by_items[sub.as_slice()];
+                    assert!(parent >= f.count, "anti-monotonicity violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counts_match_direct_support_queries() {
+        let db = market();
+        for f in apriori(&db, 2) {
+            assert_eq!(db.support_count(&f.items), f.count, "itemset {:?}", f.items);
+        }
+    }
+
+    #[test]
+    fn empty_db_yields_nothing() {
+        let db = TransactionDb::new();
+        assert!(apriori(&db, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power set")]
+    fn zero_min_count_rejected() {
+        apriori(&TransactionDb::new(), 0);
+    }
+
+    #[test]
+    fn unreachable_threshold_yields_nothing() {
+        let db = market();
+        assert!(apriori(&db, 100).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Eclat frequent-itemset mining (Zaki, 2000).
+//!
+//! The third of the classic frequent-itemset algorithms, completing the
+//! family next to [`crate::apriori`] and [`crate::fpgrowth`]. Eclat works
+//! on the *vertical* representation — for each item, the sorted list of
+//! transaction ids containing it — and extends itemsets depth-first by
+//! intersecting tid-lists, so support counting is a merge-scan instead
+//! of a database pass. It excels when tid-lists are short relative to
+//! the transaction count (sparse data), and the cross-checks in the
+//! test suite assert it produces exactly the same output as the other
+//! two miners.
+
+use crate::apriori::FrequentItemset;
+use crate::transaction::{ItemId, TransactionDb};
+use std::collections::HashMap;
+
+/// Mines all itemsets with `support_count >= min_count` via Eclat.
+///
+/// Output ordering matches [`crate::apriori::apriori`] and
+/// [`crate::fpgrowth::fpgrowth`], so results compare with `assert_eq!`.
+pub fn eclat(db: &TransactionDb, min_count: u64) -> Vec<FrequentItemset> {
+    assert!(
+        min_count >= 1,
+        "min_count of 0 would enumerate the power set"
+    );
+
+    // Build the vertical representation.
+    let mut tidlists: HashMap<ItemId, Vec<u32>> = HashMap::new();
+    for (tid, t) in db.transactions().iter().enumerate() {
+        for &item in t {
+            tidlists.entry(item).or_default().push(tid as u32);
+        }
+    }
+    // Frequent single items, sorted for deterministic recursion order.
+    let mut items: Vec<(ItemId, Vec<u32>)> = tidlists
+        .into_iter()
+        .filter(|(_, tids)| tids.len() as u64 >= min_count)
+        .collect();
+    items.sort_by_key(|(i, _)| *i);
+
+    let mut result = Vec::new();
+    // Depth-first extension: each prefix carries its tid-list.
+    extend(&[], &items, min_count, &mut result);
+    result.sort_by(|a, b| (a.items.len(), &a.items).cmp(&(b.items.len(), &b.items)));
+    result
+}
+
+fn extend(
+    prefix: &[ItemId],
+    candidates: &[(ItemId, Vec<u32>)],
+    min_count: u64,
+    out: &mut Vec<FrequentItemset>,
+) {
+    for (i, (item, tids)) in candidates.iter().enumerate() {
+        let mut items = prefix.to_vec();
+        items.push(*item);
+        out.push(FrequentItemset {
+            items: items.clone(),
+            count: tids.len() as u64,
+        });
+        // Build this itemset's conditional candidates by intersecting
+        // with every later item.
+        let mut next: Vec<(ItemId, Vec<u32>)> = Vec::new();
+        for (other, other_tids) in &candidates[i + 1..] {
+            let inter = intersect(tids, other_tids);
+            if inter.len() as u64 >= min_count {
+                next.push((*other, inter));
+            }
+        }
+        if !next.is_empty() {
+            extend(&items, &next, min_count, out);
+        }
+    }
+}
+
+/// Merge-intersection of two sorted tid-lists.
+fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+    use crate::fpgrowth::fpgrowth;
+
+    fn market() -> TransactionDb {
+        let mut db = TransactionDb::new();
+        db.add_named(&["bread", "milk"]);
+        db.add_named(&["bread", "diapers", "beer", "eggs"]);
+        db.add_named(&["milk", "diapers", "beer", "cola"]);
+        db.add_named(&["bread", "milk", "diapers", "beer"]);
+        db.add_named(&["bread", "milk", "diapers", "cola"]);
+        db
+    }
+
+    #[test]
+    fn intersect_merges_sorted_lists() {
+        assert_eq!(intersect(&[1, 3, 5, 7], &[2, 3, 5, 8]), vec![3, 5]);
+        assert_eq!(intersect(&[], &[1, 2]), Vec::<u32>::new());
+        assert_eq!(intersect(&[4], &[4]), vec![4]);
+    }
+
+    #[test]
+    fn agrees_with_apriori_and_fpgrowth_on_market_basket() {
+        let db = market();
+        for min_count in 1..=5 {
+            let a = apriori(&db, min_count);
+            let e = eclat(&db, min_count);
+            let f = fpgrowth(&db, min_count);
+            assert_eq!(a, e, "eclat vs apriori at min_count={min_count}");
+            assert_eq!(e, f, "eclat vs fpgrowth at min_count={min_count}");
+        }
+    }
+
+    #[test]
+    fn agrees_on_random_databases() {
+        use arq_simkern::Rng64;
+        let mut rng = Rng64::seed_from(4321);
+        for trial in 0..20 {
+            let mut db = TransactionDb::new();
+            for _ in 0..40 {
+                let len = 1 + rng.index(5);
+                let items: Vec<ItemId> = (0..len).map(|_| ItemId(rng.below(10) as u32)).collect();
+                db.add(items);
+            }
+            for min_count in [1u64, 3, 6] {
+                assert_eq!(
+                    apriori(&db, min_count),
+                    eclat(&db, min_count),
+                    "trial {trial}, min_count {min_count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_unreachable() {
+        assert!(eclat(&TransactionDb::new(), 1).is_empty());
+        assert!(eclat(&market(), 100).is_empty());
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let db = market();
+        for f in eclat(&db, 2) {
+            assert_eq!(db.support_count(&f.items), f.count);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # arq-assoc — association analysis for query routing
+//!
+//! The data-mining substrate of the workspace. Two layers:
+//!
+//! **General association analysis** (§III-A of the paper): transaction
+//! databases over interned items, frequent-itemset mining with
+//! [`apriori`], [`fpgrowth`], and [`eclat`] (property tests assert all
+//! three agree), and
+//! [`rules`] — rule generation with the classical support / confidence /
+//! lift / conviction measures and threshold pruning. The paper's routing
+//! rules only ever need singleton antecedents and consequents, but the
+//! future-work items (query-string dimensions, clustering, multi-item
+//! rules) need the general machinery, so it is built and tested.
+//!
+//! **Host-pair specialization** (§III-B): [`pairs::mine_pairs`] counts
+//! `(src, via)` host pairs in a block of query–reply pairs and
+//! support-prunes them into a [`pairs::RuleSet`] — "{host1} → {host2}"
+//! rules ranked by support. [`measures::ruleset_test`] evaluates a rule
+//! set against a test block, producing the paper's two rule-*set*
+//! measures: coverage α (Eq. 1) and success ρ (Eq. 2).
+//!
+//! [`keyed`] generalizes antecedents beyond a single host — e.g.
+//! `(source host, query topic)` — implementing the §VI "query-string
+//! dimension" extension. [`incremental::DecayedPairCounts`] supports the
+//! paper's future-work streaming maintainer: per-pair counts with exponential decay, updated
+//! on every observed reply instead of block-at-a-time.
+
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod eclat;
+pub mod fpgrowth;
+pub mod incremental;
+pub mod keyed;
+pub mod lossy;
+pub mod measures;
+pub mod pairs;
+pub mod rules;
+pub mod transaction;
+
+pub use incremental::DecayedPairCounts;
+pub use keyed::{keyed_ruleset_test, mine_keyed, KeyedRuleSet};
+pub use lossy::LossyPairCounts;
+pub use measures::{ruleset_test, BlockMeasures};
+pub use pairs::{mine_pairs, RuleSet};
+pub use transaction::{ItemId, TransactionDb};

@@ -1,0 +1,297 @@
+//! Host-pair rule sets — the paper's §III-B specialization.
+//!
+//! Routing rules have the form `{host1} → {host2}`: `host1` is a neighbor
+//! that forwarded queries to us, `host2` a neighbor through which replies
+//! to those queries came back. Because antecedent and consequent are
+//! singletons, mining reduces to counting `(src, via)` combinations in a
+//! block and pruning the ones seen fewer than `min_support` times
+//! ("support pruning"), exactly as the paper's simulator stored them:
+//!
+//! > "The database table representing the rule sets contains three values
+//! > for each entry: the host from which one or more queries were
+//! > received, a node that returned a reply message in response to one of
+//! > those queries, and the number of times that that node sent reply
+//! > messages in response to queries sent from the node that forwarded
+//! > the query."
+
+use arq_trace::record::{HostId, PairRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A mined rule set: antecedent host → consequent hosts ranked by
+/// descending support (ties broken by host id for determinism).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RuleSet {
+    rules: HashMap<HostId, Vec<(HostId, u64)>>,
+    min_support: u64,
+    source_pairs: usize,
+}
+
+impl RuleSet {
+    /// An empty rule set (matches nothing).
+    pub fn empty() -> Self {
+        RuleSet::default()
+    }
+
+    /// Builds a rule set from explicit `(src, via, count)` rows, applying
+    /// the same support pruning and ranking as [`mine_pairs`]. Used by
+    /// alternative counting backends (e.g. the streaming maintainer).
+    pub fn from_rows(
+        rows: impl IntoIterator<Item = (HostId, HostId, u64)>,
+        min_support: u64,
+        source_pairs: usize,
+    ) -> Self {
+        let counts: HashMap<(HostId, HostId), u64> =
+            rows.into_iter().map(|(s, v, c)| ((s, v), c)).collect();
+        Self::from_counts(counts, min_support, source_pairs)
+    }
+
+    fn from_counts(
+        counts: HashMap<(HostId, HostId), u64>,
+        min_support: u64,
+        source_pairs: usize,
+    ) -> Self {
+        let mut rules: HashMap<HostId, Vec<(HostId, u64)>> = HashMap::new();
+        for ((src, via), count) in counts {
+            if count >= min_support {
+                rules.entry(src).or_default().push((via, count));
+            }
+        }
+        for conseq in rules.values_mut() {
+            conseq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        }
+        RuleSet {
+            rules,
+            min_support,
+            source_pairs,
+        }
+    }
+
+    /// Whether any rule has `src` as antecedent.
+    #[inline]
+    pub fn has_antecedent(&self, src: HostId) -> bool {
+        self.rules.contains_key(&src)
+    }
+
+    /// The ranked consequents for `src` (empty slice when uncovered).
+    pub fn consequents(&self, src: HostId) -> &[(HostId, u64)] {
+        self.rules.get(&src).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The top-`k` consequent hosts for `src` by support.
+    pub fn top_k(&self, src: HostId, k: usize) -> impl Iterator<Item = HostId> + '_ {
+        self.consequents(src).iter().take(k).map(|&(h, _)| h)
+    }
+
+    /// Whether the rule `{src} → {via}` is present.
+    pub fn matches(&self, src: HostId, via: HostId) -> bool {
+        self.consequents(src).iter().any(|&(h, _)| h == via)
+    }
+
+    /// Total number of rules (antecedent–consequent pairs).
+    pub fn rule_count(&self) -> usize {
+        self.rules.values().map(Vec::len).sum()
+    }
+
+    /// Number of distinct antecedents.
+    pub fn antecedent_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The support threshold the set was pruned with.
+    pub fn min_support(&self) -> u64 {
+        self.min_support
+    }
+
+    /// How many query–reply pairs the set was mined from.
+    pub fn source_pairs(&self) -> usize {
+        self.source_pairs
+    }
+
+    /// Iterates over `(antecedent, consequent, support)` rows.
+    pub fn iter(&self) -> impl Iterator<Item = (HostId, HostId, u64)> + '_ {
+        self.rules
+            .iter()
+            .flat_map(|(&src, conseq)| conseq.iter().map(move |&(via, c)| (src, via, c)))
+    }
+}
+
+/// Mines a rule set from a block: counts `(src, via)` combinations and
+/// prunes those seen fewer than `min_support` times.
+pub fn mine_pairs(block: &[PairRecord], min_support: u64) -> RuleSet {
+    assert!(min_support >= 1, "support threshold must be at least 1");
+    let mut counts: HashMap<(HostId, HostId), u64> = HashMap::new();
+    for p in block {
+        *counts.entry((p.src, p.via)).or_insert(0) += 1;
+    }
+    RuleSet::from_counts(counts, min_support, block.len())
+}
+
+/// Mines with an additional confidence cut (§VI extension, experiment
+/// E9): a rule `{src} → {via}` survives only if
+/// `count(src, via) / count(src, ·) >= min_confidence`.
+pub fn mine_pairs_with_confidence(
+    block: &[PairRecord],
+    min_support: u64,
+    min_confidence: f64,
+) -> RuleSet {
+    assert!(min_support >= 1, "support threshold must be at least 1");
+    assert!(
+        (0.0..=1.0).contains(&min_confidence),
+        "confidence threshold out of range"
+    );
+    let mut counts: HashMap<(HostId, HostId), u64> = HashMap::new();
+    let mut src_totals: HashMap<HostId, u64> = HashMap::new();
+    for p in block {
+        *counts.entry((p.src, p.via)).or_insert(0) += 1;
+        *src_totals.entry(p.src).or_insert(0) += 1;
+    }
+    counts.retain(|(src, _), count| *count as f64 / src_totals[src] as f64 >= min_confidence);
+    RuleSet::from_counts(counts, min_support, block.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arq_simkern::SimTime;
+    use arq_trace::record::{Guid, QueryId};
+
+    fn pair(i: u64, src: u32, via: u32) -> PairRecord {
+        PairRecord {
+            time: SimTime::from_ticks(i),
+            guid: Guid(u128::from(i)),
+            src: HostId(src),
+            via: HostId(via),
+            responder: HostId(999),
+            query: QueryId(0),
+        }
+    }
+
+    /// Block: host 1 answered 5x via 10, 3x via 11, 1x via 12;
+    /// host 2 answered 2x via 10.
+    fn block() -> Vec<PairRecord> {
+        let mut v = Vec::new();
+        let mut i = 0;
+        for _ in 0..5 {
+            v.push(pair(i, 1, 10));
+            i += 1;
+        }
+        for _ in 0..3 {
+            v.push(pair(i, 1, 11));
+            i += 1;
+        }
+        v.push(pair(i, 1, 12));
+        i += 1;
+        for _ in 0..2 {
+            v.push(pair(i, 2, 10));
+            i += 1;
+        }
+        v
+    }
+
+    #[test]
+    fn support_pruning() {
+        let rs = mine_pairs(&block(), 2);
+        assert!(rs.matches(HostId(1), HostId(10)));
+        assert!(rs.matches(HostId(1), HostId(11)));
+        assert!(
+            !rs.matches(HostId(1), HostId(12)),
+            "support-1 rule survived"
+        );
+        assert!(rs.matches(HostId(2), HostId(10)));
+        assert_eq!(rs.rule_count(), 3);
+        assert_eq!(rs.antecedent_count(), 2);
+        assert_eq!(rs.source_pairs(), 11);
+        assert_eq!(rs.min_support(), 2);
+    }
+
+    #[test]
+    fn higher_threshold_gives_subset() {
+        let loose = mine_pairs(&block(), 1);
+        let tight = mine_pairs(&block(), 4);
+        assert!(tight.rule_count() < loose.rule_count());
+        for (src, via, _) in tight.iter() {
+            assert!(loose.matches(src, via));
+        }
+    }
+
+    #[test]
+    fn consequents_ranked_by_support() {
+        let rs = mine_pairs(&block(), 1);
+        let ranked: Vec<(HostId, u64)> = rs.consequents(HostId(1)).to_vec();
+        assert_eq!(
+            ranked,
+            vec![(HostId(10), 5), (HostId(11), 3), (HostId(12), 1)]
+        );
+        let top2: Vec<HostId> = rs.top_k(HostId(1), 2).collect();
+        assert_eq!(top2, vec![HostId(10), HostId(11)]);
+    }
+
+    #[test]
+    fn rank_ties_break_by_host_id() {
+        let mut v = Vec::new();
+        for i in 0..3 {
+            v.push(pair(i, 1, 30));
+        }
+        for i in 3..6 {
+            v.push(pair(i, 1, 20));
+        }
+        let rs = mine_pairs(&v, 1);
+        let ranked: Vec<HostId> = rs.top_k(HostId(1), 5).collect();
+        assert_eq!(ranked, vec![HostId(20), HostId(30)]);
+    }
+
+    #[test]
+    fn uncovered_antecedent() {
+        let rs = mine_pairs(&block(), 1);
+        assert!(!rs.has_antecedent(HostId(99)));
+        assert!(rs.consequents(HostId(99)).is_empty());
+        assert_eq!(rs.top_k(HostId(99), 3).count(), 0);
+        assert!(!rs.matches(HostId(99), HostId(10)));
+    }
+
+    #[test]
+    fn empty_block_and_empty_ruleset() {
+        let rs = mine_pairs(&[], 1);
+        assert!(rs.is_empty());
+        assert_eq!(rs.rule_count(), 0);
+        let e = RuleSet::empty();
+        assert!(!e.has_antecedent(HostId(0)));
+    }
+
+    #[test]
+    fn confidence_pruning_cuts_minor_routes() {
+        // host 1: via 10 has confidence 5/9, via 11 -> 3/9, via 12 -> 1/9.
+        let rs = mine_pairs_with_confidence(&block(), 1, 0.34);
+        assert!(rs.matches(HostId(1), HostId(10)));
+        assert!(!rs.matches(HostId(1), HostId(11)));
+        assert!(!rs.matches(HostId(1), HostId(12)));
+        // host 2: via 10 has confidence 1.0.
+        assert!(rs.matches(HostId(2), HostId(10)));
+    }
+
+    #[test]
+    fn confidence_zero_equals_plain_mining() {
+        let a = mine_pairs(&block(), 2);
+        let b = mine_pairs_with_confidence(&block(), 2, 0.0);
+        let mut ra: Vec<_> = a.iter().collect();
+        let mut rb: Vec<_> = b.iter().collect();
+        ra.sort_unstable();
+        rb.sort_unstable();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn iter_exposes_all_rules() {
+        let rs = mine_pairs(&block(), 1);
+        let mut rows: Vec<_> = rs.iter().collect();
+        rows.sort_unstable();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], (HostId(1), HostId(10), 5));
+    }
+}

@@ -1,0 +1,219 @@
+//! Association-rule generation and the classical interestingness
+//! measures.
+//!
+//! From each frequent itemset `X` (|X| ≥ 2), every partition into a
+//! non-empty antecedent `A` and consequent `C = X \ A` yields a candidate
+//! rule `A → C`. Rules are scored by:
+//!
+//! * **support** — fraction of transactions containing `A ∪ C`;
+//! * **confidence** — `sup(A ∪ C) / sup(A)`;
+//! * **lift** — `confidence / sup(C)`; 1 means independence;
+//! * **conviction** — `(1 − sup(C)) / (1 − confidence)`; ∞ for exact
+//!   implications.
+//!
+//! Pruning by minimum support happened during mining (the itemsets are
+//! already frequent); this module prunes by minimum confidence — the
+//! paper's §VI proposes confidence-based pruning as an extension, and
+//! experiment E9 uses exactly this code.
+
+use crate::apriori::FrequentItemset;
+use crate::transaction::ItemId;
+use std::collections::HashMap;
+
+/// One association rule with its measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Antecedent items, sorted.
+    pub antecedent: Vec<ItemId>,
+    /// Consequent items, sorted.
+    pub consequent: Vec<ItemId>,
+    /// Absolute support count of antecedent ∪ consequent.
+    pub count: u64,
+    /// Relative support.
+    pub support: f64,
+    /// Confidence.
+    pub confidence: f64,
+    /// Lift.
+    pub lift: f64,
+    /// Conviction (`f64::INFINITY` for confidence = 1).
+    pub conviction: f64,
+}
+
+/// Generates all rules with `confidence >= min_confidence` from a set of
+/// frequent itemsets (as produced by [`crate::apriori::apriori`] or
+/// [`crate::fpgrowth::fpgrowth`]).
+///
+/// `n_transactions` is the size of the mined database, needed to turn
+/// counts into relative measures.
+pub fn generate_rules(
+    frequent: &[FrequentItemset],
+    n_transactions: u64,
+    min_confidence: f64,
+) -> Vec<Rule> {
+    assert!(n_transactions > 0, "empty database has no rules");
+    assert!(
+        (0.0..=1.0).contains(&min_confidence),
+        "confidence threshold out of range"
+    );
+    let counts: HashMap<&[ItemId], u64> = frequent
+        .iter()
+        .map(|f| (f.items.as_slice(), f.count))
+        .collect();
+
+    let mut rules = Vec::new();
+    for f in frequent.iter().filter(|f| f.items.len() >= 2) {
+        let n = f.items.len();
+        // Enumerate proper, non-empty subsets via bitmasks.
+        for mask in 1..((1u32 << n) - 1) {
+            let mut antecedent = Vec::new();
+            let mut consequent = Vec::new();
+            for (i, &item) in f.items.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    antecedent.push(item);
+                } else {
+                    consequent.push(item);
+                }
+            }
+            let ante_count = match counts.get(antecedent.as_slice()) {
+                Some(&c) => c,
+                // The antecedent of a frequent itemset is itself frequent
+                // (anti-monotonicity); a miss means the caller passed an
+                // incomplete collection.
+                None => panic!("antecedent {antecedent:?} missing from frequent set"),
+            };
+            let confidence = f.count as f64 / ante_count as f64;
+            if confidence < min_confidence {
+                continue;
+            }
+            let cons_count = *counts
+                .get(consequent.as_slice())
+                .expect("consequent missing from frequent set");
+            let support = f.count as f64 / n_transactions as f64;
+            let cons_support = cons_count as f64 / n_transactions as f64;
+            let lift = confidence / cons_support;
+            let conviction = if confidence >= 1.0 {
+                f64::INFINITY
+            } else {
+                (1.0 - cons_support) / (1.0 - confidence)
+            };
+            rules.push(Rule {
+                antecedent,
+                consequent,
+                count: f.count,
+                support,
+                confidence,
+                lift,
+                conviction,
+            });
+        }
+    }
+    // Deterministic, most-interesting-first ordering.
+    rules.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .unwrap()
+            .then(b.count.cmp(&a.count))
+            .then(a.antecedent.cmp(&b.antecedent))
+            .then(a.consequent.cmp(&b.consequent))
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+    use crate::transaction::TransactionDb;
+
+    fn market() -> TransactionDb {
+        let mut db = TransactionDb::new();
+        db.add_named(&["bread", "milk"]);
+        db.add_named(&["bread", "diapers", "beer", "eggs"]);
+        db.add_named(&["milk", "diapers", "beer", "cola"]);
+        db.add_named(&["bread", "milk", "diapers", "beer"]);
+        db.add_named(&["bread", "milk", "diapers", "cola"]);
+        db
+    }
+
+    fn rule<'a>(rules: &'a [Rule], db: &TransactionDb, a: &[&str], c: &[&str]) -> Option<&'a Rule> {
+        let mut ante: Vec<ItemId> = a.iter().map(|n| db.lookup(n).unwrap()).collect();
+        let mut cons: Vec<ItemId> = c.iter().map(|n| db.lookup(n).unwrap()).collect();
+        ante.sort_unstable();
+        cons.sort_unstable();
+        rules
+            .iter()
+            .find(|r| r.antecedent == ante && r.consequent == cons)
+    }
+
+    #[test]
+    fn diapers_imply_beer() {
+        let db = market();
+        let frequent = apriori(&db, 2);
+        let rules = generate_rules(&frequent, db.len() as u64, 0.0);
+        let r = rule(&rules, &db, &["diapers"], &["beer"]).unwrap();
+        // sup({diapers, beer}) = 3/5, sup(diapers) = 4/5 -> conf 0.75.
+        assert_eq!(r.count, 3);
+        assert!((r.support - 0.6).abs() < 1e-12);
+        assert!((r.confidence - 0.75).abs() < 1e-12);
+        // sup(beer) = 3/5 -> lift = 0.75 / 0.6 = 1.25.
+        assert!((r.lift - 1.25).abs() < 1e-12);
+        // conviction = (1 - 0.6) / (1 - 0.75) = 1.6.
+        assert!((r.conviction - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beer_implies_diapers_has_confidence_one() {
+        let db = market();
+        let frequent = apriori(&db, 2);
+        let rules = generate_rules(&frequent, db.len() as u64, 0.0);
+        let r = rule(&rules, &db, &["beer"], &["diapers"]).unwrap();
+        assert!((r.confidence - 1.0).abs() < 1e-12);
+        assert!(r.conviction.is_infinite());
+        // Exact implications sort first.
+        assert!((rules[0].confidence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_pruning_is_monotone() {
+        let db = market();
+        let frequent = apriori(&db, 2);
+        let loose = generate_rules(&frequent, db.len() as u64, 0.0);
+        let tight = generate_rules(&frequent, db.len() as u64, 0.8);
+        assert!(tight.len() < loose.len());
+        for r in &tight {
+            assert!(r.confidence >= 0.8);
+            assert!(loose.contains(r), "tight rule missing from loose set");
+        }
+    }
+
+    #[test]
+    fn multi_item_antecedents_are_generated() {
+        let db = market();
+        let frequent = apriori(&db, 2);
+        let rules = generate_rules(&frequent, db.len() as u64, 0.0);
+        assert!(
+            rules.iter().any(|r| r.antecedent.len() == 2),
+            "no 2-item antecedents"
+        );
+        // Rule from {bread, milk, diapers} (count 2): {bread, milk} -> {diapers}.
+        let r = rule(&rules, &db, &["bread", "milk"], &["diapers"]).unwrap();
+        assert_eq!(r.count, 2);
+        assert!((r.confidence - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_rules_from_singletons_only() {
+        let mut db = TransactionDb::new();
+        db.add_named(&["a"]);
+        db.add_named(&["b"]);
+        let frequent = apriori(&db, 1);
+        let rules = generate_rules(&frequent, 2, 0.0);
+        assert!(rules.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty database")]
+    fn zero_transactions_rejected() {
+        generate_rules(&[], 0, 0.5);
+    }
+}

@@ -1,0 +1,190 @@
+//! Transaction databases for itemset mining.
+//!
+//! A transaction is a set of items (the market-basket analogy from the
+//! paper: one purchase). Items are interned to dense `u32` ids; every
+//! transaction is stored sorted and deduplicated so subset tests are
+//! merge-scans.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A dense item identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ItemId(pub u32);
+
+/// An in-memory transaction database.
+#[derive(Debug, Clone, Default)]
+pub struct TransactionDb {
+    names: Vec<String>,
+    by_name: HashMap<String, ItemId>,
+    transactions: Vec<Vec<ItemId>>,
+}
+
+impl TransactionDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        TransactionDb::default()
+    }
+
+    /// Interns an item name, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> ItemId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = ItemId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// The name of an item.
+    pub fn name(&self, id: ItemId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Looks up an item by name without interning.
+    pub fn lookup(&self, name: &str) -> Option<ItemId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of distinct items.
+    pub fn item_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Adds a transaction by item names (interning as needed). Duplicate
+    /// items within one transaction are collapsed.
+    pub fn add_named(&mut self, items: &[&str]) {
+        let ids: Vec<ItemId> = items.iter().map(|n| self.intern(n)).collect();
+        self.add(ids);
+    }
+
+    /// Adds a transaction by item ids.
+    pub fn add(&mut self, mut items: Vec<ItemId>) {
+        items.sort_unstable();
+        items.dedup();
+        self.transactions.push(items);
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether no transactions have been added.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// The stored transactions (each sorted, deduped).
+    pub fn transactions(&self) -> &[Vec<ItemId>] {
+        &self.transactions
+    }
+
+    /// Counts transactions containing all of `itemset` (which must be
+    /// sorted). This is the *absolute* support count.
+    pub fn support_count(&self, itemset: &[ItemId]) -> u64 {
+        debug_assert!(
+            itemset.windows(2).all(|w| w[0] < w[1]),
+            "itemset not sorted"
+        );
+        self.transactions
+            .iter()
+            .filter(|t| is_subset(itemset, t))
+            .count() as u64
+    }
+
+    /// Relative support in `[0, 1]`.
+    pub fn support(&self, itemset: &[ItemId]) -> f64 {
+        if self.transactions.is_empty() {
+            return 0.0;
+        }
+        self.support_count(itemset) as f64 / self.transactions.len() as f64
+    }
+}
+
+/// Merge-scan subset test over two sorted slices.
+pub(crate) fn is_subset(needle: &[ItemId], haystack: &[ItemId]) -> bool {
+    let mut hi = 0;
+    'outer: for &x in needle {
+        while hi < haystack.len() {
+            match haystack[hi].cmp(&x) {
+                std::cmp::Ordering::Less => hi += 1,
+                std::cmp::Ordering::Equal => {
+                    hi += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn market() -> TransactionDb {
+        let mut db = TransactionDb::new();
+        db.add_named(&["bread", "milk"]);
+        db.add_named(&["bread", "diapers", "beer", "eggs"]);
+        db.add_named(&["milk", "diapers", "beer", "cola"]);
+        db.add_named(&["bread", "milk", "diapers", "beer"]);
+        db.add_named(&["bread", "milk", "diapers", "cola"]);
+        db
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut db = TransactionDb::new();
+        let a = db.intern("beer");
+        let b = db.intern("diapers");
+        assert_eq!(db.intern("beer"), a);
+        assert_ne!(a, b);
+        assert_eq!(db.name(a), "beer");
+        assert_eq!(db.lookup("diapers"), Some(b));
+        assert_eq!(db.lookup("caviar"), None);
+        assert_eq!(db.item_count(), 2);
+    }
+
+    #[test]
+    fn transactions_sorted_and_deduped() {
+        let mut db = TransactionDb::new();
+        db.add(vec![ItemId(3), ItemId(1), ItemId(3), ItemId(2)]);
+        assert_eq!(db.transactions()[0], vec![ItemId(1), ItemId(2), ItemId(3)]);
+    }
+
+    #[test]
+    fn support_counts_match_hand_computation() {
+        let db = market();
+        let beer = db.lookup("beer").unwrap();
+        let diapers = db.lookup("diapers").unwrap();
+        let mut pair = vec![diapers, beer];
+        pair.sort_unstable();
+        // {diapers, beer} appears in transactions 2, 3, 4 -> 3 of 5.
+        assert_eq!(db.support_count(&pair), 3);
+        assert!((db.support(&pair) - 0.6).abs() < 1e-12);
+        // Single item.
+        assert_eq!(db.support_count(&[beer]), 3);
+        // Empty itemset is contained in everything.
+        assert_eq!(db.support_count(&[]), 5);
+    }
+
+    #[test]
+    fn subset_merge_scan() {
+        let h: Vec<ItemId> = [1u32, 3, 5, 9].iter().map(|&i| ItemId(i)).collect();
+        assert!(is_subset(&[ItemId(3), ItemId(9)], &h));
+        assert!(is_subset(&[], &h));
+        assert!(!is_subset(&[ItemId(2)], &h));
+        assert!(!is_subset(&[ItemId(9), ItemId(10)], &h[..3]));
+    }
+
+    #[test]
+    fn empty_db_supports_nothing() {
+        let db = TransactionDb::new();
+        assert!(db.is_empty());
+        assert_eq!(db.support(&[ItemId(0)]), 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests for association analysis.
+
+use arq_assoc::apriori::apriori;
+use arq_assoc::eclat::eclat;
+use arq_assoc::fpgrowth::fpgrowth;
+use arq_assoc::measures::ruleset_test;
+use arq_assoc::pairs::{mine_pairs, mine_pairs_with_confidence};
+use arq_assoc::rules::generate_rules;
+use arq_assoc::{DecayedPairCounts, ItemId, TransactionDb};
+use arq_simkern::SimTime;
+use arq_trace::record::{Guid, HostId, PairRecord, QueryId};
+use proptest::prelude::*;
+
+fn arb_transactions() -> impl Strategy<Value = Vec<Vec<ItemId>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..12).prop_map(ItemId), 1..6),
+        1..60,
+    )
+}
+
+fn arb_pairs() -> impl Strategy<Value = Vec<PairRecord>> {
+    proptest::collection::vec((0u32..10, 0u32..10), 0..300).prop_map(|hosts| {
+        hosts
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, v))| PairRecord {
+                time: SimTime::from_ticks(i as u64),
+                guid: Guid(i as u128),
+                src: HostId(s),
+                via: HostId(100 + v),
+                responder: HostId(999),
+                query: QueryId(0),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Apriori, FP-Growth, and Eclat agree exactly on arbitrary
+    /// databases and thresholds.
+    #[test]
+    fn all_miners_agree(txs in arb_transactions(), min_count in 1u64..8) {
+        let mut db = TransactionDb::new();
+        for t in txs {
+            db.add(t);
+        }
+        let a = apriori(&db, min_count);
+        prop_assert_eq!(&a, &fpgrowth(&db, min_count));
+        prop_assert_eq!(&a, &eclat(&db, min_count));
+    }
+
+    /// Every reported frequent itemset has its exact support count, and
+    /// support is anti-monotone under item removal.
+    #[test]
+    fn frequent_itemsets_sound(txs in arb_transactions(), min_count in 1u64..6) {
+        let mut db = TransactionDb::new();
+        for t in txs {
+            db.add(t);
+        }
+        let sets = apriori(&db, min_count);
+        for f in &sets {
+            prop_assert!(f.count >= min_count);
+            prop_assert_eq!(db.support_count(&f.items), f.count);
+            if f.items.len() >= 2 {
+                for skip in 0..f.items.len() {
+                    let sub: Vec<ItemId> = f
+                        .items
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != skip)
+                        .map(|(_, &x)| x)
+                        .collect();
+                    prop_assert!(db.support_count(&sub) >= f.count);
+                }
+            }
+        }
+    }
+
+    /// Generated rules have measures in their legal ranges, and
+    /// confidence pruning yields a subset.
+    #[test]
+    fn rule_measures_in_range(txs in arb_transactions(), min_conf in 0.0f64..1.0) {
+        let mut db = TransactionDb::new();
+        for t in txs {
+            db.add(t);
+        }
+        let frequent = apriori(&db, 1);
+        let all = generate_rules(&frequent, db.len() as u64, 0.0);
+        let pruned = generate_rules(&frequent, db.len() as u64, min_conf);
+        for r in &all {
+            prop_assert!(r.support > 0.0 && r.support <= 1.0);
+            prop_assert!(r.confidence > 0.0 && r.confidence <= 1.0 + 1e-12);
+            prop_assert!(r.lift > 0.0);
+            prop_assert!(r.conviction >= 0.0 || r.conviction.is_infinite());
+        }
+        for r in &pruned {
+            prop_assert!(r.confidence >= min_conf);
+            prop_assert!(all.contains(r));
+        }
+    }
+
+    /// Raising the support threshold mines a subset of rules.
+    #[test]
+    fn support_pruning_is_monotone(pairs in arb_pairs(), lo in 1u64..5, delta in 0u64..10) {
+        let hi = lo + delta;
+        let loose = mine_pairs(&pairs, lo);
+        let tight = mine_pairs(&pairs, hi);
+        for (src, via, count) in tight.iter() {
+            prop_assert!(count >= hi);
+            prop_assert!(loose.matches(src, via));
+        }
+        prop_assert!(tight.rule_count() <= loose.rule_count());
+    }
+
+    /// Confidence mining at zero equals plain mining.
+    #[test]
+    fn confidence_zero_is_identity(pairs in arb_pairs(), t in 1u64..6) {
+        let a = mine_pairs(&pairs, t);
+        let b = mine_pairs_with_confidence(&pairs, t, 0.0);
+        let mut ra: Vec<_> = a.iter().collect();
+        let mut rb: Vec<_> = b.iter().collect();
+        ra.sort_unstable();
+        rb.sort_unstable();
+        prop_assert_eq!(ra, rb);
+    }
+
+    /// RULESET-TEST counts obey 0 ≤ s ≤ n ≤ N and both measures stay in
+    /// [0, 1]; a rule set mined from the block itself at threshold 1 is
+    /// perfect.
+    #[test]
+    fn measures_are_bounded(train in arb_pairs(), test in arb_pairs()) {
+        let rules = mine_pairs(&train, 2);
+        let m = ruleset_test(&rules, &test);
+        prop_assert!(m.successes <= m.covered);
+        prop_assert!(m.covered <= m.total);
+        prop_assert!((0.0..=1.0).contains(&m.coverage()));
+        prop_assert!((0.0..=1.0).contains(&m.success()));
+
+        if !test.is_empty() {
+            let self_rules = mine_pairs(&test, 1);
+            let perfect = ruleset_test(&self_rules, &test);
+            prop_assert_eq!(perfect.coverage(), 1.0);
+            prop_assert_eq!(perfect.success(), 1.0);
+        }
+    }
+
+    /// Without decay pressure, the decayed counter materializes the same
+    /// rule set as block mining.
+    #[test]
+    fn decayed_counts_match_block_mining(pairs in arb_pairs(), t in 1u64..6) {
+        let mut counts = DecayedPairCounts::new(1e12);
+        for p in &pairs {
+            counts.observe_pair(p);
+        }
+        let from_stream = counts.ruleset(t as f64);
+        let from_block = mine_pairs(&pairs, t);
+        let mut ra: Vec<_> = from_stream.iter().collect();
+        let mut rb: Vec<_> = from_block.iter().collect();
+        ra.sort_unstable();
+        rb.sort_unstable();
+        prop_assert_eq!(ra, rb);
+    }
+}
+
+proptest! {
+    /// Lossy Counting never reports more than the true count and never
+    /// undershoots by more than εN; associations above the guarantee are
+    /// always tracked.
+    #[test]
+    fn lossy_counting_error_guarantee(
+        stream in proptest::collection::vec((0u32..6, 0u32..6), 1..2_000),
+        eps_milli in 5u32..200,
+    ) {
+        let eps = f64::from(eps_milli) / 1000.0;
+        let mut lossy = arq_assoc::LossyPairCounts::new(eps);
+        let mut exact: std::collections::HashMap<(u32, u32), u64> = Default::default();
+        for &(s, v) in &stream {
+            lossy.observe(HostId(s), HostId(100 + v));
+            *exact.entry((s, v)).or_insert(0) += 1;
+        }
+        let n = stream.len() as f64;
+        let slack = (eps * n).ceil() as u64;
+        for (&(s, v), &true_count) in &exact {
+            let reported = lossy.count(HostId(s), HostId(100 + v));
+            prop_assert!(reported <= true_count, "overcount for ({s},{v})");
+            prop_assert!(
+                reported + slack >= true_count,
+                "undercount beyond eps*N for ({s},{v}): {reported} vs {true_count}"
+            );
+        }
+    }
+
+    /// Keyed mining with the plain `src` key is exactly `mine_pairs`.
+    #[test]
+    fn keyed_src_equals_plain(pairs in arb_pairs(), t in 1u64..6) {
+        let keyed = arq_assoc::mine_keyed(&pairs, |p| p.src, t);
+        let plain = mine_pairs(&pairs, t);
+        let mut ka: Vec<_> = pairs
+            .iter()
+            .map(|p| p.src)
+            .collect::<std::collections::HashSet<_>>()
+            .into_iter()
+            .collect();
+        ka.sort_unstable();
+        for src in ka {
+            prop_assert_eq!(keyed.consequents(src), plain.consequents(src));
+        }
+        prop_assert_eq!(keyed.rule_count(), plain.rule_count());
+        // Measures agree on any test block.
+        let m1 = arq_assoc::keyed_ruleset_test(&keyed, &pairs, |p| p.src);
+        let m2 = ruleset_test(&plain, &pairs);
+        prop_assert_eq!(m1, m2);
+    }
+}

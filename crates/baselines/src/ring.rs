@@ -1,0 +1,63 @@
+//! Expanding-ring search (Lv, Cao, Cohen, Li, Shenker — ICS'02).
+//!
+//! Not a forwarding policy — the forwarding is plain flooding — but an
+//! *issuer-side* escalation schedule: start with a small TTL and reissue
+//! with a larger one each time the deadline passes without a hit.
+//! "Because expanding ring searches increase TTL until a hit is found,
+//! nearby nodes may receive the query several times, which is an increase
+//! in traffic" (§II) — E7 quantifies both the savings and that re-receipt
+//! overhead.
+
+use arq_gnutella::sim::RingSchedule;
+use arq_gnutella::FloodPolicy;
+use arq_simkern::time::Duration;
+
+/// Builds the classic schedule: TTLs escalate from `start` by `step`
+/// until `max`, waiting `wait` ticks between attempts. Returns the
+/// flooding policy plus the schedule to install in
+/// [`arq_gnutella::SimConfig::ring`].
+pub fn expanding_ring(
+    start: u32,
+    step: u32,
+    max: u32,
+    wait: Duration,
+) -> (FloodPolicy, RingSchedule) {
+    assert!(
+        start >= 1 && step >= 1 && max >= start,
+        "degenerate schedule"
+    );
+    let mut ttls = Vec::new();
+    let mut t = start;
+    loop {
+        ttls.push(t);
+        if t >= max {
+            break;
+        }
+        t = (t + step).min(max);
+    }
+    (FloodPolicy, RingSchedule { ttls, wait })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_escalates_to_max() {
+        let (_, ring) = expanding_ring(2, 2, 7, Duration::from_ticks(500));
+        assert_eq!(ring.ttls, vec![2, 4, 6, 7]);
+        assert_eq!(ring.wait, Duration::from_ticks(500));
+    }
+
+    #[test]
+    fn single_step_schedule() {
+        let (_, ring) = expanding_ring(5, 1, 5, Duration::from_ticks(100));
+        assert_eq!(ring.ttls, vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_max_below_start() {
+        expanding_ring(5, 1, 3, Duration::from_ticks(1));
+    }
+}

@@ -1,0 +1,211 @@
+//! Interest-based shortcuts (Sripanidkulchai, Maggs, Zhang — INFOCOM'03).
+//!
+//! "Because users have a limited set of interests, a node that has
+//! provided hits previously is likely to share the same interests" (§II).
+//! Each node remembers, per topic, the neighbors that recently delivered
+//! hits for that topic; queries on a remembered topic go to those
+//! shortcut neighbors first, falling back to flooding on a cold topic.
+//!
+//! The original system keeps shortcuts as *extra* links outside the
+//! overlay; adapted to a pure forwarding policy, shortcuts are the subset
+//! of current neighbors that proved productive for the topic — the same
+//! locality signal, confined to the overlay.
+
+use arq_content::{QueryKey, Topic};
+use arq_gnutella::policy::{ForwardCtx, ForwardingPolicy};
+use arq_overlay::NodeId;
+use arq_simkern::Rng64;
+use std::collections::HashMap;
+
+/// Per-node, per-topic shortcut lists (most recent first, bounded).
+#[derive(Debug, Clone)]
+pub struct InterestShortcuts {
+    per_topic_cap: usize,
+    k: usize,
+    table: HashMap<(NodeId, Topic), Vec<NodeId>>,
+    shortcut_uses: u64,
+    flood_fallbacks: u64,
+}
+
+impl InterestShortcuts {
+    /// Creates the policy: remember up to `per_topic_cap` shortcuts per
+    /// (node, topic) and forward to at most `k` of them.
+    pub fn new(per_topic_cap: usize, k: usize) -> Self {
+        assert!(per_topic_cap >= 1 && k >= 1, "degenerate shortcut config");
+        InterestShortcuts {
+            per_topic_cap,
+            k,
+            table: HashMap::new(),
+            shortcut_uses: 0,
+            flood_fallbacks: 0,
+        }
+    }
+
+    /// Decisions routed via shortcuts.
+    pub fn shortcut_uses(&self) -> u64 {
+        self.shortcut_uses
+    }
+
+    /// Decisions that fell back to flooding.
+    pub fn flood_fallbacks(&self) -> u64 {
+        self.flood_fallbacks
+    }
+
+    fn remember(&mut self, node: NodeId, topic: Topic, via: NodeId) {
+        let list = self.table.entry((node, topic)).or_default();
+        if let Some(pos) = list.iter().position(|&n| n == via) {
+            list.remove(pos);
+        }
+        list.insert(0, via);
+        list.truncate(self.per_topic_cap);
+    }
+}
+
+impl ForwardingPolicy for InterestShortcuts {
+    fn name(&self) -> &'static str {
+        "shortcuts"
+    }
+
+    fn select(&mut self, ctx: &ForwardCtx<'_>, _rng: &mut Rng64) -> Vec<NodeId> {
+        let topic = ctx.query.key.topic;
+        let known: Vec<NodeId> = self
+            .table
+            .get(&(ctx.node, topic))
+            .map(|list| {
+                list.iter()
+                    .copied()
+                    .filter(|n| ctx.candidates.contains(n))
+                    .take(self.k)
+                    .collect()
+            })
+            .unwrap_or_default();
+        if known.is_empty() {
+            self.flood_fallbacks += 1;
+            ctx.candidates.to_vec()
+        } else {
+            self.shortcut_uses += 1;
+            known
+        }
+    }
+
+    fn on_reply(&mut self, node: NodeId, _upstream: Option<NodeId>, via: NodeId, key: QueryKey) {
+        self.remember(node, key.topic, via);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arq_content::FileId;
+    use arq_gnutella::QueryMsg;
+    use arq_trace::record::Guid;
+
+    fn msg(topic: u16) -> QueryMsg {
+        QueryMsg {
+            guid: Guid(1),
+            key: QueryKey {
+                file: FileId(0),
+                topic: Topic(topic),
+            },
+            ttl: 4,
+            hops: 0,
+        }
+    }
+
+    fn key(topic: u16) -> QueryKey {
+        QueryKey {
+            file: FileId(0),
+            topic: Topic(topic),
+        }
+    }
+
+    #[test]
+    fn cold_topic_floods_warm_topic_shortcuts() {
+        let mut p = InterestShortcuts::new(4, 2);
+        let mut rng = Rng64::seed_from(1);
+        let candidates: Vec<NodeId> = (10..16).map(NodeId).collect();
+        let m = msg(3);
+        let ctx = ForwardCtx {
+            node: NodeId(0),
+            from: None,
+            query: &m,
+            candidates: &candidates,
+        };
+        assert_eq!(p.select(&ctx, &mut rng).len(), 6, "cold topic must flood");
+        p.on_reply(NodeId(0), None, NodeId(12), key(3));
+        let sel = p.select(&ctx, &mut rng);
+        assert_eq!(sel, vec![NodeId(12)]);
+        assert_eq!(p.shortcut_uses(), 1);
+        assert_eq!(p.flood_fallbacks(), 1);
+    }
+
+    #[test]
+    fn shortcuts_are_topic_scoped() {
+        let mut p = InterestShortcuts::new(4, 2);
+        let mut rng = Rng64::seed_from(2);
+        let candidates: Vec<NodeId> = (10..14).map(NodeId).collect();
+        p.on_reply(NodeId(0), None, NodeId(11), key(1));
+        let m = msg(2); // different topic
+        let ctx = ForwardCtx {
+            node: NodeId(0),
+            from: None,
+            query: &m,
+            candidates: &candidates,
+        };
+        assert_eq!(p.select(&ctx, &mut rng).len(), 4);
+    }
+
+    #[test]
+    fn recency_ordering_and_cap() {
+        let mut p = InterestShortcuts::new(2, 2);
+        let mut rng = Rng64::seed_from(3);
+        for via in [10u32, 11, 12] {
+            p.on_reply(NodeId(0), None, NodeId(via), key(1));
+        }
+        // Cap 2: node 10 evicted; most recent (12) first.
+        let candidates: Vec<NodeId> = (10..13).map(NodeId).collect();
+        let m = msg(1);
+        let ctx = ForwardCtx {
+            node: NodeId(0),
+            from: None,
+            query: &m,
+            candidates: &candidates,
+        };
+        assert_eq!(p.select(&ctx, &mut rng), vec![NodeId(12), NodeId(11)]);
+    }
+
+    #[test]
+    fn departed_shortcuts_ignored() {
+        let mut p = InterestShortcuts::new(4, 2);
+        let mut rng = Rng64::seed_from(4);
+        p.on_reply(NodeId(0), None, NodeId(50), key(1));
+        // Node 50 is not among the live candidates anymore.
+        let candidates = vec![NodeId(10), NodeId(11)];
+        let m = msg(1);
+        let ctx = ForwardCtx {
+            node: NodeId(0),
+            from: None,
+            query: &m,
+            candidates: &candidates,
+        };
+        assert_eq!(p.select(&ctx, &mut rng).len(), 2, "must fall back to flood");
+    }
+
+    #[test]
+    fn re_reply_moves_to_front() {
+        let mut p = InterestShortcuts::new(3, 1);
+        let mut rng = Rng64::seed_from(5);
+        p.on_reply(NodeId(0), None, NodeId(10), key(1));
+        p.on_reply(NodeId(0), None, NodeId(11), key(1));
+        p.on_reply(NodeId(0), None, NodeId(10), key(1)); // 10 again
+        let candidates = vec![NodeId(10), NodeId(11)];
+        let m = msg(1);
+        let ctx = ForwardCtx {
+            node: NodeId(0),
+            from: None,
+            query: &m,
+            candidates: &candidates,
+        };
+        assert_eq!(p.select(&ctx, &mut rng), vec![NodeId(10)]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Superpeer search (Yang & Garcia-Molina — ICDE'03).
+//!
+//! The §II "impose structure" baseline: leaves attach to a superpeer
+//! that indexes their shared files. A query first goes to the issuer's
+//! superpeer; if the index names a local leaf, the superpeer forwards
+//! the query straight to that leaf (the cost-equivalent of answering
+//! from the index); otherwise it floods the query across the superpeer
+//! core, where each superpeer again consults its own index. Leaves never
+//! relay. "Although this approach has the benefit of reducing the number
+//! of hops required for queries, it can still suffer from the effects of
+//! flooding on larger systems."
+//!
+//! Use with [`arq_overlay::generate::superpeer`] topologies and a
+//! matching TTL (core floods need `ttl ≥ core diameter + 2`).
+
+use arq_content::{Catalog, FileId, WorkloadGen};
+use arq_gnutella::policy::{ForwardCtx, ForwardingPolicy};
+use arq_overlay::{Graph, NodeId};
+use arq_simkern::Rng64;
+use std::collections::HashMap;
+
+/// The two-tier index policy.
+#[derive(Debug)]
+pub struct SuperPeerPolicy {
+    n_super: usize,
+    /// Per-superpeer index: file → leaves of *this* superpeer sharing it.
+    index: Vec<HashMap<FileId, Vec<NodeId>>>,
+    /// Cached: how many queries were answered from a local index.
+    index_hits: u64,
+    /// How many decisions flooded the core.
+    core_floods: u64,
+}
+
+impl SuperPeerPolicy {
+    /// Creates the policy for a topology whose first `n_super` ids are
+    /// the superpeer core.
+    pub fn new(n_super: usize) -> Self {
+        assert!(n_super >= 1, "need at least one superpeer");
+        SuperPeerPolicy {
+            n_super,
+            index: Vec::new(),
+            index_hits: 0,
+            core_floods: 0,
+        }
+    }
+
+    fn is_super(&self, n: NodeId) -> bool {
+        (n.0 as usize) < self.n_super
+    }
+
+    /// Queries resolved from a superpeer's local index.
+    pub fn index_hits(&self) -> u64 {
+        self.index_hits
+    }
+
+    /// Decisions that flooded the superpeer core.
+    pub fn core_floods(&self) -> u64 {
+        self.core_floods
+    }
+
+    fn rebuild(&mut self, graph: &Graph, workload: &WorkloadGen) {
+        self.index = vec![HashMap::new(); self.n_super];
+        for sp in 0..self.n_super {
+            let sp_node = NodeId(sp as u32);
+            if !graph.is_alive(sp_node) {
+                continue;
+            }
+            for leaf in graph.live_neighbors(sp_node) {
+                if self.is_super(leaf) {
+                    continue;
+                }
+                for file in workload.library(leaf.index()).iter() {
+                    self.index[sp].entry(file).or_default().push(leaf);
+                }
+            }
+        }
+    }
+}
+
+impl ForwardingPolicy for SuperPeerPolicy {
+    fn name(&self) -> &'static str {
+        "superpeer"
+    }
+
+    fn init(&mut self, graph: &Graph, workload: &WorkloadGen, _catalog: &Catalog) {
+        self.rebuild(graph, workload);
+        // Keep a reference copy of the workload for churn rebuilds? The
+        // policy API hands us the workload only here; index rebuilds on
+        // churn reuse the stored per-leaf index instead (leaves keep
+        // their libraries while offline).
+    }
+
+    fn on_topology_change(&mut self, graph: &Graph) {
+        // Membership changed: drop index entries pointing at leaves that
+        // are no longer attached/alive. (New attachments re-register via
+        // init-time data; leaf libraries are static in our model.)
+        for sp in 0..self.n_super {
+            let sp_node = NodeId(sp as u32);
+            for leaves in self.index[sp].values_mut() {
+                leaves.retain(|&l| graph.is_alive(l) && graph.has_edge(sp_node, l));
+            }
+            self.index[sp].retain(|_, leaves| !leaves.is_empty());
+        }
+    }
+
+    fn select(&mut self, ctx: &ForwardCtx<'_>, _rng: &mut Rng64) -> Vec<NodeId> {
+        if !self.is_super(ctx.node) {
+            // Leaf: only ever talks to its superpeer(s); never relays
+            // queries that arrived from elsewhere.
+            return if ctx.from.is_none() {
+                ctx.candidates
+                    .iter()
+                    .copied()
+                    .filter(|&n| self.is_super(n))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+        }
+        // Superpeer: answer from the index when possible.
+        let local: Vec<NodeId> = self.index[ctx.node.index()]
+            .get(&ctx.query.key.file)
+            .map(|leaves| {
+                leaves
+                    .iter()
+                    .copied()
+                    .filter(|n| ctx.candidates.contains(n))
+                    .collect()
+            })
+            .unwrap_or_default();
+        if !local.is_empty() {
+            self.index_hits += 1;
+            return local;
+        }
+        // Miss: flood the core only.
+        self.core_floods += 1;
+        ctx.candidates
+            .iter()
+            .copied()
+            .filter(|&n| self.is_super(n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arq_content::{CatalogConfig, QueryKey, Topic, WorkloadConfig};
+    use arq_gnutella::QueryMsg;
+    use arq_overlay::generate;
+    use arq_trace::record::Guid;
+
+    fn setup() -> (Graph, WorkloadGen, Catalog, SuperPeerPolicy, Vec<NodeId>) {
+        let mut rng = Rng64::seed_from(5);
+        let catalog = Catalog::generate(
+            CatalogConfig {
+                topics: 4,
+                files_per_topic: 30,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let (graph, assignment) = generate::superpeer(30, 4, 2, &mut rng);
+        let workload = WorkloadGen::generate(
+            30,
+            &catalog,
+            WorkloadConfig {
+                files_per_node: 10,
+                free_rider_fraction: 0.0,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let mut policy = SuperPeerPolicy::new(4);
+        policy.init(&graph, &workload, &catalog);
+        (graph, workload, catalog, policy, assignment)
+    }
+
+    fn msg(file: FileId) -> QueryMsg {
+        QueryMsg {
+            guid: Guid(1),
+            key: QueryKey {
+                file,
+                topic: Topic(0),
+            },
+            ttl: 6,
+            hops: 0,
+        }
+    }
+
+    #[test]
+    fn leaf_issues_to_its_superpeer_only() {
+        let (graph, _, _, mut policy, assignment) = setup();
+        let mut rng = Rng64::seed_from(1);
+        let leaf = NodeId(10);
+        let candidates: Vec<NodeId> = graph.live_neighbors(leaf).collect();
+        let m = msg(FileId(0));
+        let ctx = ForwardCtx {
+            node: leaf,
+            from: None,
+            query: &m,
+            candidates: &candidates,
+        };
+        assert_eq!(policy.select(&ctx, &mut rng), vec![assignment[10]]);
+    }
+
+    #[test]
+    fn leaf_never_relays() {
+        let (_, _, _, mut policy, assignment) = setup();
+        let mut rng = Rng64::seed_from(2);
+        let m = msg(FileId(0));
+        let ctx = ForwardCtx {
+            node: NodeId(10),
+            from: Some(assignment[10]),
+            query: &m,
+            candidates: &[],
+        };
+        assert!(policy.select(&ctx, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn superpeer_answers_from_index() {
+        let (graph, workload, _, mut policy, assignment) = setup();
+        let mut rng = Rng64::seed_from(3);
+        // Find a leaf and one of its files.
+        let leaf = NodeId(12);
+        let sp = assignment[12];
+        let file = workload
+            .library(12)
+            .iter()
+            .next()
+            .expect("leaf shares something");
+        let candidates: Vec<NodeId> = graph.live_neighbors(sp).collect();
+        let m = msg(file);
+        let ctx = ForwardCtx {
+            node: sp,
+            from: Some(candidates[0]),
+            query: &m,
+            candidates: &candidates,
+        };
+        let sel = policy.select(&ctx, &mut rng);
+        assert!(sel.contains(&leaf) || !sel.is_empty());
+        // All selected nodes are leaves holding the file under this sp.
+        for n in &sel {
+            assert!(!policy.is_super(*n), "index hit forwarded into the core");
+            assert!(workload.library(n.index()).contains(file));
+        }
+        assert_eq!(policy.index_hits(), 1);
+    }
+
+    #[test]
+    fn superpeer_floods_core_on_miss() {
+        let (graph, workload, catalog, mut policy, _) = setup();
+        let mut rng = Rng64::seed_from(4);
+        // A file nobody under superpeer 0 shares: search the catalog.
+        let missing = (0..catalog.len() as u32)
+            .map(FileId)
+            .find(|f| {
+                graph
+                    .live_neighbors(NodeId(0))
+                    .filter(|n| n.0 >= 4)
+                    .all(|n| !workload.library(n.index()).contains(*f))
+            })
+            .expect("some file is absent locally");
+        let candidates: Vec<NodeId> = graph.live_neighbors(NodeId(0)).collect();
+        let m = msg(missing);
+        let ctx = ForwardCtx {
+            node: NodeId(0),
+            from: None,
+            query: &m,
+            candidates: &candidates,
+        };
+        let sel = policy.select(&ctx, &mut rng);
+        assert!(!sel.is_empty(), "core flood selected nobody");
+        assert!(sel.iter().all(|n| n.0 < 4), "flooded to leaves");
+        assert_eq!(policy.core_floods(), 1);
+    }
+
+    #[test]
+    fn topology_change_drops_departed_leaves() {
+        let (mut graph, workload, _, mut policy, assignment) = setup();
+        let mut rng = Rng64::seed_from(6);
+        let leaf = NodeId(15);
+        let sp = assignment[15];
+        let file = workload.library(15).iter().next().unwrap();
+        graph.depart(leaf);
+        policy.on_topology_change(&graph);
+        let candidates: Vec<NodeId> = graph.live_neighbors(sp).collect();
+        let m = msg(file);
+        let ctx = ForwardCtx {
+            node: sp,
+            from: None,
+            query: &m,
+            candidates: &candidates,
+        };
+        let sel = policy.select(&ctx, &mut rng);
+        assert!(!sel.contains(&leaf), "departed leaf still indexed");
+    }
+}

@@ -1,0 +1,38 @@
+//! Apriori vs FP-Growth on synthetic transaction databases.
+
+use arq::assoc::{apriori::apriori, eclat::eclat, fpgrowth::fpgrowth, ItemId, TransactionDb};
+use arq::simkern::Rng64;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn random_db(items: u64, transactions: usize, len: usize, seed: u64) -> TransactionDb {
+    let mut rng = Rng64::seed_from(seed);
+    let mut db = TransactionDb::new();
+    for _ in 0..transactions {
+        let t: Vec<ItemId> = (0..len).map(|_| ItemId(rng.below(items) as u32)).collect();
+        db.add(t);
+    }
+    db
+}
+
+fn bench_mining(c: &mut Criterion) {
+    // Dense: few items, long transactions — FP-Growth's home turf.
+    let dense = random_db(24, 400, 8, 1);
+    // Sparse: many items, short transactions.
+    let sparse = random_db(400, 400, 4, 2);
+    let mut group = c.benchmark_group("frequent_itemsets");
+    for (name, db, min_count) in [("dense", &dense, 8u64), ("sparse", &sparse, 3u64)] {
+        group.bench_with_input(BenchmarkId::new("apriori", name), db, |b, db| {
+            b.iter(|| apriori(db, min_count));
+        });
+        group.bench_with_input(BenchmarkId::new("fpgrowth", name), db, |b, db| {
+            b.iter(|| fpgrowth(db, min_count));
+        });
+        group.bench_with_input(BenchmarkId::new("eclat", name), db, |b, db| {
+            b.iter(|| eclat(db, min_count));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Rendering and persistence of experiment reports.
+
+use crate::experiments::ExperimentReport;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders the full `EXPERIMENTS.md` document.
+pub fn render_markdown(reports: &[ExperimentReport], header: &str) -> String {
+    let mut out = String::new();
+    out.push_str(header);
+    for r in reports {
+        let _ = writeln!(out, "\n## {} — {}\n", r.id, r.title);
+        let _ = writeln!(out, "**Paper:** {}\n", r.paper_claim);
+        let _ = writeln!(out, "| metric | measured |");
+        let _ = writeln!(out, "|---|---|");
+        for (k, v) in &r.rows {
+            let _ = writeln!(out, "| {k} | {v} |");
+        }
+        for chart in &r.charts {
+            let _ = writeln!(out, "\n```text\n{chart}```");
+        }
+    }
+    out
+}
+
+/// Persists one report's raw series as JSON under `dir`.
+pub fn save_json(dir: &Path, report: &ExperimentReport) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", report.id.to_lowercase()));
+    let doc = serde_json::json!({
+        "id": report.id,
+        "title": report.title,
+        "paper_claim": report.paper_claim,
+        "rows": report.rows,
+        "series": report.series,
+    });
+    std::fs::write(path, serde_json::to_string_pretty(&doc)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ExperimentReport {
+        ExperimentReport {
+            id: "E0".into(),
+            title: "smoke".into(),
+            paper_claim: "n/a".into(),
+            rows: vec![("metric".into(), "1.0".into())],
+            charts: vec!["<chart>\n".into()],
+            series: serde_json::json!({"x": [1, 2, 3]}),
+        }
+    }
+
+    #[test]
+    fn markdown_contains_all_parts() {
+        let md = render_markdown(&[report()], "# Header\n");
+        assert!(md.starts_with("# Header"));
+        assert!(md.contains("## E0 — smoke"));
+        assert!(md.contains("| metric | 1.0 |"));
+        assert!(md.contains("<chart>"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join("arq-report-test");
+        save_json(&dir, &report()).unwrap();
+        let text = std::fs::read_to_string(dir.join("e0.json")).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(doc["id"], "E0");
+        assert_eq!(doc["series"]["x"][2], 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

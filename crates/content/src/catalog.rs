@@ -1,0 +1,254 @@
+//! The shared-content catalog.
+//!
+//! The universe of files that can be shared and queried for. Each file
+//! belongs to exactly one [`Topic`] (interest group — e.g. a music genre)
+//! and carries a small set of keyword ids used when rendering query
+//! strings. Within a topic, files are ranked by popularity and drawn
+//! Zipf-distributed by both the sharing and the querying side, which is
+//! what makes some files replicated at many peers and others rare.
+
+use crate::zipf::Zipf;
+use arq_simkern::Rng64;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An interest group / content category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Topic(pub u16);
+
+/// A shared file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topic{}", self.0)
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file{}", self.0)
+    }
+}
+
+/// Catalog shape parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CatalogConfig {
+    /// Number of topics (interest groups).
+    pub topics: usize,
+    /// Files per topic.
+    pub files_per_topic: usize,
+    /// Zipf exponent for within-topic file popularity.
+    pub file_alpha: f64,
+    /// Zipf exponent for topic popularity (how skewed interests are across
+    /// the population).
+    pub topic_alpha: f64,
+    /// Keywords attached to each file.
+    pub keywords_per_file: usize,
+    /// Size of the keyword vocabulary.
+    pub vocabulary: usize,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            topics: 20,
+            files_per_topic: 500,
+            file_alpha: 0.9,
+            topic_alpha: 0.6,
+            keywords_per_file: 3,
+            vocabulary: 4_000,
+        }
+    }
+}
+
+/// Metadata of one catalog file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FileMeta {
+    /// The file's interest group.
+    pub topic: Topic,
+    /// Popularity rank within the topic (0 = most popular).
+    pub rank: u32,
+    /// Keyword ids for query-string rendering.
+    pub keywords: Vec<u32>,
+}
+
+/// The content universe.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    cfg: CatalogConfig,
+    files: Vec<FileMeta>,
+    file_pop: Zipf,
+    topic_pop: Zipf,
+}
+
+impl Catalog {
+    /// Generates a catalog. Keyword assignment is the only random part;
+    /// topic/rank structure is deterministic from the config.
+    pub fn generate(cfg: CatalogConfig, rng: &mut Rng64) -> Self {
+        assert!(cfg.topics > 0 && cfg.files_per_topic > 0, "empty catalog");
+        let mut files = Vec::with_capacity(cfg.topics * cfg.files_per_topic);
+        for t in 0..cfg.topics {
+            for r in 0..cfg.files_per_topic {
+                let keywords = (0..cfg.keywords_per_file)
+                    .map(|_| rng.below(cfg.vocabulary as u64) as u32)
+                    .collect();
+                files.push(FileMeta {
+                    topic: Topic(t as u16),
+                    rank: r as u32,
+                    keywords,
+                });
+            }
+        }
+        let file_pop = Zipf::new(cfg.files_per_topic, cfg.file_alpha);
+        let topic_pop = Zipf::new(cfg.topics, cfg.topic_alpha);
+        Catalog {
+            cfg,
+            files,
+            file_pop,
+            topic_pop,
+        }
+    }
+
+    /// The config the catalog was generated from.
+    pub fn config(&self) -> &CatalogConfig {
+        &self.cfg
+    }
+
+    /// Total number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the catalog is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Number of topics.
+    pub fn topic_count(&self) -> usize {
+        self.cfg.topics
+    }
+
+    /// Metadata for a file.
+    pub fn meta(&self, f: FileId) -> &FileMeta {
+        &self.files[f.0 as usize]
+    }
+
+    /// The file with a given topic and within-topic rank.
+    pub fn file_at(&self, topic: Topic, rank: u32) -> FileId {
+        assert!((topic.0 as usize) < self.cfg.topics, "topic out of range");
+        assert!(
+            (rank as usize) < self.cfg.files_per_topic,
+            "rank out of range"
+        );
+        FileId(topic.0 as u32 * self.cfg.files_per_topic as u32 + rank)
+    }
+
+    /// Draws a file within `topic` according to file popularity.
+    pub fn sample_file(&self, topic: Topic, rng: &mut Rng64) -> FileId {
+        let rank = self.file_pop.sample(rng) as u32;
+        self.file_at(topic, rank)
+    }
+
+    /// Draws a topic according to global topic popularity.
+    pub fn sample_topic(&self, rng: &mut Rng64) -> Topic {
+        Topic(self.topic_pop.sample(rng) as u16)
+    }
+
+    /// Renders a human-readable query string for a file — the analogue of
+    /// the paper's recorded query strings.
+    pub fn query_string(&self, f: FileId) -> String {
+        let m = self.meta(f);
+        let words: Vec<String> = m.keywords.iter().map(|k| format!("kw{k}")).collect();
+        format!("{} {} r{}", m.topic, words.join(" "), m.rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Catalog {
+        let cfg = CatalogConfig {
+            topics: 3,
+            files_per_topic: 10,
+            file_alpha: 1.0,
+            topic_alpha: 0.5,
+            keywords_per_file: 2,
+            vocabulary: 50,
+        };
+        Catalog::generate(cfg, &mut Rng64::seed_from(1))
+    }
+
+    #[test]
+    fn layout_is_dense_and_indexed() {
+        let c = small();
+        assert_eq!(c.len(), 30);
+        assert_eq!(c.topic_count(), 3);
+        for t in 0..3u16 {
+            for r in 0..10u32 {
+                let f = c.file_at(Topic(t), r);
+                let m = c.meta(f);
+                assert_eq!(m.topic, Topic(t));
+                assert_eq!(m.rank, r);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn file_at_checks_bounds() {
+        small().file_at(Topic(0), 10);
+    }
+
+    #[test]
+    fn sample_file_stays_in_topic_and_prefers_low_ranks() {
+        let c = small();
+        let mut rng = Rng64::seed_from(2);
+        let mut rank_counts = vec![0u32; 10];
+        for _ in 0..20_000 {
+            let f = c.sample_file(Topic(1), &mut rng);
+            let m = c.meta(f);
+            assert_eq!(m.topic, Topic(1));
+            rank_counts[m.rank as usize] += 1;
+        }
+        assert!(
+            rank_counts[0] > rank_counts[9] * 3,
+            "popularity skew missing: {rank_counts:?}"
+        );
+    }
+
+    #[test]
+    fn keywords_within_vocabulary() {
+        let c = small();
+        for i in 0..c.len() {
+            let m = c.meta(FileId(i as u32));
+            assert_eq!(m.keywords.len(), 2);
+            assert!(m.keywords.iter().all(|&k| k < 50));
+        }
+    }
+
+    #[test]
+    fn query_string_is_stable_and_descriptive() {
+        let c = small();
+        let f = c.file_at(Topic(2), 7);
+        let s = c.query_string(f);
+        assert!(s.starts_with("topic2 "));
+        assert!(s.ends_with(" r7"));
+        assert_eq!(s, c.query_string(f));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small();
+        let b = small();
+        for i in 0..a.len() {
+            assert_eq!(
+                a.meta(FileId(i as u32)).keywords,
+                b.meta(FileId(i as u32)).keywords
+            );
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Per-node interest profiles.
+//!
+//! A node's interests are a small weighted set of topics. Queries are
+//! drawn from the profile, and the node's shared library is drawn from the
+//! same profile — that correlation *is* interest-based locality.
+//!
+//! Profiles can **drift**: at each drift step, with some probability one
+//! interest is replaced by a fresh topic. Drift plus churn together
+//! produce the slow decay of rule-set quality the paper measures.
+
+use crate::catalog::Topic;
+use arq_simkern::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// A weighted set of topics a node cares about.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterestProfile {
+    topics: Vec<Topic>,
+    weights: Vec<f64>, // normalized, same length as topics
+}
+
+impl InterestProfile {
+    /// Samples a profile of `k` distinct topics from `topic_count`,
+    /// weighted by a geometric decay (the first interest dominates).
+    pub fn sample(topic_count: usize, k: usize, rng: &mut Rng64) -> Self {
+        assert!(topic_count > 0, "no topics to choose from");
+        let k = k.clamp(1, topic_count);
+        let picks = rng.sample_indices(topic_count, k);
+        let topics: Vec<Topic> = picks.into_iter().map(|t| Topic(t as u16)).collect();
+        let mut weights: Vec<f64> = (0..k).map(|i| 0.6f64.powi(i as i32)).collect();
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        InterestProfile { topics, weights }
+    }
+
+    /// Builds a profile from explicit topic/weight pairs (weights need not
+    /// be normalized).
+    pub fn from_pairs(pairs: &[(Topic, f64)]) -> Self {
+        assert!(!pairs.is_empty(), "empty interest profile");
+        let total: f64 = pairs.iter().map(|(_, w)| *w).sum();
+        assert!(total > 0.0, "profile weights sum to zero");
+        InterestProfile {
+            topics: pairs.iter().map(|(t, _)| *t).collect(),
+            weights: pairs.iter().map(|(_, w)| w / total).collect(),
+        }
+    }
+
+    /// The topics in the profile.
+    pub fn topics(&self) -> &[Topic] {
+        &self.topics
+    }
+
+    /// The normalized weight of topic at position `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Draws a topic according to the profile weights.
+    pub fn sample_topic(&self, rng: &mut Rng64) -> Topic {
+        let u = rng.f64();
+        let mut acc = 0.0;
+        for (t, w) in self.topics.iter().zip(&self.weights) {
+            acc += w;
+            if u < acc {
+                return *t;
+            }
+        }
+        *self.topics.last().unwrap()
+    }
+
+    /// One drift step: with probability `p`, replaces the least-weighted
+    /// interest with a uniformly random topic not already present. Returns
+    /// whether a replacement happened.
+    pub fn drift(&mut self, topic_count: usize, p: f64, rng: &mut Rng64) -> bool {
+        if !rng.chance(p) {
+            return false;
+        }
+        if topic_count <= self.topics.len() {
+            return false; // nothing new to drift to
+        }
+        let mut guard = 0;
+        let new_topic = loop {
+            let cand = Topic(rng.below(topic_count as u64) as u16);
+            if !self.topics.contains(&cand) {
+                break cand;
+            }
+            guard += 1;
+            if guard > 10_000 {
+                return false;
+            }
+        };
+        // Replace the entry with the smallest weight.
+        let (idx, _) = self
+            .weights
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        self.topics[idx] = new_topic;
+        true
+    }
+
+    /// Jaccard overlap of the topic sets of two profiles — used by tests
+    /// and by the interest-shortcut baseline to gauge peer similarity.
+    pub fn overlap(&self, other: &InterestProfile) -> f64 {
+        let a: std::collections::BTreeSet<Topic> = self.topics.iter().copied().collect();
+        let b: std::collections::BTreeSet<Topic> = other.topics.iter().copied().collect();
+        let inter = a.intersection(&b).count();
+        let union = a.union(&b).count();
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_gives_distinct_topics_and_normalized_weights() {
+        let mut rng = Rng64::seed_from(1);
+        let p = InterestProfile::sample(50, 4, &mut rng);
+        assert_eq!(p.topics().len(), 4);
+        let set: std::collections::HashSet<_> = p.topics().iter().collect();
+        assert_eq!(set.len(), 4);
+        let total: f64 = (0..4).map(|i| p.weight(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(p.weight(0) > p.weight(3), "first interest must dominate");
+    }
+
+    #[test]
+    fn k_clamped_to_topic_count() {
+        let mut rng = Rng64::seed_from(2);
+        let p = InterestProfile::sample(2, 10, &mut rng);
+        assert_eq!(p.topics().len(), 2);
+    }
+
+    #[test]
+    fn sample_topic_respects_weights() {
+        let p = InterestProfile::from_pairs(&[(Topic(0), 3.0), (Topic(1), 1.0)]);
+        let mut rng = Rng64::seed_from(3);
+        let n = 100_000;
+        let zero = (0..n)
+            .filter(|_| p.sample_topic(&mut rng) == Topic(0))
+            .count();
+        let frac = zero as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn drift_replaces_weakest_interest() {
+        let mut p = InterestProfile::from_pairs(&[(Topic(0), 0.7), (Topic(1), 0.3)]);
+        let mut rng = Rng64::seed_from(4);
+        let changed = p.drift(100, 1.0, &mut rng);
+        assert!(changed);
+        assert_eq!(p.topics()[0], Topic(0), "dominant interest replaced");
+        assert_ne!(p.topics()[1], Topic(1), "weakest interest not replaced");
+    }
+
+    #[test]
+    fn drift_never_fires_with_p_zero() {
+        let mut p = InterestProfile::from_pairs(&[(Topic(0), 1.0)]);
+        let mut rng = Rng64::seed_from(5);
+        for _ in 0..100 {
+            assert!(!p.drift(10, 0.0, &mut rng));
+        }
+        assert_eq!(p.topics(), &[Topic(0)]);
+    }
+
+    #[test]
+    fn drift_noop_when_no_new_topics() {
+        let mut p = InterestProfile::from_pairs(&[(Topic(0), 0.5), (Topic(1), 0.5)]);
+        let mut rng = Rng64::seed_from(6);
+        assert!(!p.drift(2, 1.0, &mut rng));
+    }
+
+    #[test]
+    fn overlap_bounds_and_identity() {
+        let a = InterestProfile::from_pairs(&[(Topic(0), 1.0), (Topic(1), 1.0)]);
+        let b = InterestProfile::from_pairs(&[(Topic(1), 1.0), (Topic(2), 1.0)]);
+        let c = InterestProfile::from_pairs(&[(Topic(7), 1.0)]);
+        assert!((a.overlap(&a) - 1.0).abs() < 1e-12);
+        assert!((a.overlap(&b) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.overlap(&c), 0.0);
+    }
+}

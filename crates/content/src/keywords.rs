@@ -1,0 +1,292 @@
+//! Keyword-subset search.
+//!
+//! §II of the paper faults structured (DHT) systems because "queries
+//! must match the content exactly, so wild card searches or searches
+//! which contain a permutation of the words will not find the
+//! corresponding content". Unstructured search matches on *keywords*: a
+//! query is a bag of words, and a file matches when the query's words
+//! are a subset of the file's words, in any order. This module provides
+//! that matching model:
+//!
+//! * [`KeywordQuery`] — a normalized (sorted, deduplicated) word set;
+//! * [`KeywordIndex`] — a per-node inverted index from word to posting
+//!   list, answering subset queries by merge-intersection, the structure
+//!   a real servent keeps over its shared folder.
+
+use crate::catalog::{Catalog, FileId};
+use serde::{Deserialize, Serialize};
+
+/// A keyword query: a normalized set of word ids.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KeywordQuery {
+    words: Vec<u32>,
+}
+
+impl KeywordQuery {
+    /// Builds a query from word ids; order and duplicates are
+    /// irrelevant (the permutation-insensitivity the paper highlights).
+    pub fn new(words: impl IntoIterator<Item = u32>) -> Self {
+        let mut words: Vec<u32> = words.into_iter().collect();
+        words.sort_unstable();
+        words.dedup();
+        KeywordQuery { words }
+    }
+
+    /// The full keyword set identifying file `f` in `catalog`.
+    pub fn for_file(catalog: &Catalog, f: FileId) -> Self {
+        KeywordQuery::new(catalog.meta(f).keywords.iter().copied())
+    }
+
+    /// A partial query: the first `n` keywords of file `f` (what a user
+    /// remembering only part of a title would type).
+    pub fn partial(catalog: &Catalog, f: FileId, n: usize) -> Self {
+        KeywordQuery::new(catalog.meta(f).keywords.iter().copied().take(n))
+    }
+
+    /// The normalized word ids.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Whether the query has no words (matches everything).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Whether every query word appears in `file_words` (which must be
+    /// sorted).
+    pub fn matches_sorted(&self, file_words: &[u32]) -> bool {
+        debug_assert!(file_words.windows(2).all(|w| w[0] <= w[1]));
+        let mut i = 0;
+        'outer: for &w in &self.words {
+            while i < file_words.len() {
+                match file_words[i].cmp(&w) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Equal => {
+                        i += 1;
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+/// An inverted keyword index over a set of files.
+#[derive(Debug, Clone, Default)]
+pub struct KeywordIndex {
+    /// (word, sorted posting list) pairs, sorted by word.
+    postings: Vec<(u32, Vec<FileId>)>,
+    /// Per-file sorted keyword sets, for verification.
+    files: Vec<(FileId, Vec<u32>)>,
+}
+
+impl KeywordIndex {
+    /// Builds an index over `files` using `catalog` metadata.
+    pub fn build(catalog: &Catalog, files: impl IntoIterator<Item = FileId>) -> Self {
+        let mut files: Vec<(FileId, Vec<u32>)> = files
+            .into_iter()
+            .map(|f| {
+                let mut words = catalog.meta(f).keywords.clone();
+                words.sort_unstable();
+                words.dedup();
+                (f, words)
+            })
+            .collect();
+        files.sort_by_key(|(f, _)| *f);
+        files.dedup_by_key(|(f, _)| *f);
+        let mut postings: std::collections::BTreeMap<u32, Vec<FileId>> = Default::default();
+        for (f, words) in &files {
+            for &w in words {
+                postings.entry(w).or_default().push(*f);
+            }
+        }
+        KeywordIndex {
+            postings: postings.into_iter().collect(),
+            files,
+        }
+    }
+
+    /// Number of indexed files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Number of distinct indexed words.
+    pub fn vocabulary(&self) -> usize {
+        self.postings.len()
+    }
+
+    fn posting(&self, word: u32) -> Option<&[FileId]> {
+        self.postings
+            .binary_search_by_key(&word, |(w, _)| *w)
+            .ok()
+            .map(|i| self.postings[i].1.as_slice())
+    }
+
+    /// All indexed files whose keyword set contains every query word,
+    /// by posting-list intersection. An empty query matches every file.
+    pub fn search(&self, query: &KeywordQuery) -> Vec<FileId> {
+        if query.is_empty() {
+            return self.files.iter().map(|(f, _)| *f).collect();
+        }
+        // Intersect postings, rarest first for early exit.
+        let mut lists: Vec<&[FileId]> = Vec::with_capacity(query.words().len());
+        for &w in query.words() {
+            match self.posting(w) {
+                Some(p) => lists.push(p),
+                None => return Vec::new(),
+            }
+        }
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<FileId> = lists[0].to_vec();
+        for l in &lists[1..] {
+            result.retain(|f| l.binary_search(f).is_ok());
+            if result.is_empty() {
+                break;
+            }
+        }
+        result
+    }
+
+    /// Whether any indexed file matches the query.
+    pub fn any_match(&self, query: &KeywordQuery) -> bool {
+        !self.search(query).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{CatalogConfig, Topic};
+    use arq_simkern::Rng64;
+
+    fn catalog() -> Catalog {
+        Catalog::generate(
+            CatalogConfig {
+                topics: 4,
+                files_per_topic: 25,
+                keywords_per_file: 4,
+                vocabulary: 40,
+                ..Default::default()
+            },
+            &mut Rng64::seed_from(8),
+        )
+    }
+
+    #[test]
+    fn query_normalization_is_permutation_insensitive() {
+        let a = KeywordQuery::new([3, 1, 2]);
+        let b = KeywordQuery::new([2, 3, 1, 1]);
+        assert_eq!(a, b);
+        assert_eq!(a.words(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn full_query_finds_its_file() {
+        let cat = catalog();
+        let idx = KeywordIndex::build(&cat, (0..cat.len() as u32).map(FileId));
+        for t in 0..4u16 {
+            let f = cat.file_at(Topic(t), 3);
+            let q = KeywordQuery::for_file(&cat, f);
+            let hits = idx.search(&q);
+            assert!(hits.contains(&f), "file {f} not found by its own keywords");
+        }
+    }
+
+    #[test]
+    fn partial_query_matches_supersets() {
+        let cat = catalog();
+        let idx = KeywordIndex::build(&cat, (0..cat.len() as u32).map(FileId));
+        let f = cat.file_at(Topic(1), 0);
+        let partial = KeywordQuery::partial(&cat, f, 2);
+        let full = KeywordQuery::for_file(&cat, f);
+        let partial_hits = idx.search(&partial);
+        let full_hits = idx.search(&full);
+        assert!(partial_hits.contains(&f));
+        // Fewer constraints -> at least as many results.
+        assert!(partial_hits.len() >= full_hits.len());
+        for h in &full_hits {
+            assert!(
+                partial_hits.contains(h),
+                "partial query lost a full-query hit"
+            );
+        }
+    }
+
+    #[test]
+    fn search_results_actually_match() {
+        let cat = catalog();
+        let idx = KeywordIndex::build(&cat, (0..cat.len() as u32).map(FileId));
+        let q = KeywordQuery::new([5, 11]);
+        for f in idx.search(&q) {
+            let mut words = cat.meta(f).keywords.clone();
+            words.sort_unstable();
+            assert!(q.matches_sorted(&words), "non-matching file {f} returned");
+        }
+        // And nothing matching was missed (brute-force cross-check).
+        let brute: Vec<FileId> = (0..cat.len() as u32)
+            .map(FileId)
+            .filter(|&f| {
+                let mut words = cat.meta(f).keywords.clone();
+                words.sort_unstable();
+                q.matches_sorted(&words)
+            })
+            .collect();
+        let mut found = idx.search(&q);
+        found.sort_unstable();
+        assert_eq!(found, brute);
+    }
+
+    #[test]
+    fn unknown_word_matches_nothing() {
+        let cat = catalog();
+        let idx = KeywordIndex::build(&cat, (0..10u32).map(FileId));
+        let q = KeywordQuery::new([9_999]);
+        assert!(idx.search(&q).is_empty());
+        assert!(!idx.any_match(&q));
+    }
+
+    #[test]
+    fn empty_query_matches_everything() {
+        let cat = catalog();
+        let idx = KeywordIndex::build(&cat, (0..10u32).map(FileId));
+        let q = KeywordQuery::new([]);
+        assert_eq!(idx.search(&q).len(), 10);
+    }
+
+    #[test]
+    fn empty_index() {
+        let cat = catalog();
+        let idx = KeywordIndex::build(&cat, std::iter::empty());
+        assert!(idx.is_empty());
+        assert_eq!(idx.vocabulary(), 0);
+        assert!(idx.search(&KeywordQuery::new([1])).is_empty());
+    }
+
+    #[test]
+    fn duplicate_files_indexed_once() {
+        let cat = catalog();
+        let idx = KeywordIndex::build(&cat, [FileId(1), FileId(1), FileId(2)]);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn matches_sorted_edge_cases() {
+        let q = KeywordQuery::new([2, 4]);
+        assert!(q.matches_sorted(&[1, 2, 3, 4]));
+        assert!(!q.matches_sorted(&[2, 3]));
+        assert!(!q.matches_sorted(&[]));
+        let empty = KeywordQuery::new([]);
+        assert!(empty.matches_sorted(&[]));
+        assert!(empty.matches_sorted(&[7]));
+    }
+}

@@ -1,0 +1,122 @@
+//! Zipf-distributed sampling.
+//!
+//! P2P measurement studies consistently find Zipf-like popularity for both
+//! query terms and shared files. This sampler precomputes the cumulative
+//! distribution once and draws in O(log n) by binary search, which is fast
+//! enough to sit inside the per-query hot loop.
+
+use arq_simkern::Rng64;
+
+/// A Zipf(α) distribution over ranks `0..n` (rank 0 most popular).
+///
+/// P(rank = k) ∝ 1 / (k+1)^α. With α = 0 this degenerates to the uniform
+/// distribution, which tests exploit.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with exponent `alpha >= 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf over empty support");
+        assert!(alpha >= 0.0, "negative Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank.
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
+        let u = rng.f64();
+        // partition_point returns the first index with cdf > u.
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_decreases() {
+        let z = Zipf::new(100, 0.9);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..100 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12, "pmf not monotone at {k}");
+        }
+    }
+
+    #[test]
+    fn sampling_matches_pmf() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = Rng64::seed_from(77);
+        let n = 200_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let got = f64::from(count) / n as f64;
+            let want = z.pmf(k);
+            assert!(
+                (got - want).abs() < 0.01,
+                "rank {k}: got {got:.4}, want {want:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_support() {
+        let z = Zipf::new(1, 1.2);
+        let mut rng = Rng64::seed_from(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert!((z.pmf(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support")]
+    fn rejects_empty_support() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the content/workload model.
+
+use arq_content::{Catalog, CatalogConfig, InterestProfile, Library, Topic, Zipf};
+use arq_simkern::Rng64;
+use proptest::prelude::*;
+
+proptest! {
+    /// Zipf pmf sums to 1 and is non-increasing in rank for any support
+    /// and exponent.
+    #[test]
+    fn zipf_pmf_is_a_distribution(n in 1usize..500, alpha in 0.0f64..3.0) {
+        let z = Zipf::new(n, alpha);
+        let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "pmf sums to {total}");
+        for k in 1..n {
+            prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+        }
+    }
+
+    /// Samples always fall inside the support.
+    #[test]
+    fn zipf_samples_in_support(seed in any::<u64>(), n in 1usize..200, alpha in 0.0f64..2.5) {
+        let z = Zipf::new(n, alpha);
+        let mut rng = Rng64::seed_from(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Interest profiles have distinct topics and normalized weights.
+    #[test]
+    fn profile_weights_normalized(seed in any::<u64>(), topics in 1usize..100, k in 1usize..10) {
+        let mut rng = Rng64::seed_from(seed);
+        let p = InterestProfile::sample(topics, k, &mut rng);
+        let kk = k.min(topics);
+        prop_assert_eq!(p.topics().len(), kk);
+        let set: std::collections::HashSet<_> = p.topics().iter().collect();
+        prop_assert_eq!(set.len(), kk);
+        let total: f64 = (0..kk).map(|i| p.weight(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Sampling returns only profile topics.
+        for _ in 0..50 {
+            let t = p.sample_topic(&mut rng);
+            prop_assert!(p.topics().contains(&t));
+        }
+    }
+
+    /// Drift keeps the profile size constant and its topics within the
+    /// universe.
+    #[test]
+    fn drift_preserves_shape(seed in any::<u64>(), topics in 2usize..50, steps in 0usize..100) {
+        let mut rng = Rng64::seed_from(seed);
+        let mut p = InterestProfile::sample(topics, 3, &mut rng);
+        let size = p.topics().len();
+        for _ in 0..steps {
+            p.drift(topics, 0.5, &mut rng);
+            prop_assert_eq!(p.topics().len(), size);
+            let set: std::collections::HashSet<_> = p.topics().iter().collect();
+            prop_assert_eq!(set.len(), size, "drift produced duplicate topics");
+            prop_assert!(p.topics().iter().all(|t| (t.0 as usize) < topics));
+        }
+    }
+
+    /// Overlap is symmetric and bounded.
+    #[test]
+    fn overlap_symmetric_bounded(seed in any::<u64>()) {
+        let mut rng = Rng64::seed_from(seed);
+        let a = InterestProfile::sample(30, 4, &mut rng);
+        let b = InterestProfile::sample(30, 4, &mut rng);
+        let ab = a.overlap(&b);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((ab - b.overlap(&a)).abs() < 1e-12);
+    }
+
+    /// Libraries sampled from a single-topic profile contain only that
+    /// topic's files, and queries the library answers really match.
+    #[test]
+    fn library_respects_profile(seed in any::<u64>(), topic in 0u16..8, n in 1usize..40) {
+        let mut rng = Rng64::seed_from(seed);
+        let catalog = Catalog::generate(
+            CatalogConfig { topics: 8, files_per_topic: 50, ..Default::default() },
+            &mut rng,
+        );
+        let profile = InterestProfile::from_pairs(&[(Topic(topic), 1.0)]);
+        let lib = Library::sample(&catalog, &profile, n, &mut rng);
+        prop_assert!(!lib.is_empty());
+        prop_assert!(lib.len() <= n);
+        for f in lib.iter() {
+            prop_assert_eq!(catalog.meta(f).topic, Topic(topic));
+        }
+    }
+}

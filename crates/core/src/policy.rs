@@ -1,0 +1,432 @@
+//! Online association-rule routing for the live simulator.
+//!
+//! This is the deployment the paper argues for: each node watches the
+//! hits flowing back through it and learns `{upstream} → {via}`
+//! associations; future queries arriving from a known upstream are
+//! forwarded only to the top-k learned consequents instead of being
+//! flooded. When no rule applies — unknown upstream, no consequent among
+//! the live candidates — the node **falls back to flooding**, so "the
+//! quality of the search results should not decrease dramatically"
+//! (§III-B). Queries issued by the node itself are keyed by the node's
+//! own identity, extending interest-based locality to the first hop.
+//!
+//! Rule maintenance uses decayed counts (the §VI streaming maintainer),
+//! the variant with the strongest measured coverage/success; the decay
+//! half-life and support threshold are configurable.
+
+use arq_assoc::DecayedPairCounts;
+use arq_gnutella::policy::{ForwardCtx, ForwardingPolicy};
+use arq_overlay::NodeId;
+use arq_simkern::Rng64;
+use arq_trace::record::HostId;
+
+fn host(n: NodeId) -> HostId {
+    HostId(n.0)
+}
+
+/// Tunables for [`AssocPolicy`].
+#[derive(Debug, Clone)]
+pub struct AssocPolicyConfig {
+    /// Forward to at most this many rule consequents.
+    pub k: usize,
+    /// Decayed support an association needs before it routes queries.
+    pub min_support: f64,
+    /// Half-life of association counts, in observed replies per node.
+    pub half_life: f64,
+    /// When `true`, pick the k consequents with the highest support; when
+    /// `false`, pick k uniformly at random among qualifying consequents
+    /// (the paper's §III-B.1 alternative, ablated in E10).
+    pub top_by_support: bool,
+}
+
+impl Default for AssocPolicyConfig {
+    fn default() -> Self {
+        AssocPolicyConfig {
+            k: 2,
+            min_support: 3.0,
+            half_life: 500.0,
+            top_by_support: true,
+        }
+    }
+}
+
+/// Per-node learned rules + rule-or-flood forwarding.
+#[derive(Debug)]
+pub struct AssocPolicy {
+    cfg: AssocPolicyConfig,
+    /// One learner per node, created lazily.
+    learners: Vec<Option<DecayedPairCounts>>,
+    rule_forwards: u64,
+    flood_fallbacks: u64,
+}
+
+impl AssocPolicy {
+    /// Creates the policy.
+    pub fn new(cfg: AssocPolicyConfig) -> Self {
+        assert!(cfg.k >= 1, "k must be at least 1");
+        assert!(cfg.min_support >= 1.0, "min_support below one observation");
+        AssocPolicy {
+            cfg,
+            learners: Vec::new(),
+            rule_forwards: 0,
+            flood_fallbacks: 0,
+        }
+    }
+
+    /// Decisions routed by rules so far.
+    pub fn rule_forwards(&self) -> u64 {
+        self.rule_forwards
+    }
+
+    /// Decisions that fell back to flooding.
+    pub fn flood_fallbacks(&self) -> u64 {
+        self.flood_fallbacks
+    }
+
+    /// Fraction of forwarding decisions that used rules.
+    pub fn rule_usage(&self) -> f64 {
+        let total = self.rule_forwards + self.flood_fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.rule_forwards as f64 / total as f64
+        }
+    }
+
+    fn learner(&mut self, node: NodeId) -> &mut DecayedPairCounts {
+        let idx = node.index();
+        if idx >= self.learners.len() {
+            self.learners.resize_with(idx + 1, || None);
+        }
+        self.learners[idx].get_or_insert_with(|| DecayedPairCounts::new(self.cfg.half_life))
+    }
+
+    /// Warm-starts one node's learner from an offline-mined rule set —
+    /// the deployment path the paper implies: a node that has been
+    /// collecting traffic can mine its trace and install the rules
+    /// before routing its first query, instead of flooding through a
+    /// cold-start phase. Each rule's support count is injected as that
+    /// many observations.
+    pub fn seed_rules(&mut self, node: NodeId, rules: &arq_assoc::RuleSet) {
+        let learner = self.learner(node);
+        for (src, via, count) in rules.iter() {
+            for _ in 0..count {
+                learner.observe(src, via);
+            }
+        }
+    }
+
+    /// The learned consequents for (`node`, antecedent) — exposed for the
+    /// topology-adaptation extension and diagnostics.
+    pub fn consequents(&self, node: NodeId, antecedent: HostId, k: usize) -> Vec<HostId> {
+        match self.learners.get(node.index()).and_then(Option::as_ref) {
+            Some(counts) => counts.top_k(antecedent, k, self.cfg.min_support),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl ForwardingPolicy for AssocPolicy {
+    fn name(&self) -> &'static str {
+        "assoc"
+    }
+
+    fn select(&mut self, ctx: &ForwardCtx<'_>, rng: &mut Rng64) -> Vec<NodeId> {
+        let antecedent = host(ctx.from.unwrap_or(ctx.node));
+        let k = self.cfg.k;
+        let min_support = self.cfg.min_support;
+        let top_by_support = self.cfg.top_by_support;
+        let learner = self.learner(ctx.node);
+        // Qualifying consequents that are actually live candidates.
+        let qualifying: Vec<NodeId> = if top_by_support {
+            learner
+                .top_k(antecedent, usize::MAX, min_support)
+                .into_iter()
+                .map(|h| NodeId(h.0))
+                .filter(|n| ctx.candidates.contains(n))
+                .take(k)
+                .collect()
+        } else {
+            let mut all: Vec<NodeId> = learner
+                .top_k(antecedent, usize::MAX, min_support)
+                .into_iter()
+                .map(|h| NodeId(h.0))
+                .filter(|n| ctx.candidates.contains(n))
+                .collect();
+            rng.shuffle(&mut all);
+            all.truncate(k);
+            all
+        };
+        if qualifying.is_empty() {
+            // No applicable rule: revert to flooding.
+            self.flood_fallbacks += 1;
+            ctx.candidates.to_vec()
+        } else {
+            self.rule_forwards += 1;
+            qualifying
+        }
+    }
+
+    fn on_reply(
+        &mut self,
+        node: NodeId,
+        upstream: Option<NodeId>,
+        via: NodeId,
+        _key: arq_content::QueryKey,
+    ) {
+        let antecedent = host(upstream.unwrap_or(node));
+        self.learner(node).observe(antecedent, host(via));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arq_content::{FileId, QueryKey, Topic};
+    use arq_gnutella::QueryMsg;
+    use arq_trace::record::Guid;
+
+    fn key() -> QueryKey {
+        QueryKey {
+            file: FileId(0),
+            topic: Topic(0),
+        }
+    }
+
+    fn msg() -> QueryMsg {
+        QueryMsg {
+            guid: Guid(1),
+            key: key(),
+            ttl: 4,
+            hops: 1,
+        }
+    }
+
+    fn teach(p: &mut AssocPolicy, node: NodeId, upstream: NodeId, via: NodeId, times: usize) {
+        for _ in 0..times {
+            p.on_reply(node, Some(upstream), via, key());
+        }
+    }
+
+    #[test]
+    fn floods_until_rules_form_then_routes() {
+        let mut p = AssocPolicy::new(AssocPolicyConfig {
+            k: 1,
+            min_support: 3.0,
+            half_life: 1e9,
+            top_by_support: true,
+        });
+        let mut rng = Rng64::seed_from(1);
+        let candidates = vec![NodeId(10), NodeId(11), NodeId(12)];
+        let m = msg();
+        let ctx = ForwardCtx {
+            node: NodeId(5),
+            from: Some(NodeId(2)),
+            query: &m,
+            candidates: &candidates,
+        };
+        // Cold: flood.
+        assert_eq!(p.select(&ctx, &mut rng), candidates);
+        assert_eq!(p.flood_fallbacks(), 1);
+        // Two observations: still below support 3 -> flood.
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(11), 2);
+        assert_eq!(p.select(&ctx, &mut rng).len(), 3);
+        // Third observation crosses the threshold -> rule routing.
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(11), 1);
+        assert_eq!(p.select(&ctx, &mut rng), vec![NodeId(11)]);
+        assert_eq!(p.rule_forwards(), 1);
+        assert!(p.rule_usage() > 0.0);
+    }
+
+    #[test]
+    fn rules_are_per_node_and_per_antecedent() {
+        let mut p = AssocPolicy::new(AssocPolicyConfig {
+            k: 1,
+            min_support: 2.0,
+            half_life: 1e9,
+            top_by_support: true,
+        });
+        let mut rng = Rng64::seed_from(2);
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(11), 5);
+        let candidates = vec![NodeId(10), NodeId(11)];
+        let m = msg();
+        // Same node, different upstream: no rule.
+        let ctx = ForwardCtx {
+            node: NodeId(5),
+            from: Some(NodeId(3)),
+            query: &m,
+            candidates: &candidates,
+        };
+        assert_eq!(p.select(&ctx, &mut rng).len(), 2);
+        // Different node, same upstream: no rule.
+        let ctx = ForwardCtx {
+            node: NodeId(6),
+            from: Some(NodeId(2)),
+            query: &m,
+            candidates: &candidates,
+        };
+        assert_eq!(p.select(&ctx, &mut rng).len(), 2);
+    }
+
+    #[test]
+    fn self_issued_queries_use_own_identity() {
+        let mut p = AssocPolicy::new(AssocPolicyConfig {
+            k: 1,
+            min_support: 2.0,
+            half_life: 1e9,
+            top_by_support: true,
+        });
+        let mut rng = Rng64::seed_from(3);
+        // Hits for queries the node issued itself (upstream None).
+        for _ in 0..3 {
+            p.on_reply(NodeId(5), None, NodeId(12), key());
+        }
+        let candidates = vec![NodeId(10), NodeId(12)];
+        let m = msg();
+        let ctx = ForwardCtx {
+            node: NodeId(5),
+            from: None,
+            query: &m,
+            candidates: &candidates,
+        };
+        assert_eq!(p.select(&ctx, &mut rng), vec![NodeId(12)]);
+    }
+
+    #[test]
+    fn dead_consequents_fall_back_to_flooding() {
+        let mut p = AssocPolicy::new(AssocPolicyConfig::default());
+        let mut rng = Rng64::seed_from(4);
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(11), 10);
+        // Node 11 is no longer a live candidate.
+        let candidates = vec![NodeId(10), NodeId(12)];
+        let m = msg();
+        let ctx = ForwardCtx {
+            node: NodeId(5),
+            from: Some(NodeId(2)),
+            query: &m,
+            candidates: &candidates,
+        };
+        assert_eq!(p.select(&ctx, &mut rng), candidates);
+    }
+
+    #[test]
+    fn top_by_support_prefers_strongest_route() {
+        let mut p = AssocPolicy::new(AssocPolicyConfig {
+            k: 1,
+            min_support: 2.0,
+            half_life: 1e9,
+            top_by_support: true,
+        });
+        let mut rng = Rng64::seed_from(5);
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(10), 3);
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(11), 8);
+        let candidates = vec![NodeId(10), NodeId(11)];
+        let m = msg();
+        let ctx = ForwardCtx {
+            node: NodeId(5),
+            from: Some(NodeId(2)),
+            query: &m,
+            candidates: &candidates,
+        };
+        assert_eq!(p.select(&ctx, &mut rng), vec![NodeId(11)]);
+    }
+
+    #[test]
+    fn random_k_selects_among_qualifying() {
+        let mut p = AssocPolicy::new(AssocPolicyConfig {
+            k: 1,
+            min_support: 2.0,
+            half_life: 1e9,
+            top_by_support: false,
+        });
+        let mut rng = Rng64::seed_from(6);
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(10), 5);
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(11), 5);
+        let candidates = vec![NodeId(10), NodeId(11)];
+        let m = msg();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let ctx = ForwardCtx {
+                node: NodeId(5),
+                from: Some(NodeId(2)),
+                query: &m,
+                candidates: &candidates,
+            };
+            let sel = p.select(&ctx, &mut rng);
+            assert_eq!(sel.len(), 1);
+            seen.insert(sel[0]);
+        }
+        assert_eq!(seen.len(), 2, "random-k never varied its choice");
+    }
+
+    #[test]
+    fn consequents_accessor() {
+        let mut p = AssocPolicy::new(AssocPolicyConfig::default());
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(11), 10);
+        assert_eq!(p.consequents(NodeId(5), HostId(2), 3), vec![HostId(11)]);
+        assert!(p.consequents(NodeId(9), HostId(2), 3).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod seed_tests {
+    use super::*;
+    use arq_assoc::mine_pairs;
+    use arq_content::{FileId, QueryKey, Topic};
+    use arq_gnutella::policy::{ForwardCtx, ForwardingPolicy};
+    use arq_gnutella::QueryMsg;
+    use arq_simkern::SimTime;
+    use arq_trace::record::{Guid, PairRecord, QueryId};
+
+    #[test]
+    fn seeded_policy_routes_from_the_first_query() {
+        // Mine rules offline from a collected trace…
+        let trace: Vec<PairRecord> = (0..20)
+            .map(|i| PairRecord {
+                time: SimTime::from_ticks(i),
+                guid: Guid(u128::from(i)),
+                src: HostId(2),
+                via: HostId(11),
+                responder: HostId(0),
+                query: QueryId(0),
+            })
+            .collect();
+        let rules = mine_pairs(&trace, 5);
+        // …and install them on node 5.
+        let mut p = AssocPolicy::new(AssocPolicyConfig {
+            k: 1,
+            min_support: 5.0,
+            half_life: 1e9,
+            top_by_support: true,
+        });
+        p.seed_rules(NodeId(5), &rules);
+        let candidates = vec![NodeId(10), NodeId(11)];
+        let m = QueryMsg {
+            guid: Guid(99),
+            key: QueryKey {
+                file: FileId(0),
+                topic: Topic(0),
+            },
+            ttl: 4,
+            hops: 1,
+        };
+        let ctx = ForwardCtx {
+            node: NodeId(5),
+            from: Some(NodeId(2)),
+            query: &m,
+            candidates: &candidates,
+        };
+        let mut rng = Rng64::seed_from(1);
+        // No cold-start flood: the very first decision uses the rule.
+        assert_eq!(p.select(&ctx, &mut rng), vec![NodeId(11)]);
+        assert_eq!(p.flood_fallbacks(), 0);
+        // Other nodes remain cold.
+        let ctx = ForwardCtx {
+            node: NodeId(6),
+            from: Some(NodeId(2)),
+            query: &m,
+            candidates: &candidates,
+        };
+        assert_eq!(p.select(&ctx, &mut rng).len(), 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Rule-set maintenance strategies (§III-B.3 – §III-B.6 and §VI).
+//!
+//! All strategies share one lifecycle, mirroring the paper's pseudocode:
+//! the first block of the trace is a pure **warm-up** (it trains the
+//! initial rule set and produces no measurement), then every subsequent
+//! block is a **trial**: the current rule set is tested against the block
+//! (`RULESET-TEST`, producing coverage and success), after which the
+//! strategy may regenerate its rule set — each strategy differs only in
+//! *when* it does so.
+
+mod adaptive;
+mod incremental;
+mod lazy;
+mod lossy_stream;
+mod sliding;
+mod static_ruleset;
+mod topic;
+
+pub use adaptive::AdaptiveSlidingWindow;
+pub use incremental::IncrementalStream;
+pub use lazy::LazySlidingWindow;
+pub use lossy_stream::LossyStream;
+pub use sliding::SlidingWindow;
+pub use static_ruleset::StaticRuleset;
+pub use topic::TopicSlidingWindow;
+
+use arq_assoc::measures::BlockMeasures;
+use arq_trace::record::PairRecord;
+
+/// The outcome of one trial (one test block).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trial {
+    /// Coverage/success counts against the block.
+    pub measures: BlockMeasures,
+    /// Whether the strategy rebuilt its rule set after this trial.
+    pub regenerated: bool,
+    /// Rules held while testing this block.
+    pub rule_count: usize,
+}
+
+/// A rule-set maintenance strategy under trace-driven evaluation.
+pub trait Strategy {
+    /// Label for experiment tables.
+    fn name(&self) -> String;
+
+    /// Consumes the warm-up block (trains the initial rule set).
+    fn warm_up(&mut self, block: &[PairRecord]);
+
+    /// Tests the current rule set against `block`, then applies the
+    /// strategy's update policy.
+    fn test_and_update(&mut self, block: &[PairRecord]) -> Trial;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use arq_simkern::SimTime;
+    use arq_trace::record::{Guid, HostId, PairRecord, QueryId};
+
+    /// A block where sources `0..n_src` are answered via `base + src`
+    /// (one deterministic route per source), `size` pairs round-robin.
+    pub fn routed_block(start_guid: u128, size: usize, n_src: u32, base: u32) -> Vec<PairRecord> {
+        (0..size)
+            .map(|i| {
+                let src = (i as u32) % n_src;
+                PairRecord {
+                    time: SimTime::from_ticks(start_guid as u64 + i as u64),
+                    guid: Guid(start_guid + i as u128),
+                    src: HostId(src),
+                    via: HostId(base + src),
+                    responder: HostId(10_000),
+                    query: QueryId(0),
+                }
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,139 @@
+//! Adaptive threshold calculators.
+//!
+//! The Adaptive Sliding Window regenerates its rule set when measured
+//! coverage or success falls below a threshold, and "in order to capture
+//! the dynamic nature of the network, these thresholds are constantly
+//! updated so that threshold values remain reasonable for all states of
+//! the network. One simple method would be to use the mean of the
+//! previous N values" (§III-B.6). [`ThresholdCalc`] implements exactly
+//! that (with the paper's 0.7 as the value used before any history
+//! exists); an EWMA variant is provided for the ablation benches.
+
+use arq_simkern::Ewma;
+use std::collections::VecDeque;
+
+/// A self-adjusting threshold over a stream of measured values.
+#[derive(Debug, Clone)]
+pub enum ThresholdCalc {
+    /// Mean of the last `n` observed values (the paper's method).
+    MeanOfLast {
+        /// Window length N.
+        n: usize,
+        /// Value returned before any observation arrives.
+        initial: f64,
+        /// Recent observations.
+        window: VecDeque<f64>,
+    },
+    /// Exponentially weighted moving average (ablation variant).
+    Ewma {
+        /// Value returned before any observation arrives.
+        initial: f64,
+        /// The smoother.
+        ewma: Ewma,
+    },
+}
+
+impl ThresholdCalc {
+    /// The paper's calculator: mean of the previous `n` values, starting
+    /// from `initial` (0.7 in the paper's experiments).
+    pub fn mean_of_last(n: usize, initial: f64) -> Self {
+        assert!(n >= 1, "window must hold at least one value");
+        ThresholdCalc::MeanOfLast {
+            n,
+            initial,
+            window: VecDeque::with_capacity(n),
+        }
+    }
+
+    /// EWMA calculator with smoothing factor `alpha`.
+    pub fn ewma(alpha: f64, initial: f64) -> Self {
+        ThresholdCalc::Ewma {
+            initial,
+            ewma: Ewma::new(alpha),
+        }
+    }
+
+    /// The current threshold (before seeing the next measurement).
+    pub fn value(&self) -> f64 {
+        match self {
+            ThresholdCalc::MeanOfLast {
+                initial, window, ..
+            } => {
+                if window.is_empty() {
+                    *initial
+                } else {
+                    window.iter().sum::<f64>() / window.len() as f64
+                }
+            }
+            ThresholdCalc::Ewma { initial, ewma } => ewma.value().unwrap_or(*initial),
+        }
+    }
+
+    /// Feeds the measurement taken this trial.
+    pub fn push(&mut self, measured: f64) {
+        match self {
+            ThresholdCalc::MeanOfLast { n, window, .. } => {
+                if window.len() == *n {
+                    window.pop_front();
+                }
+                window.push_back(measured);
+            }
+            ThresholdCalc::Ewma { ewma, .. } => {
+                ewma.push(measured);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_initial() {
+        let t = ThresholdCalc::mean_of_last(10, 0.7);
+        assert_eq!(t.value(), 0.7);
+        let e = ThresholdCalc::ewma(0.3, 0.7);
+        assert_eq!(e.value(), 0.7);
+    }
+
+    #[test]
+    fn mean_of_last_tracks_window() {
+        let mut t = ThresholdCalc::mean_of_last(3, 0.7);
+        t.push(0.9);
+        assert!((t.value() - 0.9).abs() < 1e-12);
+        t.push(0.6);
+        t.push(0.6);
+        assert!((t.value() - 0.7).abs() < 1e-12);
+        t.push(0.3); // evicts 0.9
+        assert!((t.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_windows_react_slower() {
+        let mut short = ThresholdCalc::mean_of_last(2, 0.7);
+        let mut long = ThresholdCalc::mean_of_last(50, 0.7);
+        for _ in 0..10 {
+            short.push(0.9);
+            long.push(0.9);
+        }
+        short.push(0.1);
+        long.push(0.1);
+        assert!(short.value() < long.value());
+    }
+
+    #[test]
+    fn ewma_variant_converges() {
+        let mut e = ThresholdCalc::ewma(0.5, 0.7);
+        for _ in 0..30 {
+            e.push(0.4);
+        }
+        assert!((e.value() - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty_window() {
+        ThresholdCalc::mean_of_last(0, 0.7);
+    }
+}

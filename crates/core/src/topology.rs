@@ -1,0 +1,170 @@
+//! Topology adaptation from learned rules (§VI future work).
+//!
+//! "Instead of forwarding query messages to a neighbor, which will in
+//! turn forward the message on to one of its neighbors, a node could ask
+//! its neighbors to which node they would forward queries from it. Once
+//! the node has this information, it could attempt to make this third
+//! node a new neighbor, which would result in queries being forwarded in
+//! the future requiring one less hop."
+//!
+//! Implementation: node `v` holds a learned rule `{u} → {w}` (queries
+//! from neighbor `u` are routed onward to `w`). When asked, `v` tells `u`
+//! about `w`, and `u` adds the edge `u–w`, collapsing the two-hop path
+//! `u→v→w` to one hop. Experiment E11 measures the hop-count reduction.
+
+use crate::policy::AssocPolicy;
+use arq_overlay::{Graph, NodeId};
+use arq_trace::record::HostId;
+
+/// A proposed shortcut edge: `asker` should connect to `target`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shortcut {
+    /// The node gaining the edge (the rule's antecedent host).
+    pub asker: NodeId,
+    /// The new neighbor (the rule's consequent host).
+    pub target: NodeId,
+    /// The relay currently sitting between them.
+    pub via: NodeId,
+}
+
+/// Collects shortcut proposals from every node's learned rules.
+///
+/// For each relay node `v` and each of its live neighbors `u`, `v`'s top
+/// consequent `w` for antecedent `u` becomes the proposal `u → w`,
+/// skipped when it would be a self-loop or the edge already exists.
+pub fn propose_shortcuts(graph: &Graph, policy: &AssocPolicy) -> Vec<Shortcut> {
+    let mut proposals = Vec::new();
+    for v in graph.live_nodes() {
+        for u in graph.live_neighbors(v) {
+            for w_host in policy.consequents(v, HostId(u.0), 1) {
+                let w = NodeId(w_host.0);
+                if w == u || w == v {
+                    continue;
+                }
+                if !graph.is_alive(w) || graph.has_edge(u, w) {
+                    continue;
+                }
+                proposals.push(Shortcut {
+                    asker: u,
+                    target: w,
+                    via: v,
+                });
+            }
+        }
+    }
+    // Deterministic order; dedup identical (asker, target) pairs that
+    // arrived via different relays.
+    proposals.sort_by_key(|s| (s.asker, s.target, s.via));
+    proposals.dedup_by_key(|s| (s.asker, s.target));
+    proposals
+}
+
+/// Applies up to `budget` proposals (in order) as real edges. Returns how
+/// many edges were added.
+pub fn apply_shortcuts(graph: &mut Graph, proposals: &[Shortcut], budget: usize) -> usize {
+    let mut added = 0;
+    for s in proposals.iter().take(budget) {
+        if graph.is_alive(s.asker) && graph.is_alive(s.target) && graph.add_edge(s.asker, s.target)
+        {
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AssocPolicyConfig;
+    use arq_content::{FileId, QueryKey, Topic};
+    use arq_gnutella::policy::ForwardingPolicy;
+
+    fn key() -> QueryKey {
+        QueryKey {
+            file: FileId(0),
+            topic: Topic(0),
+        }
+    }
+
+    /// Path graph 0 - 1 - 2; node 1 learns {0} -> {2}.
+    fn setup() -> (Graph, AssocPolicy) {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        let mut p = AssocPolicy::new(AssocPolicyConfig {
+            k: 1,
+            min_support: 2.0,
+            half_life: 1e9,
+            top_by_support: true,
+        });
+        for _ in 0..5 {
+            p.on_reply(NodeId(1), Some(NodeId(0)), NodeId(2), key());
+        }
+        (g, p)
+    }
+
+    #[test]
+    fn proposes_the_two_hop_collapse() {
+        let (g, p) = setup();
+        let props = propose_shortcuts(&g, &p);
+        assert_eq!(
+            props,
+            vec![Shortcut {
+                asker: NodeId(0),
+                target: NodeId(2),
+                via: NodeId(1)
+            }]
+        );
+    }
+
+    #[test]
+    fn applying_shortcuts_shortens_paths() {
+        let (mut g, p) = setup();
+        let before = arq_overlay::algo::bfs_distances(&g, NodeId(0))[2];
+        assert_eq!(before, 2);
+        let props = propose_shortcuts(&g, &p);
+        assert_eq!(apply_shortcuts(&mut g, &props, 10), 1);
+        let after = arq_overlay::algo::bfs_distances(&g, NodeId(0))[2];
+        assert_eq!(after, 1);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn existing_edges_and_self_loops_not_proposed() {
+        let (mut g, p) = setup();
+        g.add_edge(NodeId(0), NodeId(2));
+        assert!(propose_shortcuts(&g, &p).is_empty());
+    }
+
+    #[test]
+    fn dead_targets_not_proposed() {
+        let (mut g, p) = setup();
+        g.depart(NodeId(2));
+        assert!(propose_shortcuts(&g, &p).is_empty());
+    }
+
+    #[test]
+    fn budget_limits_application() {
+        let mut g = Graph::new(5);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(1), NodeId(3));
+        g.add_edge(NodeId(1), NodeId(4));
+        let mut p = AssocPolicy::new(AssocPolicyConfig {
+            k: 1,
+            min_support: 2.0,
+            half_life: 1e9,
+            top_by_support: true,
+        });
+        // Node 1 learns a distinct route for each of three upstreams.
+        for _ in 0..5 {
+            p.on_reply(NodeId(1), Some(NodeId(0)), NodeId(2), key());
+            p.on_reply(NodeId(1), Some(NodeId(3)), NodeId(4), key());
+            p.on_reply(NodeId(1), Some(NodeId(4)), NodeId(0), key());
+        }
+        let props = propose_shortcuts(&g, &p);
+        assert!(props.len() >= 2);
+        let added = apply_shortcuts(&mut g, &props, 1);
+        assert_eq!(added, 1);
+    }
+}

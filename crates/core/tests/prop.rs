@@ -1,0 +1,136 @@
+//! Property-based tests for the strategies and evaluator.
+
+use arq_core::strategy::Strategy as MaintenanceStrategy;
+use arq_core::{
+    evaluate, AdaptiveSlidingWindow, IncrementalStream, LazySlidingWindow, SlidingWindow,
+    StaticRuleset, ThresholdCalc,
+};
+use arq_simkern::SimTime;
+use arq_trace::record::{Guid, HostId, PairRecord, QueryId};
+use proptest::prelude::*;
+
+/// Arbitrary multi-block pair stream over small host populations (so
+/// rules actually form).
+fn arb_stream() -> impl Strategy<Value = Vec<PairRecord>> {
+    proptest::collection::vec((0u32..6, 0u32..6), 60..400).prop_map(|hosts| {
+        hosts
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, v))| PairRecord {
+                time: SimTime::from_ticks(i as u64),
+                guid: Guid(i as u128),
+                src: HostId(s),
+                via: HostId(50 + v),
+                responder: HostId(0),
+                query: QueryId(0),
+            })
+            .collect()
+    })
+}
+
+fn all_strategies() -> Vec<Box<dyn MaintenanceStrategy>> {
+    vec![
+        Box::new(StaticRuleset::new(2)),
+        Box::new(SlidingWindow::new(2)),
+        Box::new(SlidingWindow::with_confidence(2, 0.2)),
+        Box::new(LazySlidingWindow::new(2, 3)),
+        Box::new(AdaptiveSlidingWindow::new(2, 5, 0.7)),
+        Box::new(AdaptiveSlidingWindow::with_thresholds(
+            2,
+            ThresholdCalc::ewma(0.3, 0.7),
+            ThresholdCalc::ewma(0.3, 0.7),
+        )),
+        Box::new(IncrementalStream::new(2.0, 100.0)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every strategy produces bounded measures on every trial, one trial
+    /// per non-warm-up block, with s ≤ n ≤ N = block unique queries.
+    #[test]
+    fn strategies_produce_bounded_measures(stream in arb_stream(), block in 20usize..60) {
+        prop_assume!(stream.len() / block >= 2);
+        for mut s in all_strategies() {
+            let run = evaluate(s.as_mut(), &stream, block);
+            prop_assert_eq!(run.trials, stream.len() / block - 1);
+            for (c, su) in run.coverage.ys().iter().zip(run.success.ys()) {
+                prop_assert!((0.0..=1.0).contains(c), "{} coverage {c}", run.strategy);
+                prop_assert!((0.0..=1.0).contains(su), "{} success {su}", run.strategy);
+            }
+            prop_assert!(run.regenerations <= run.trials);
+        }
+    }
+
+    /// Evaluation is a pure function of its inputs.
+    #[test]
+    fn evaluation_is_deterministic(stream in arb_stream()) {
+        let block = 40;
+        prop_assume!(stream.len() / block >= 2);
+        let a = evaluate(&mut AdaptiveSlidingWindow::new(2, 5, 0.7), &stream, block);
+        let b = evaluate(&mut AdaptiveSlidingWindow::new(2, 5, 0.7), &stream, block);
+        prop_assert_eq!(a.coverage.ys(), b.coverage.ys());
+        prop_assert_eq!(a.success.ys(), b.success.ys());
+        prop_assert_eq!(a.regenerations, b.regenerations);
+    }
+
+    /// On a perfectly stationary stream (each source has one fixed route),
+    /// every strategy except possibly the confidence-pruned one scores
+    /// perfect coverage and success on every trial.
+    #[test]
+    fn stationary_streams_are_easy(n_src in 1u32..6, blocks in 2usize..8) {
+        let block = 50usize;
+        let stream: Vec<PairRecord> = (0..blocks * block)
+            .map(|i| PairRecord {
+                time: SimTime::from_ticks(i as u64),
+                guid: Guid(i as u128),
+                src: HostId(i as u32 % n_src),
+                via: HostId(100 + i as u32 % n_src),
+                responder: HostId(0),
+                query: QueryId(0),
+            })
+            .collect();
+        for mut s in all_strategies() {
+            let run = evaluate(s.as_mut(), &stream, block);
+            prop_assert!(
+                run.avg_coverage > 0.999,
+                "{} coverage {}",
+                run.strategy,
+                run.avg_coverage
+            );
+            prop_assert!(
+                run.avg_success > 0.999,
+                "{} success {}",
+                run.strategy,
+                run.avg_success
+            );
+        }
+    }
+
+    /// Lazy with period 1 must equal sliding trial-for-trial.
+    #[test]
+    fn lazy_period_one_equals_sliding(stream in arb_stream(), block in 20usize..60) {
+        prop_assume!(stream.len() / block >= 2);
+        let a = evaluate(&mut LazySlidingWindow::new(2, 1), &stream, block);
+        let b = evaluate(&mut SlidingWindow::new(2), &stream, block);
+        prop_assert_eq!(a.coverage.ys(), b.coverage.ys());
+        prop_assert_eq!(a.success.ys(), b.success.ys());
+    }
+
+    /// Threshold calculators always return values inside the observed
+    /// range (plus the initial value before history exists).
+    #[test]
+    fn thresholds_within_observed_range(
+        values in proptest::collection::vec(0.0f64..1.0, 1..50),
+        n in 1usize..20,
+    ) {
+        let mut t = ThresholdCalc::mean_of_last(n, 0.7);
+        for &v in &values {
+            t.push(v);
+            let min = values.iter().cloned().fold(f64::MAX, f64::min);
+            let max = values.iter().cloned().fold(f64::MIN, f64::max);
+            prop_assert!(t.value() >= min - 1e-12 && t.value() <= max + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # arq-gnutella — unstructured P2P protocol simulator
+//!
+//! A discrete-event simulator of a Gnutella-style unstructured overlay:
+//! nodes issue keyword queries for files, queries are relayed hop-by-hop
+//! under a TTL, hits travel back along the reverse path, duplicate
+//! messages are suppressed by GUID, and peers churn.
+//!
+//! The piece that makes the workspace's experiments possible is the
+//! [`policy::ForwardingPolicy`] trait: every routing scheme — plain
+//! flooding, k-random walks, routing indices, interest shortcuts, and the
+//! paper's association-rule router — is a policy deciding *which subset of
+//! neighbors* receives a relayed query. Everything else (dedup, TTL,
+//! reverse-path hits, churn, metrics, trace collection) is shared
+//! infrastructure, so policy comparisons are apples-to-apples.
+//!
+//! A designated **collector node** records exactly the per-message fields
+//! the paper's modified Gnutella client captured (see
+//! [`collector::Collector`]), producing `arq-trace` records that feed the
+//! offline mining pipeline.
+
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod discovery;
+pub mod guid;
+pub mod message;
+pub mod metrics;
+pub mod node;
+pub mod policy;
+pub mod sim;
+
+pub use collector::Collector;
+pub use discovery::{ping_crawl, rewire_via_discovery, Discovery};
+pub use message::QueryMsg;
+pub use metrics::{QueryOutcome, RunMetrics};
+pub use policy::{FloodPolicy, ForwardingPolicy};
+pub use sim::{Network, SimConfig};

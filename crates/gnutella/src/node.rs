@@ -1,0 +1,135 @@
+//! Per-node protocol state.
+//!
+//! Each node remembers which GUIDs it has seen (duplicate suppression —
+//! floods revisit nodes constantly) and, for each GUID, the upstream
+//! neighbor it first heard the query from. That upstream pointer is the
+//! reverse-path routing table along which hits travel back.
+
+use arq_overlay::NodeId;
+use arq_trace::record::Guid;
+use std::collections::{HashMap, VecDeque};
+
+/// Where a query entered this node from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Upstream {
+    /// The node issued the query itself.
+    Origin,
+    /// The query arrived from this neighbor.
+    Neighbor(NodeId),
+}
+
+/// A node's message-routing memory, bounded LRU-style.
+#[derive(Debug)]
+pub struct NodeState {
+    seen: HashMap<Guid, Upstream>,
+    order: VecDeque<Guid>,
+    capacity: usize,
+}
+
+impl NodeState {
+    /// Creates state remembering at most `capacity` GUIDs.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "GUID cache needs capacity");
+        NodeState {
+            seen: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Records the first sighting of `guid`. Returns `false` (a
+    /// duplicate) if the GUID was already known — the message must then
+    /// be dropped, not relayed.
+    pub fn record(&mut self, guid: Guid, upstream: Upstream) -> bool {
+        if self.seen.contains_key(&guid) {
+            return false;
+        }
+        if self.order.len() == self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        self.seen.insert(guid, upstream);
+        self.order.push_back(guid);
+        true
+    }
+
+    /// Whether `guid` has been seen.
+    pub fn has_seen(&self, guid: Guid) -> bool {
+        self.seen.contains_key(&guid)
+    }
+
+    /// The reverse-path hop for `guid`, if still remembered.
+    pub fn upstream(&self, guid: Guid) -> Option<Upstream> {
+        self.seen.get(&guid).copied()
+    }
+
+    /// Number of remembered GUIDs.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether nothing has been seen.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Forgets everything (used when a node leaves the network: Gnutella
+    /// state does not survive a disconnect).
+    pub fn reset(&mut self) {
+        self.seen.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sighting_accepted_duplicate_rejected() {
+        let mut s = NodeState::new(8);
+        assert!(s.record(Guid(1), Upstream::Neighbor(NodeId(5))));
+        assert!(!s.record(Guid(1), Upstream::Neighbor(NodeId(6))));
+        // Upstream stays the first one.
+        assert_eq!(s.upstream(Guid(1)), Some(Upstream::Neighbor(NodeId(5))));
+    }
+
+    #[test]
+    fn origin_marker() {
+        let mut s = NodeState::new(8);
+        s.record(Guid(9), Upstream::Origin);
+        assert_eq!(s.upstream(Guid(9)), Some(Upstream::Origin));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut s = NodeState::new(3);
+        for i in 0..5u128 {
+            assert!(s.record(Guid(i), Upstream::Origin));
+        }
+        assert_eq!(s.len(), 3);
+        assert!(!s.has_seen(Guid(0)));
+        assert!(!s.has_seen(Guid(1)));
+        assert!(s.has_seen(Guid(2)));
+        assert!(s.has_seen(Guid(4)));
+        // An evicted GUID can be recorded again.
+        assert!(s.record(Guid(0), Upstream::Neighbor(NodeId(1))));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = NodeState::new(4);
+        s.record(Guid(1), Upstream::Origin);
+        s.reset();
+        assert!(s.is_empty());
+        assert!(!s.has_seen(Guid(1)));
+        assert!(s.record(Guid(1), Upstream::Origin));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        NodeState::new(0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Pluggable query-forwarding policies.
+//!
+//! Every routing scheme compared in the workspace — flooding, k-random
+//! walks, routing indices, interest shortcuts, and the paper's
+//! association-rule router — is a [`ForwardingPolicy`]: given a query
+//! arriving at a node, it picks the subset of live neighbors that should
+//! receive it. The simulator handles everything else (dedup, TTL,
+//! reverse-path hits, churn, metrics), so a one-line policy swap changes
+//! the routing scheme and nothing else.
+
+use crate::message::QueryMsg;
+use arq_content::{Catalog, WorkloadGen};
+use arq_overlay::{Graph, NodeId};
+use arq_simkern::Rng64;
+
+/// Context handed to a policy for one forwarding decision.
+#[derive(Debug)]
+pub struct ForwardCtx<'a> {
+    /// The node making the decision.
+    pub node: NodeId,
+    /// The neighbor the query arrived from (`None` at the issuer).
+    pub from: Option<NodeId>,
+    /// The query being relayed (TTL already reflects this hop).
+    pub query: &'a QueryMsg,
+    /// Live neighbors excluding `from` — the legal forwarding targets.
+    pub candidates: &'a [NodeId],
+}
+
+/// A query-forwarding strategy.
+///
+/// Implementations may keep per-node internal state keyed by
+/// [`NodeId`]; one policy instance serves the whole network.
+pub trait ForwardingPolicy {
+    /// Short label used in metrics and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Called once before the simulation starts, with the full ground
+    /// truth. Policies that build indices (routing indices, shortcuts)
+    /// hook here; reactive policies ignore it.
+    fn init(&mut self, _graph: &Graph, _workload: &WorkloadGen, _catalog: &Catalog) {}
+
+    /// Called after churn changes the topology, with the updated graph.
+    fn on_topology_change(&mut self, _graph: &Graph) {}
+
+    /// Picks which of `ctx.candidates` receive the query. Returning
+    /// candidates not in the slice is a bug and the simulator will panic.
+    fn select(&mut self, ctx: &ForwardCtx<'_>, rng: &mut Rng64) -> Vec<NodeId>;
+
+    /// Feedback: a hit travelled back through `node`, arriving from
+    /// neighbor `via`, answering a query that had reached `node` from
+    /// `upstream` (`None` when `node` issued it). `(upstream, via)` is
+    /// exactly the paper's antecedent/consequent observation; learning
+    /// policies (association rules, shortcuts) update themselves here.
+    fn on_reply(
+        &mut self,
+        _node: NodeId,
+        _upstream: Option<NodeId>,
+        _via: NodeId,
+        _key: arq_content::QueryKey,
+    ) {
+    }
+}
+
+/// Plain Gnutella flooding: forward to every candidate.
+#[derive(Debug, Default, Clone)]
+pub struct FloodPolicy;
+
+impl ForwardingPolicy for FloodPolicy {
+    fn name(&self) -> &'static str {
+        "flood"
+    }
+
+    fn select(&mut self, ctx: &ForwardCtx<'_>, _rng: &mut Rng64) -> Vec<NodeId> {
+        ctx.candidates.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arq_content::{FileId, QueryKey, Topic};
+    use arq_trace::record::Guid;
+
+    #[test]
+    fn flood_selects_everyone() {
+        let mut p = FloodPolicy;
+        let q = QueryMsg {
+            guid: Guid(1),
+            key: QueryKey {
+                file: FileId(0),
+                topic: Topic(0),
+            },
+            ttl: 4,
+            hops: 1,
+        };
+        let candidates = vec![NodeId(1), NodeId(2), NodeId(3)];
+        let ctx = ForwardCtx {
+            node: NodeId(0),
+            from: Some(NodeId(9)),
+            query: &q,
+            candidates: &candidates,
+        };
+        let mut rng = Rng64::seed_from(0);
+        assert_eq!(p.select(&ctx, &mut rng), candidates);
+        assert_eq!(p.name(), "flood");
+    }
+}

@@ -1,0 +1,837 @@
+//! The network simulator.
+//!
+//! A single-threaded, deterministic discrete-event simulation. One run
+//! wires together:
+//!
+//! * a topology from `arq-overlay` (plus optional churn);
+//! * a content catalog and per-node workload from `arq-content`;
+//! * the protocol mechanics of this crate (GUID dedup, TTL, reverse-path
+//!   hits);
+//! * a [`ForwardingPolicy`] making every relay decision;
+//! * optionally an expanding-ring reissue schedule at the querier;
+//! * optionally a [`Collector`] recording the paper's trace at one node.
+//!
+//! Determinism: all randomness flows from labelled
+//! [`arq_simkern::StreamFactory`] streams, events tie-break by insertion
+//! order, and policies receive their own RNG stream — two runs with the
+//! same [`SimConfig`] produce byte-identical results.
+
+use crate::collector::Collector;
+use crate::guid::GuidGen;
+use crate::message::{HitMsg, QueryMsg};
+use crate::metrics::{MetricsBuilder, QueryOutcome, RunMetrics};
+use crate::node::{NodeState, Upstream};
+use crate::policy::{ForwardCtx, ForwardingPolicy};
+use arq_content::{Catalog, CatalogConfig, QueryKey, WorkloadConfig, WorkloadGen};
+use arq_overlay::churn::{rewire_join, ChurnKind};
+use arq_overlay::{generate, ChurnConfig, ChurnProcess, Graph, NodeId};
+use arq_simkern::time::Duration;
+use arq_simkern::{EventQueue, Rng64, SimTime, StreamFactory};
+use arq_trace::record::Guid;
+use arq_trace::TraceDb;
+use std::collections::HashMap;
+
+/// Which random topology to build.
+#[derive(Debug, Clone)]
+pub enum Topology {
+    /// Barabási–Albert preferential attachment with `m` edges per node.
+    BarabasiAlbert {
+        /// Edges added per joining node.
+        m: usize,
+    },
+    /// Erdős–Rényi with edge probability `p`.
+    ErdosRenyi {
+        /// Edge probability.
+        p: f64,
+    },
+    /// Watts–Strogatz ring lattice (`k` per side) with rewiring `beta`.
+    WattsStrogatz {
+        /// Lattice half-degree.
+        k: usize,
+        /// Rewiring probability.
+        beta: f64,
+    },
+    /// Two-tier superpeer topology: ids `0..n_super` form the core.
+    SuperPeer {
+        /// Core size.
+        n_super: usize,
+        /// Core interconnection degree.
+        super_degree: usize,
+    },
+}
+
+/// Expanding-ring reissue schedule (Lv et al., baseline).
+#[derive(Debug, Clone)]
+pub struct RingSchedule {
+    /// Successive TTLs to try.
+    pub ttls: Vec<u32>,
+    /// How long to wait for a hit before escalating.
+    pub wait: Duration,
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of overlay nodes.
+    pub nodes: usize,
+    /// Topology generator.
+    pub topology: Topology,
+    /// Query TTL (ignored when `ring` is set).
+    pub ttl: u32,
+    /// Number of queries to issue.
+    pub queries: usize,
+    /// Mean inter-query interval (global Poisson process), in ticks.
+    pub mean_query_interval: Duration,
+    /// Per-hop latency range `[lo, hi)` in ticks.
+    pub hop_latency: (u64, u64),
+    /// Churn model; `None` freezes the topology.
+    pub churn: Option<ChurnConfig>,
+    /// Edges re-established when a node rejoins.
+    pub rejoin_degree: usize,
+    /// When set, rejoining nodes discover attachment points with a
+    /// ping crawl of this TTL from a random live bootstrap peer (instead
+    /// of wiring to uniform random peers), biasing reconnection toward
+    /// one neighborhood as real bootstrap caches do.
+    pub rejoin_via_ping: Option<u32>,
+    /// Per-node GUID cache capacity.
+    pub guid_cache: usize,
+    /// Fraction of nodes with faulty GUID generators.
+    pub faulty_fraction: f64,
+    /// Node to instrument with a trace collector.
+    pub collector: Option<NodeId>,
+    /// Content catalog shape.
+    pub catalog: CatalogConfig,
+    /// Workload shape.
+    pub workload: WorkloadConfig,
+    /// Expanding-ring schedule; `None` means single-shot queries.
+    pub ring: Option<RingSchedule>,
+    /// Probability that any transmitted message is silently lost in
+    /// flight (UDP-style failure injection; 0.0 disables).
+    pub loss_rate: f64,
+    /// When `true`, an issuer downloads the file after its first hit,
+    /// adding it to its own library — the replication feedback loop that
+    /// spreads popular content through real file-sharing networks.
+    pub download_on_hit: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A small-but-realistic default: 500-node power-law overlay, TTL 5.
+    pub fn default_with(nodes: usize, queries: usize, seed: u64) -> Self {
+        SimConfig {
+            nodes,
+            topology: Topology::BarabasiAlbert { m: 3 },
+            ttl: 5,
+            queries,
+            mean_query_interval: Duration::from_ticks(2_000),
+            hop_latency: (20, 80),
+            churn: None,
+            rejoin_degree: 3,
+            rejoin_via_ping: None,
+            guid_cache: 4_096,
+            faulty_fraction: 0.02,
+            collector: None,
+            catalog: CatalogConfig::default(),
+            workload: WorkloadConfig::default(),
+            ring: None,
+            loss_rate: 0.0,
+            download_on_hit: false,
+            seed,
+        }
+    }
+}
+
+enum Event {
+    Issue {
+        qidx: usize,
+    },
+    Query {
+        to: NodeId,
+        from: NodeId,
+        msg: QueryMsg,
+    },
+    Hit {
+        to: NodeId,
+        from: NodeId,
+        msg: HitMsg,
+    },
+    RingTimeout {
+        qidx: usize,
+        stage: usize,
+    },
+}
+
+/// Everything a finished run yields.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Aggregated traffic/search metrics.
+    pub metrics: RunMetrics,
+    /// The collector's raw trace, when a collector was configured.
+    pub trace: Option<TraceDb>,
+    /// Final simulated time.
+    pub end_time: SimTime,
+}
+
+struct LiveQuery {
+    node: NodeId,
+    key: QueryKey,
+    issued_at: SimTime,
+    outcome: QueryOutcome,
+}
+
+/// One simulation instance. Build with [`Network::new`], consume with
+/// [`Network::run`].
+pub struct Network<P: ForwardingPolicy> {
+    cfg: SimConfig,
+    graph: Graph,
+    catalog: Catalog,
+    workload: WorkloadGen,
+    policy: P,
+    states: Vec<NodeState>,
+    guid_gens: Vec<GuidGen>,
+    churn: Option<ChurnProcess>,
+    collector: Option<Collector>,
+    queue: EventQueue<Event>,
+    queries: Vec<LiveQuery>,
+    guid_to_query: HashMap<Guid, usize>,
+    issue_rng: Rng64,
+    net_rng: Rng64,
+    policy_rng: Rng64,
+}
+
+impl<P: ForwardingPolicy> Network<P> {
+    /// Builds the network, workload, and event schedule.
+    pub fn new(cfg: SimConfig, policy: P) -> Self {
+        Self::build(cfg, policy, None)
+    }
+
+    /// Like [`Network::new`] but runs on a caller-supplied overlay graph
+    /// (must have exactly `cfg.nodes` nodes). Used by the
+    /// topology-adaptation experiment to replay a workload on a rewired
+    /// overlay.
+    pub fn with_graph(cfg: SimConfig, policy: P, graph: Graph) -> Self {
+        assert_eq!(
+            graph.len(),
+            cfg.nodes,
+            "supplied graph size does not match cfg.nodes"
+        );
+        Self::build(cfg, policy, Some(graph))
+    }
+
+    fn build(cfg: SimConfig, mut policy: P, prebuilt: Option<Graph>) -> Self {
+        assert!(cfg.nodes >= 4, "network too small");
+        assert!(cfg.queries > 0, "no queries to run");
+        assert!(cfg.hop_latency.1 > cfg.hop_latency.0, "empty latency range");
+        assert!(
+            (0.0..1.0).contains(&cfg.loss_rate),
+            "loss rate must be in [0, 1)"
+        );
+        let streams = StreamFactory::new(cfg.seed);
+        let mut topo_rng = streams.stream("topology");
+        let graph = prebuilt.unwrap_or_else(|| match cfg.topology {
+            Topology::BarabasiAlbert { m } => {
+                generate::barabasi_albert(cfg.nodes, m, &mut topo_rng)
+            }
+            Topology::ErdosRenyi { p } => {
+                let mut g = generate::erdos_renyi(cfg.nodes, p, &mut topo_rng);
+                generate::ensure_connected(&mut g, &mut topo_rng);
+                g
+            }
+            Topology::WattsStrogatz { k, beta } => {
+                generate::watts_strogatz(cfg.nodes, k, beta, &mut topo_rng)
+            }
+            Topology::SuperPeer {
+                n_super,
+                super_degree,
+            } => generate::superpeer(cfg.nodes, n_super, super_degree, &mut topo_rng).0,
+        });
+        graph
+            .check_invariants()
+            .expect("generator produced a broken graph");
+
+        let mut cat_rng = streams.stream("catalog");
+        let catalog = Catalog::generate(cfg.catalog.clone(), &mut cat_rng);
+        let mut wl_rng = streams.stream("workload");
+        let workload =
+            WorkloadGen::generate(cfg.nodes, &catalog, cfg.workload.clone(), &mut wl_rng);
+
+        let mut guid_rng = streams.stream("guid");
+        let guid_gens = (0..cfg.nodes)
+            .map(|_| {
+                if guid_rng.chance(cfg.faulty_fraction) {
+                    GuidGen::faulty(4, &mut guid_rng)
+                } else {
+                    GuidGen::Proper
+                }
+            })
+            .collect();
+
+        let churn = cfg.churn.clone().map(|mut c| {
+            if let Some(col) = cfg.collector {
+                // The collector must stay online for the full capture,
+                // like the paper's instrumented client.
+                if !c.pinned.contains(&col) {
+                    c.pinned.push(col);
+                }
+            }
+            ChurnProcess::new(cfg.nodes, c, streams.stream("churn"))
+        });
+
+        let mut issue_rng = streams.stream("issue");
+        let mut queue = EventQueue::with_capacity(cfg.queries * 4);
+        let mut t = SimTime::ZERO;
+        for qidx in 0..cfg.queries {
+            let dt = issue_rng
+                .exp(cfg.mean_query_interval.ticks() as f64)
+                .max(1.0) as u64;
+            t = t.saturating_add(Duration::from_ticks(dt));
+            queue.schedule(t, Event::Issue { qidx });
+        }
+
+        policy.init(&graph, &workload, &catalog);
+
+        Network {
+            collector: cfg.collector.map(Collector::new),
+            states: (0..cfg.nodes)
+                .map(|_| NodeState::new(cfg.guid_cache))
+                .collect(),
+            guid_gens,
+            churn,
+            queue,
+            queries: Vec::with_capacity(cfg.queries),
+            guid_to_query: HashMap::with_capacity(cfg.queries * 2),
+            issue_rng,
+            net_rng: streams.stream("net"),
+            policy_rng: streams.stream("policy"),
+            graph,
+            catalog,
+            workload,
+            policy,
+            cfg,
+        }
+    }
+
+    /// Immutable access to the overlay (tests and baselines use it).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn hop_latency(&mut self) -> Duration {
+        let (lo, hi) = self.cfg.hop_latency;
+        Duration::from_ticks(lo + self.net_rng.below(hi - lo))
+    }
+
+    fn apply_churn_until(&mut self, horizon: SimTime) {
+        let Some(churn) = self.churn.as_mut() else {
+            return;
+        };
+        let mut changed = false;
+        while let Some(ev) = churn.next_before(horizon) {
+            match ev.kind {
+                ChurnKind::Leave => {
+                    self.graph.depart(ev.node);
+                    self.states[ev.node.index()].reset();
+                }
+                ChurnKind::Join => {
+                    self.graph.rejoin(ev.node);
+                    let mut wired = false;
+                    if let Some(ttl) = self.cfg.rejoin_via_ping {
+                        let live: Vec<NodeId> =
+                            self.graph.live_nodes().filter(|&n| n != ev.node).collect();
+                        if !live.is_empty() {
+                            let bootstrap = live[self.net_rng.index(live.len())];
+                            wired = !crate::discovery::rewire_via_discovery(
+                                &mut self.graph,
+                                ev.node,
+                                bootstrap,
+                                ttl,
+                                self.cfg.rejoin_degree,
+                                &mut self.net_rng,
+                            )
+                            .is_empty();
+                        }
+                    }
+                    if !wired {
+                        rewire_join(
+                            &mut self.graph,
+                            ev.node,
+                            self.cfg.rejoin_degree,
+                            &mut self.net_rng,
+                        );
+                    }
+                }
+            }
+            changed = true;
+        }
+        if changed {
+            self.policy.on_topology_change(&self.graph);
+        }
+    }
+
+    fn issue_attempt(&mut self, qidx: usize, ttl: u32, now: SimTime) {
+        let node = self.queries[qidx].node;
+        if !self.graph.is_alive(node) {
+            return; // issuer offline at reissue time
+        }
+        let key = self.queries[qidx].key;
+        let guid = self.guid_gens[node.index()].next(&mut self.net_rng);
+        self.guid_to_query.entry(guid).or_insert(qidx);
+        self.queries[qidx].outcome.attempts += 1;
+        let msg = QueryMsg {
+            guid,
+            key,
+            ttl,
+            hops: 0,
+        };
+        self.states[node.index()].record(guid, Upstream::Origin);
+        self.relay(node, None, msg, now);
+    }
+
+    /// Runs the policy at `node` and transmits the query onward.
+    fn relay(&mut self, node: NodeId, from: Option<NodeId>, msg: QueryMsg, now: SimTime) {
+        let Some(next) = msg.hop() else {
+            return;
+        };
+        let candidates: Vec<NodeId> = self
+            .graph
+            .live_neighbors(node)
+            .filter(|&n| Some(n) != from)
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let ctx = ForwardCtx {
+            node,
+            from,
+            query: &next,
+            candidates: &candidates,
+        };
+        let selected = self.policy.select(&ctx, &mut self.policy_rng);
+        for &target in &selected {
+            assert!(
+                candidates.contains(&target),
+                "policy {} selected non-candidate {target} at {node}",
+                self.policy.name()
+            );
+        }
+        for target in selected {
+            if let Some(qidx) = self.guid_to_query.get(&msg.guid) {
+                let outcome = &mut self.queries[*qidx].outcome;
+                outcome.query_messages += 1;
+                outcome.bytes += next.wire_size();
+            }
+            let at = now.saturating_add(self.hop_latency());
+            self.queue.schedule(
+                at,
+                Event::Query {
+                    to: target,
+                    from: node,
+                    msg: next,
+                },
+            );
+        }
+    }
+
+    fn send_hit(&mut self, to: NodeId, from: NodeId, msg: HitMsg, now: SimTime) {
+        if let Some(qidx) = self.guid_to_query.get(&msg.guid) {
+            let outcome = &mut self.queries[*qidx].outcome;
+            outcome.hit_messages += 1;
+            outcome.bytes += msg.wire_size();
+        }
+        let at = now.saturating_add(self.hop_latency());
+        self.queue.schedule(at, Event::Hit { to, from, msg });
+    }
+
+    fn handle_query(&mut self, to: NodeId, from: NodeId, msg: QueryMsg, now: SimTime) {
+        if self.cfg.loss_rate > 0.0 && self.net_rng.chance(self.cfg.loss_rate) {
+            return; // lost in flight
+        }
+        if !self.graph.is_alive(to) {
+            return; // delivered into the void
+        }
+        if let Some(col) = self.collector.as_mut() {
+            if col.node() == to {
+                col.on_query(now, msg.guid, from, msg.key);
+            }
+        }
+        if !self.states[to.index()].record(msg.guid, Upstream::Neighbor(from)) {
+            return; // duplicate
+        }
+        // Local match: reply, then keep relaying (Gnutella semantics).
+        if self.workload.library(to.index()).matches(msg.key) {
+            let hit = HitMsg {
+                guid: msg.guid,
+                responder: to,
+                key: msg.key,
+                query_hops: msg.hops,
+            };
+            self.route_hit_from(to, hit, now);
+        }
+        self.relay(to, Some(from), msg, now);
+    }
+
+    /// Starts or continues a hit's travel along the reverse path from
+    /// `node`.
+    fn route_hit_from(&mut self, node: NodeId, msg: HitMsg, now: SimTime) {
+        match self.states[node.index()].upstream(msg.guid) {
+            Some(Upstream::Origin) => {
+                // node is the issuer — the responder is the issuer itself
+                // only in degenerate configs; deliver.
+                self.deliver_hit(node, msg, now);
+            }
+            Some(Upstream::Neighbor(up)) if self.graph.is_alive(up) => {
+                self.send_hit(up, node, msg, now);
+            }
+            Some(Upstream::Neighbor(_)) => {
+                // Broken reverse path: hit is lost, as in the real network.
+            }
+            None => {
+                // Cache evicted or node restarted: hit is lost.
+            }
+        }
+    }
+
+    fn handle_hit(&mut self, to: NodeId, from: NodeId, msg: HitMsg, now: SimTime) {
+        if self.cfg.loss_rate > 0.0 && self.net_rng.chance(self.cfg.loss_rate) {
+            return; // lost in flight
+        }
+        if !self.graph.is_alive(to) {
+            return;
+        }
+        if let Some(col) = self.collector.as_mut() {
+            if col.node() == to {
+                col.on_reply(now, msg.guid, from, msg.responder, msg.key);
+            }
+        }
+        let upstream = match self.states[to.index()].upstream(msg.guid) {
+            Some(Upstream::Origin) => None,
+            Some(Upstream::Neighbor(n)) => Some(n),
+            None => {
+                return; // no route memory; drop
+            }
+        };
+        self.policy.on_reply(to, upstream, from, msg.key);
+        match upstream {
+            None => self.deliver_hit(to, msg, now),
+            Some(up) => {
+                if self.graph.is_alive(up) {
+                    self.send_hit(up, to, msg, now);
+                }
+            }
+        }
+    }
+
+    fn deliver_hit(&mut self, issuer: NodeId, msg: HitMsg, now: SimTime) {
+        let Some(&qidx) = self.guid_to_query.get(&msg.guid) else {
+            return;
+        };
+        let q = &mut self.queries[qidx];
+        debug_assert_eq!(q.node, issuer);
+        q.outcome.hits_delivered += 1;
+        if q.outcome.first_hit_hops.is_none() {
+            q.outcome.first_hit_hops = Some(msg.query_hops + 1);
+            q.outcome.first_hit_latency = Some(now.since(q.issued_at));
+            if self.cfg.download_on_hit {
+                // First hit: fetch the file, becoming a new replica.
+                self.workload
+                    .library_mut(issuer.index())
+                    .insert(msg.key.file);
+            }
+        }
+    }
+
+    /// Runs to completion, consuming the network.
+    pub fn run(self) -> SimResult {
+        self.run_full().0
+    }
+
+    /// Runs to completion, also returning the policy (with its learned
+    /// state) and the final overlay graph — the inputs the
+    /// topology-adaptation extension needs.
+    pub fn run_full(mut self) -> (SimResult, P, Graph) {
+        let first_ttl = self
+            .cfg
+            .ring
+            .as_ref()
+            .map(|r| *r.ttls.first().expect("empty ring schedule"))
+            .unwrap_or(self.cfg.ttl);
+        while let Some(next_time) = self.queue.peek_time() {
+            self.apply_churn_until(next_time);
+            let (now, event) = self.queue.pop().expect("peeked event vanished");
+            match event {
+                Event::Issue { qidx } => {
+                    debug_assert_eq!(qidx, self.queries.len());
+                    // Pick a live issuer; a dead one simply skips its turn
+                    // (recorded as unanswerable, zero-message query).
+                    let live: Vec<NodeId> = self.graph.live_nodes().collect();
+                    let node = if live.is_empty() {
+                        NodeId(0)
+                    } else {
+                        *self.issue_rng.pick(&live)
+                    };
+                    let key =
+                        self.workload
+                            .next_query(node.index(), &self.catalog, &mut self.issue_rng);
+                    let answerable = self
+                        .workload
+                        .holders(key)
+                        .into_iter()
+                        .any(|h| h != node.index() && self.graph.is_alive(NodeId(h as u32)));
+                    self.queries.push(LiveQuery {
+                        node,
+                        key,
+                        issued_at: now,
+                        outcome: QueryOutcome {
+                            answerable,
+                            ..QueryOutcome::default()
+                        },
+                    });
+                    if self.graph.is_alive(node) {
+                        self.issue_attempt(qidx, first_ttl, now);
+                        if let Some(ring) = self.cfg.ring.clone() {
+                            if ring.ttls.len() > 1 {
+                                self.queue.schedule(
+                                    now.saturating_add(ring.wait),
+                                    Event::RingTimeout { qidx, stage: 1 },
+                                );
+                            }
+                        }
+                    }
+                }
+                Event::Query { to, from, msg } => self.handle_query(to, from, msg, now),
+                Event::Hit { to, from, msg } => self.handle_hit(to, from, msg, now),
+                Event::RingTimeout { qidx, stage } => {
+                    let ring = self
+                        .cfg
+                        .ring
+                        .clone()
+                        .expect("ring timeout without schedule");
+                    if self.queries[qidx].outcome.hits_delivered == 0 {
+                        let ttl = ring.ttls[stage];
+                        self.issue_attempt(qidx, ttl, now);
+                        if stage + 1 < ring.ttls.len() {
+                            self.queue.schedule(
+                                now.saturating_add(ring.wait),
+                                Event::RingTimeout {
+                                    qidx,
+                                    stage: stage + 1,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        let end_time = self.queue.now();
+        let mut builder = MetricsBuilder::new();
+        for q in &self.queries {
+            builder.record(&q.outcome);
+        }
+        let result = SimResult {
+            metrics: builder.finish(self.policy.name()),
+            trace: self.collector.map(Collector::into_db),
+            end_time,
+        };
+        (result, self.policy, self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FloodPolicy;
+
+    fn tiny_cfg(seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::default_with(50, 200, seed);
+        cfg.catalog = CatalogConfig {
+            topics: 5,
+            files_per_topic: 40,
+            ..Default::default()
+        };
+        cfg.workload.files_per_node = 30;
+        cfg.workload.free_rider_fraction = 0.1;
+        cfg
+    }
+
+    #[test]
+    fn flooding_finds_most_answerable_content() {
+        let result = Network::new(tiny_cfg(1), FloodPolicy).run();
+        let m = &result.metrics;
+        assert_eq!(m.queries, 200);
+        assert!(m.answerable > 100, "workload too sparse: {}", m.answerable);
+        // TTL-5 flooding on a 50-node BA graph reaches everyone.
+        assert!(
+            m.success_rate > 0.95,
+            "flooding missed content: {}",
+            m.success_rate
+        );
+        assert!(m.query_messages > 0 && m.hit_messages > 0);
+        assert!(m.messages_per_query > 10.0, "suspiciously little traffic");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = Network::new(tiny_cfg(7), FloodPolicy).run();
+        let b = Network::new(tiny_cfg(7), FloodPolicy).run();
+        assert_eq!(a.metrics.query_messages, b.metrics.query_messages);
+        assert_eq!(a.metrics.hit_messages, b.metrics.hit_messages);
+        assert_eq!(a.metrics.answered, b.metrics.answered);
+        assert_eq!(a.end_time, b.end_time);
+        let c = Network::new(tiny_cfg(8), FloodPolicy).run();
+        assert_ne!(a.metrics.query_messages, c.metrics.query_messages);
+    }
+
+    #[test]
+    fn ttl_one_generates_single_ring_of_messages() {
+        let mut cfg = tiny_cfg(3);
+        cfg.ttl = 2; // issuer floods neighbors; they answer but relay no further
+        let result = Network::new(cfg, FloodPolicy).run();
+        let m = &result.metrics;
+        // Max messages per query = issuer degree (BA graph m=3 minimum) —
+        // mean must be far below a full flood.
+        assert!(
+            m.messages_per_query < 30.0,
+            "TTL 2 produced {} messages/query",
+            m.messages_per_query
+        );
+        assert!(m.success_rate < 0.9, "2-hop horizon cannot see everything");
+    }
+
+    #[test]
+    fn collector_records_traffic() {
+        let mut cfg = tiny_cfg(5);
+        // Instrument the highest-degree node (id 0 is in the BA seed clique).
+        cfg.collector = Some(NodeId(0));
+        let result = Network::new(cfg, FloodPolicy).run();
+        let mut db = result.trace.expect("collector configured");
+        assert!(
+            db.query_count() > 100,
+            "collector saw {} queries",
+            db.query_count()
+        );
+        assert!(db.reply_count() > 0);
+        let (_, pairs) = db.clean_and_join();
+        assert!(!pairs.is_empty());
+        // Pair sources must be neighbors, not arbitrary nodes.
+        for p in &pairs {
+            assert_ne!(p.src.0, 0, "collector recorded itself as source");
+        }
+    }
+
+    #[test]
+    fn churn_does_not_break_the_run() {
+        let mut cfg = tiny_cfg(9);
+        cfg.queries = 300;
+        cfg.churn = Some(ChurnConfig {
+            mean_session: Duration::from_ticks(100_000),
+            mean_downtime: Duration::from_ticks(50_000),
+            pinned: vec![],
+        });
+        let result = Network::new(cfg, FloodPolicy).run();
+        let m = &result.metrics;
+        assert_eq!(m.queries, 300);
+        // Churn costs some hits but the network keeps functioning.
+        assert!(
+            m.success_rate > 0.5,
+            "churn collapsed success: {}",
+            m.success_rate
+        );
+    }
+
+    #[test]
+    fn expanding_ring_uses_fewer_messages_when_content_is_near() {
+        let mut cfg = tiny_cfg(11);
+        cfg.queries = 300;
+        let flood = Network::new(cfg.clone(), FloodPolicy).run();
+        cfg.ring = Some(RingSchedule {
+            ttls: vec![2, 5],
+            wait: Duration::from_ticks(1_000),
+        });
+        let ring = Network::new(cfg, FloodPolicy).run();
+        assert!(
+            ring.metrics.messages_per_query < flood.metrics.messages_per_query,
+            "ring {} >= flood {}",
+            ring.metrics.messages_per_query,
+            flood.metrics.messages_per_query
+        );
+        // Success stays in the same ballpark because the last ring is a
+        // full flood.
+        assert!(ring.metrics.success_rate > flood.metrics.success_rate - 0.1);
+    }
+
+    #[test]
+    fn downloads_replicate_content_and_raise_answerability() {
+        let mut cfg = tiny_cfg(41);
+        cfg.queries = 1_500;
+        cfg.workload.files_per_node = 10; // sparse: replication matters
+        let without = Network::new(cfg.clone(), FloodPolicy).run().metrics;
+        cfg.download_on_hit = true;
+        let with = Network::new(cfg, FloodPolicy).run().metrics;
+        // Replication makes strictly more queries answerable over the
+        // run (popular files spread to their requesters).
+        assert!(
+            with.answerable > without.answerable,
+            "replication did not help: {} vs {}",
+            with.answerable,
+            without.answerable
+        );
+    }
+
+    #[test]
+    fn ping_based_rejoin_keeps_the_network_working() {
+        let mut cfg = tiny_cfg(31);
+        cfg.queries = 300;
+        cfg.churn = Some(ChurnConfig {
+            mean_session: Duration::from_ticks(100_000),
+            mean_downtime: Duration::from_ticks(50_000),
+            pinned: vec![],
+        });
+        cfg.rejoin_via_ping = Some(3);
+        let pinged = Network::new(cfg.clone(), FloodPolicy).run().metrics;
+        cfg.rejoin_via_ping = None;
+        let uniform = Network::new(cfg, FloodPolicy).run().metrics;
+        // Both rejoin modes must keep search functional; locality-biased
+        // rewiring should not collapse success.
+        assert!(pinged.success_rate > 0.5, "pinged {}", pinged.success_rate);
+        assert!(uniform.success_rate > 0.5);
+    }
+
+    #[test]
+    fn message_loss_degrades_search_gracefully() {
+        let clean = Network::new(tiny_cfg(21), FloodPolicy).run().metrics;
+        let mut lossy_cfg = tiny_cfg(21);
+        lossy_cfg.loss_rate = 0.30;
+        let lossy = Network::new(lossy_cfg, FloodPolicy).run().metrics;
+        // Flooding is redundant, so moderate loss costs some but not all
+        // success; it must never *help*.
+        assert!(lossy.success_rate < clean.success_rate);
+        assert!(
+            lossy.success_rate > clean.success_rate * 0.3,
+            "flooding redundancy should absorb moderate loss: {} vs {}",
+            lossy.success_rate,
+            clean.success_rate
+        );
+        // Heavy loss is devastating.
+        let mut heavy_cfg = tiny_cfg(21);
+        heavy_cfg.loss_rate = 0.90;
+        let heavy = Network::new(heavy_cfg, FloodPolicy).run().metrics;
+        assert!(heavy.success_rate < lossy.success_rate);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn rejects_total_loss() {
+        let mut cfg = tiny_cfg(1);
+        cfg.loss_rate = 1.0;
+        Network::new(cfg, FloodPolicy);
+    }
+
+    #[test]
+    #[should_panic(expected = "network too small")]
+    fn rejects_tiny_networks() {
+        let cfg = SimConfig::default_with(2, 10, 0);
+        Network::new(cfg, FloodPolicy);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the protocol simulator.
+
+use arq_content::{CatalogConfig, FileId, QueryKey, Topic};
+use arq_gnutella::guid::GuidGen;
+use arq_gnutella::node::{NodeState, Upstream};
+use arq_gnutella::sim::{Network, SimConfig, Topology};
+use arq_gnutella::{FloodPolicy, QueryMsg};
+use arq_overlay::NodeId;
+use arq_simkern::Rng64;
+use arq_trace::record::Guid;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A query relays exactly `ttl − 1` times before dying, whatever the
+    /// starting TTL.
+    #[test]
+    fn ttl_bounds_hop_chain(ttl in 0u32..50) {
+        let mut msg = QueryMsg {
+            guid: Guid(1),
+            key: QueryKey { file: FileId(0), topic: Topic(0) },
+            ttl,
+            hops: 0,
+        };
+        let mut hops = 0;
+        while let Some(next) = msg.hop() {
+            msg = next;
+            hops += 1;
+            prop_assert!(hops < 100, "runaway relay chain");
+        }
+        prop_assert_eq!(hops, ttl.saturating_sub(1));
+        prop_assert_eq!(msg.hops, ttl.saturating_sub(1));
+    }
+
+    /// The GUID cache accepts each GUID exactly once while it is
+    /// resident, and its size never exceeds the capacity.
+    #[test]
+    fn node_state_dedup_and_capacity(
+        cap in 1usize..64,
+        guids in proptest::collection::vec(0u128..40, 1..300),
+    ) {
+        let mut state = NodeState::new(cap);
+        let mut resident: std::collections::VecDeque<u128> = Default::default();
+        for g in guids {
+            let accepted = state.record(Guid(g), Upstream::Origin);
+            let was_resident = resident.contains(&g);
+            prop_assert_eq!(accepted, !was_resident, "guid {}", g);
+            if accepted {
+                if resident.len() == cap {
+                    resident.pop_front();
+                }
+                resident.push_back(g);
+            }
+            prop_assert!(state.len() <= cap);
+        }
+    }
+
+    /// Faulty GUID generators only ever emit GUIDs from their pool.
+    #[test]
+    fn faulty_guids_cycle_their_pool(seed in any::<u64>(), pool in 1usize..8, draws in 1usize..50) {
+        let mut rng = Rng64::seed_from(seed);
+        let mut gen = GuidGen::faulty(pool, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..draws {
+            seen.insert(gen.next(&mut rng));
+        }
+        prop_assert!(seen.len() <= pool);
+        prop_assert!(seen.len() <= draws);
+    }
+
+    /// Whole-simulation sanity across random small configurations:
+    /// answered ≤ answerable ≤ queries, message counts are consistent,
+    /// and everything is finite.
+    #[test]
+    fn simulation_invariants(
+        seed in any::<u64>(),
+        nodes in 10usize..60,
+        queries in 10usize..120,
+        ttl in 2u32..7,
+        loss_milli in 0u32..400,
+    ) {
+        let mut cfg = SimConfig::default_with(nodes, queries, seed);
+        cfg.ttl = ttl;
+        cfg.loss_rate = f64::from(loss_milli) / 1000.0;
+        cfg.topology = Topology::BarabasiAlbert { m: 2 };
+        cfg.catalog = CatalogConfig {
+            topics: 4,
+            files_per_topic: 30,
+            ..Default::default()
+        };
+        let m = Network::new(cfg, FloodPolicy).run().metrics;
+        prop_assert_eq!(m.queries, queries as u64);
+        prop_assert!(m.answered <= m.answerable);
+        prop_assert!(m.answerable <= m.queries);
+        prop_assert!((0.0..=1.0).contains(&m.success_rate));
+        prop_assert!(m.messages_per_query >= 0.0);
+        // A TTL-limited flood sends at most degree^ttl-ish messages; use
+        // a generous global bound to catch runaway relaying.
+        prop_assert!(
+            m.query_messages < (queries * nodes * 10) as u64,
+            "query messages exploded: {}",
+            m.query_messages
+        );
+        if let Some(h) = &m.first_hit_hops {
+            prop_assert!(h.max <= f64::from(ttl));
+        }
+    }
+
+    /// Collector output always survives the clean/join pipeline with
+    /// src/via fields inside the node id space.
+    #[test]
+    fn collector_records_are_wellformed(seed in any::<u64>()) {
+        let mut cfg = SimConfig::default_with(40, 300, seed);
+        cfg.collector = Some(NodeId(0));
+        cfg.catalog = CatalogConfig {
+            topics: 4,
+            files_per_topic: 30,
+            ..Default::default()
+        };
+        let result = Network::new(cfg, FloodPolicy).run();
+        let mut db = result.trace.unwrap();
+        let (_, pairs) = db.clean_and_join();
+        for p in &pairs {
+            prop_assert!(p.src.0 < 40);
+            prop_assert!(p.via.0 < 40);
+            prop_assert!(p.responder.0 < 40);
+        }
+    }
+}
+
+proptest! {
+    /// Ping crawls discover exactly the TTL-ball (minus the origin), in
+    /// nearest-first order, on arbitrary graphs.
+    #[test]
+    fn ping_crawl_equals_bfs_ball(
+        n in 2usize..30,
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..120),
+        ttl in 0u32..6,
+        origin in any::<u32>(),
+    ) {
+        let mut g = arq_overlay::Graph::new(n);
+        for (a, b) in edges {
+            let a = arq_overlay::NodeId(a % n as u32);
+            let b = arq_overlay::NodeId(b % n as u32);
+            if a != b {
+                g.add_edge(a, b);
+            }
+        }
+        let origin = arq_overlay::NodeId(origin % n as u32);
+        let crawl = arq_gnutella::ping_crawl(&g, origin, ttl);
+        let mut expected = arq_overlay::algo::reachable_within(&g, origin, ttl);
+        let mut found = crawl.peers.clone();
+        expected.sort_unstable();
+        found.sort_unstable();
+        prop_assert_eq!(found, expected);
+        // Nearest-first ordering.
+        let dist = arq_overlay::algo::bfs_distances(&g, origin);
+        let ds: Vec<u32> = crawl.peers.iter().map(|p| dist[p.index()]).collect();
+        prop_assert!(ds.windows(2).all(|w| w[0] <= w[1]), "not nearest-first: {ds:?}");
+    }
+}

@@ -1,0 +1,321 @@
+//! Mutable undirected overlay graph.
+//!
+//! Nodes are dense integer ids. Each node carries a liveness flag: a peer
+//! that leaves the network stays in the id space (its identity — the
+//! paper's "IP address" — persists) but takes no further part in routing
+//! until it rejoins. Adjacency is stored as sorted `Vec<NodeId>` per node:
+//! overlays are sparse (Gnutella averages 3–10 neighbors), so linear scans
+//! beat hashing while keeping iteration order deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an overlay node. Dense, stable across leave/rejoin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An undirected overlay graph with per-node liveness.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    alive: Vec<bool>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated, live nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            alive: vec![true; n],
+            edges: 0,
+        }
+    }
+
+    /// Total number of node ids (live and departed).
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of undirected edges currently present.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over live node ids.
+    pub fn live_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(move |n| self.is_alive(*n))
+    }
+
+    /// Whether `n` is currently live.
+    #[inline]
+    pub fn is_alive(&self, n: NodeId) -> bool {
+        self.alive[n.index()]
+    }
+
+    /// Adds a fresh isolated live node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.adj.len() as u32);
+        self.adj.push(Vec::new());
+        self.alive.push(true);
+        id
+    }
+
+    /// Adds the undirected edge `{a, b}`. Returns `false` (and does
+    /// nothing) if the edge already exists or `a == b`.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        if a == b || self.has_edge(a, b) {
+            return false;
+        }
+        let (ai, bi) = (a.index(), b.index());
+        assert!(
+            ai < self.adj.len() && bi < self.adj.len(),
+            "edge endpoint out of range"
+        );
+        insert_sorted(&mut self.adj[ai], b);
+        insert_sorted(&mut self.adj[bi], a);
+        self.edges += 1;
+        true
+    }
+
+    /// Removes the undirected edge `{a, b}` if present. Returns whether an
+    /// edge was removed.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        let removed = remove_sorted(&mut self.adj[a.index()], b);
+        if removed {
+            remove_sorted(&mut self.adj[b.index()], a);
+            self.edges -= 1;
+        }
+        removed
+    }
+
+    /// Whether the edge `{a, b}` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// All neighbors of `n` (live or not — callers filter by liveness when
+    /// routing).
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> &[NodeId] {
+        &self.adj[n.index()]
+    }
+
+    /// Neighbors of `n` that are currently live.
+    pub fn live_neighbors<'a>(&'a self, n: NodeId) -> impl Iterator<Item = NodeId> + 'a {
+        self.adj[n.index()]
+            .iter()
+            .copied()
+            .filter(move |m| self.is_alive(*m))
+    }
+
+    /// Degree of `n` counting all incident edges.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj[n.index()].len()
+    }
+
+    /// Marks `n` as departed and removes all its incident edges, returning
+    /// the former neighbor list. Its id remains valid.
+    pub fn depart(&mut self, n: NodeId) -> Vec<NodeId> {
+        self.alive[n.index()] = false;
+        let former = std::mem::take(&mut self.adj[n.index()]);
+        for &m in &former {
+            remove_sorted(&mut self.adj[m.index()], n);
+        }
+        self.edges -= former.len();
+        former
+    }
+
+    /// Marks `n` as live again (the caller wires its new edges).
+    pub fn rejoin(&mut self, n: NodeId) {
+        self.alive[n.index()] = true;
+    }
+
+    /// Degree histogram over live nodes: `result[d]` = number of live
+    /// nodes with degree `d`.
+    pub fn degree_distribution(&self) -> Vec<usize> {
+        let max_deg = self.live_nodes().map(|n| self.degree(n)).max().unwrap_or(0);
+        let mut hist = vec![0usize; max_deg + 1];
+        for n in self.live_nodes() {
+            hist[self.degree(n)] += 1;
+        }
+        hist
+    }
+
+    /// Mean degree over live nodes.
+    pub fn mean_degree(&self) -> f64 {
+        let live = self.live_count();
+        if live == 0 {
+            return 0.0;
+        }
+        let total: usize = self.live_nodes().map(|n| self.degree(n)).sum();
+        total as f64 / live as f64
+    }
+
+    /// Validates internal invariants (symmetry, sortedness, no self loops,
+    /// edge count). Used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut counted = 0usize;
+        for n in self.nodes() {
+            let adj = &self.adj[n.index()];
+            if adj.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("adjacency of {n} not sorted/deduped"));
+            }
+            for &m in adj {
+                if m == n {
+                    return Err(format!("self loop at {n}"));
+                }
+                if self.adj[m.index()].binary_search(&n).is_err() {
+                    return Err(format!("asymmetric edge {n}-{m}"));
+                }
+            }
+            counted += adj.len();
+        }
+        if counted != self.edges * 2 {
+            return Err(format!(
+                "edge count mismatch: counted {} half-edges, recorded {} edges",
+                counted, self.edges
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn insert_sorted(v: &mut Vec<NodeId>, x: NodeId) {
+    if let Err(pos) = v.binary_search(&x) {
+        v.insert(pos, x);
+    }
+}
+
+fn remove_sorted(v: &mut Vec<NodeId>, x: NodeId) -> bool {
+    match v.binary_search(&x) {
+        Ok(pos) => {
+            v.remove(pos);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_remove_edges() {
+        let mut g = Graph::new(4);
+        assert!(g.add_edge(NodeId(0), NodeId(1)));
+        assert!(g.add_edge(NodeId(1), NodeId(2)));
+        assert!(!g.add_edge(NodeId(0), NodeId(1)), "duplicate edge accepted");
+        assert!(!g.add_edge(NodeId(2), NodeId(2)), "self loop accepted");
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert!(g.remove_edge(NodeId(0), NodeId(1)));
+        assert!(!g.remove_edge(NodeId(0), NodeId(1)));
+        assert_eq!(g.edge_count(), 1);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn neighbors_sorted_and_symmetric() {
+        let mut g = Graph::new(5);
+        g.add_edge(NodeId(2), NodeId(4));
+        g.add_edge(NodeId(2), NodeId(0));
+        g.add_edge(NodeId(2), NodeId(3));
+        assert_eq!(g.neighbors(NodeId(2)), &[NodeId(0), NodeId(3), NodeId(4)]);
+        assert_eq!(g.degree(NodeId(2)), 3);
+        assert_eq!(g.neighbors(NodeId(4)), &[NodeId(2)]);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn depart_and_rejoin() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(1), NodeId(2));
+        let former = g.depart(NodeId(0));
+        assert_eq!(former, vec![NodeId(1), NodeId(2)]);
+        assert!(!g.is_alive(NodeId(0)));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.live_count(), 3);
+        assert_eq!(g.degree(NodeId(0)), 0);
+        g.check_invariants().unwrap();
+
+        g.rejoin(NodeId(0));
+        assert!(g.is_alive(NodeId(0)));
+        g.add_edge(NodeId(0), NodeId(3));
+        assert_eq!(g.live_count(), 4);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn live_neighbors_filter_departed() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.depart(NodeId(1));
+        // Departed node's edges are removed entirely.
+        let live: Vec<NodeId> = g.live_neighbors(NodeId(0)).collect();
+        assert_eq!(live, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn add_node_extends_id_space() {
+        let mut g = Graph::new(1);
+        let n = g.add_node();
+        assert_eq!(n, NodeId(1));
+        assert_eq!(g.len(), 2);
+        g.add_edge(NodeId(0), n);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn degree_stats() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(0), NodeId(3));
+        let hist = g.degree_distribution();
+        assert_eq!(hist, vec![0, 3, 0, 1]);
+        assert!((g.mean_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Graph::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.mean_degree(), 0.0);
+        assert_eq!(g.degree_distribution(), vec![0]);
+        g.check_invariants().unwrap();
+    }
+}

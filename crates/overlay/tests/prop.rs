@@ -1,0 +1,154 @@
+//! Property-based tests for the overlay substrate.
+
+use arq_overlay::algo::{bfs_distances, components, is_connected};
+use arq_overlay::{generate, Graph, NodeId};
+use arq_simkern::Rng64;
+use proptest::prelude::*;
+
+fn arbitrary_graph(n: usize, edges: &[(u32, u32)]) -> Graph {
+    let mut g = Graph::new(n);
+    for &(a, b) in edges {
+        let (a, b) = (a as usize % n, b as usize % n);
+        if a != b {
+            g.add_edge(NodeId(a as u32), NodeId(b as u32));
+        }
+    }
+    g
+}
+
+proptest! {
+    /// Random edge insertions/removals never violate graph invariants.
+    #[test]
+    fn graph_invariants_under_random_ops(
+        n in 2usize..40,
+        ops in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<bool>()), 0..200),
+    ) {
+        let mut g = Graph::new(n);
+        for (a, b, add) in ops {
+            let a = NodeId(a % n as u32);
+            let b = NodeId(b % n as u32);
+            if add {
+                g.add_edge(a, b);
+            } else {
+                g.remove_edge(a, b);
+            }
+        }
+        prop_assert!(g.check_invariants().is_ok());
+    }
+
+    /// BFS distances satisfy the triangle inequality along edges:
+    /// |d(u) − d(v)| ≤ 1 for every live edge {u, v} reachable from src.
+    #[test]
+    fn bfs_distances_are_lipschitz(
+        n in 2usize..30,
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..150),
+        src in any::<u32>(),
+    ) {
+        let g = arbitrary_graph(n, &edges);
+        let src = NodeId(src % n as u32);
+        let d = bfs_distances(&g, src);
+        prop_assert_eq!(d[src.index()], 0);
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                let (du, dv) = (d[u.index()], d[v.index()]);
+                if du != u32::MAX || dv != u32::MAX {
+                    prop_assert!(du != u32::MAX && dv != u32::MAX, "one endpoint unreachable");
+                    prop_assert!(du.abs_diff(dv) <= 1, "edge {u}-{v}: {du} vs {dv}");
+                }
+            }
+        }
+    }
+
+    /// Components partition the live nodes.
+    #[test]
+    fn components_partition_live_nodes(
+        n in 1usize..30,
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..100),
+        departures in proptest::collection::vec(any::<u32>(), 0..10),
+    ) {
+        let mut g = arbitrary_graph(n, &edges);
+        for d in departures {
+            g.depart(NodeId(d % n as u32));
+        }
+        let comps = components(&g);
+        let mut seen = std::collections::HashSet::new();
+        for comp in &comps {
+            for &node in comp {
+                prop_assert!(g.is_alive(node));
+                prop_assert!(seen.insert(node), "node in two components");
+            }
+        }
+        prop_assert_eq!(seen.len(), g.live_count());
+    }
+
+    /// Generators produce simple graphs; BA is additionally connected with
+    /// exactly the predicted edge count.
+    #[test]
+    fn barabasi_albert_structure(seed in any::<u64>(), n in 5usize..80, m in 1usize..4) {
+        prop_assume!(n > m + 1);
+        let g = generate::barabasi_albert(n, m, &mut Rng64::seed_from(seed));
+        prop_assert!(g.check_invariants().is_ok());
+        prop_assert!(is_connected(&g));
+        prop_assert_eq!(g.edge_count(), m * (m + 1) / 2 + (n - m - 1) * m);
+        prop_assert!(g.nodes().all(|v| g.degree(v) >= m));
+    }
+
+    /// `ensure_connected` always yields a single component.
+    #[test]
+    fn ensure_connected_connects(
+        seed in any::<u64>(),
+        n in 2usize..40,
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..40),
+    ) {
+        let mut g = arbitrary_graph(n, &edges);
+        generate::ensure_connected(&mut g, &mut Rng64::seed_from(seed));
+        prop_assert!(is_connected(&g));
+        prop_assert!(g.check_invariants().is_ok());
+    }
+
+    /// Departing and rejoining a node restores liveness and keeps
+    /// invariants; its edges are gone until rewired.
+    #[test]
+    fn depart_rejoin_cycle(
+        n in 2usize..30,
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..100),
+        victim in any::<u32>(),
+    ) {
+        let mut g = arbitrary_graph(n, &edges);
+        let v = NodeId(victim % n as u32);
+        let before_edges = g.edge_count();
+        let removed = g.depart(v);
+        prop_assert_eq!(g.edge_count(), before_edges - removed.len());
+        prop_assert!(!g.is_alive(v));
+        g.rejoin(v);
+        prop_assert!(g.is_alive(v));
+        prop_assert_eq!(g.degree(v), 0);
+        prop_assert!(g.check_invariants().is_ok());
+    }
+}
+
+proptest! {
+    /// Superpeer topologies are connected two-tier graphs: every leaf has
+    /// exactly one edge, pointing into the core.
+    #[test]
+    fn superpeer_topology_structure(
+        seed in any::<u64>(),
+        n_super in 2usize..12,
+        leaves in 1usize..60,
+        degree in 1usize..4,
+    ) {
+        prop_assume!(degree < n_super);
+        let n = n_super + leaves;
+        let (g, assignment) =
+            generate::superpeer(n, n_super, degree, &mut Rng64::seed_from(seed));
+        prop_assert!(g.check_invariants().is_ok());
+        prop_assert!(is_connected(&g));
+        prop_assert_eq!(assignment.len(), n);
+        for (leaf, &sp) in assignment.iter().enumerate().skip(n_super) {
+            let leaf_id = NodeId(leaf as u32);
+            prop_assert_eq!(g.degree(leaf_id), 1);
+            prop_assert!((sp.0 as usize) < n_super);
+            prop_assert!(g.has_edge(leaf_id, sp));
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! ASCII line charts.
+//!
+//! The experiment harness regenerates the paper's figures as text so they
+//! can live inside `EXPERIMENTS.md` and terminal output. Rendering is
+//! intentionally simple: a fixed character grid, one glyph per series,
+//! y-axis labels on the left, and a legend underneath.
+
+use crate::series::TimeSeries;
+use std::fmt::Write as _;
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 8] = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+/// Configuration for [`render`].
+#[derive(Debug, Clone)]
+pub struct ChartOptions {
+    /// Plot-area width in characters (excluding axis labels).
+    pub width: usize,
+    /// Plot-area height in characters.
+    pub height: usize,
+    /// Fixed y-range; `None` auto-scales to the data.
+    pub y_range: Option<(f64, f64)>,
+    /// Axis titles.
+    pub x_label: String,
+    /// Y-axis title.
+    pub y_label: String,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        ChartOptions {
+            width: 72,
+            height: 18,
+            y_range: None,
+            x_label: "trial".to_string(),
+            y_label: "value".to_string(),
+        }
+    }
+}
+
+/// Renders one or more series onto a character grid and returns the chart
+/// as a multi-line string.
+///
+/// Empty input (no series, or all series empty) yields a placeholder line
+/// rather than panicking, since experiments may legitimately produce no
+/// data points under extreme parameters.
+pub fn render(title: &str, series: &[&TimeSeries], opts: &ChartOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let nonempty: Vec<&&TimeSeries> = series.iter().filter(|s| !s.is_empty()).collect();
+    if nonempty.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+
+    // Determine ranges.
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in &nonempty {
+        for (x, y) in s.iter() {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+    }
+    if let Some((lo, hi)) = opts.y_range {
+        ymin = lo;
+        ymax = hi;
+    }
+    if (ymax - ymin).abs() < 1e-12 {
+        ymax = ymin + 1.0;
+    }
+    if (xmax - xmin).abs() < 1e-12 {
+        xmax = xmin + 1.0;
+    }
+
+    let w = opts.width.max(8);
+    let h = opts.height.max(4);
+    let mut grid = vec![vec![' '; w]; h];
+
+    for (si, s) in nonempty.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        let plot = s.downsample(w);
+        for (x, y) in plot.iter() {
+            let cx = (((x - xmin) / (xmax - xmin)) * (w - 1) as f64).round() as usize;
+            let yy = y.clamp(ymin, ymax);
+            let cy = (((yy - ymin) / (ymax - ymin)) * (h - 1) as f64).round() as usize;
+            let row = h - 1 - cy;
+            let cell = &mut grid[row][cx.min(w - 1)];
+            // Later series overwrite blanks but not earlier series' points,
+            // so overlapping curves stay visible.
+            if *cell == ' ' {
+                *cell = glyph;
+            }
+        }
+    }
+
+    // Y axis labels: top, middle, bottom.
+    let label_for = |row: usize| -> String {
+        let frac = (h - 1 - row) as f64 / (h - 1) as f64;
+        format!("{:>8.3}", ymin + frac * (ymax - ymin))
+    };
+    for (row, cells) in grid.iter().enumerate() {
+        let label = if row == 0 || row == h - 1 || row == h / 2 {
+            label_for(row)
+        } else {
+            " ".repeat(8)
+        };
+        let line: String = cells.iter().collect();
+        let _ = writeln!(out, "{label} |{line}");
+    }
+    let _ = writeln!(out, "{} +{}", " ".repeat(8), "-".repeat(w));
+    let _ = writeln!(
+        out,
+        "{} {:<w$}",
+        " ".repeat(8),
+        format!(
+            "{:.1}{:>pad$.1}",
+            xmin,
+            xmax,
+            pad = w.saturating_sub(format!("{xmin:.1}").len() + 1)
+        ),
+        w = w
+    );
+    let _ = writeln!(out, "          x: {}   y: {}", opts.x_label, opts.y_label);
+    for (si, s) in nonempty.iter().enumerate() {
+        let _ = writeln!(out, "          {} {}", GLYPHS[si % GLYPHS.len()], s.name);
+    }
+    out
+}
+
+/// Renders a two-column Markdown table from label/value pairs — used for
+/// the per-experiment summary rows in `EXPERIMENTS.md`.
+pub fn markdown_table(headers: (&str, &str), rows: &[(String, String)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} | {} |", headers.0, headers.1);
+    let _ = writeln!(out, "|---|---|");
+    for (k, v) in rows {
+        let _ = writeln!(out, "| {k} | {v} |");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nonempty_grid() {
+        let s = TimeSeries::from_values("rising", (0..50).map(|i| i as f64 / 50.0));
+        let opts = ChartOptions::default();
+        let text = render("Figure T", &[&s], &opts);
+        assert!(text.contains("Figure T"));
+        assert!(text.contains('*'), "glyph missing:\n{text}");
+        assert!(text.contains("rising"));
+        // One grid row per configured height; decorations carry no '|'.
+        let plot_rows = text.lines().filter(|l| l.contains('|')).count();
+        assert_eq!(plot_rows, opts.height);
+    }
+
+    #[test]
+    fn empty_series_is_placeholder() {
+        let s = TimeSeries::new("empty");
+        let text = render("Nothing", &[&s], &ChartOptions::default());
+        assert!(text.contains("(no data)"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = TimeSeries::from_values("flat", std::iter::repeat_n(0.5, 10));
+        let text = render("Flat", &[&s], &ChartOptions::default());
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn two_series_get_distinct_glyphs() {
+        let a = TimeSeries::from_values("a", (0..20).map(|i| i as f64));
+        let b = TimeSeries::from_values("b", (0..20).map(|i| (20 - i) as f64));
+        let text = render("Cross", &[&a, &b], &ChartOptions::default());
+        assert!(text.contains('*') && text.contains('+'));
+    }
+
+    #[test]
+    fn fixed_y_range_clamps() {
+        let s = TimeSeries::from_values("big", [0.0, 5.0, 10.0]);
+        let opts = ChartOptions {
+            y_range: Some((0.0, 1.0)),
+            ..Default::default()
+        };
+        let text = render("Clamped", &[&s], &opts);
+        assert!(text.contains("1.000"));
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(("metric", "value"), &[("coverage".into(), "0.80".into())]);
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.contains("| coverage | 0.80 |"));
+    }
+}

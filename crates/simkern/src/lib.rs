@@ -1,0 +1,38 @@
+//! # arq-simkern — discrete-event simulation kernel
+//!
+//! Foundation crate for the `arq` workspace. It provides the pieces every
+//! simulator and every experiment in the workspace builds on:
+//!
+//! * [`time::SimTime`] — a monotone simulated clock value;
+//! * [`queue::EventQueue`] — a binary-heap event queue with **deterministic
+//!   tie-breaking** (events scheduled at the same instant fire in insertion
+//!   order), which is what makes whole-simulation runs reproducible;
+//! * [`rng`] — self-contained SplitMix64 / Xoshiro256** generators
+//!   implementing [`rand::RngCore`], plus a [`rng::StreamFactory`] that
+//!   derives independent, stable sub-streams from one master seed;
+//! * [`stats`] — streaming statistics (Welford mean/variance, histograms,
+//!   exact quantiles, EWMA);
+//! * [`series`] — time-series containers used for per-trial coverage and
+//!   success measurements;
+//! * [`chart`] — ASCII line charts used to render the paper's figures into
+//!   `EXPERIMENTS.md`.
+//!
+//! The kernel deliberately does not prescribe an event *type*: each
+//! simulator (e.g. `arq-gnutella`) defines its own event enum and drains an
+//! `EventQueue<E>` in its own loop. This keeps the hot loop monomorphic and
+//! allocation-free.
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod queue;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::{Rng64, SplitMix64, StreamFactory};
+pub use series::TimeSeries;
+pub use stats::{Ewma, Histogram, Summary, Welford};
+pub use time::SimTime;

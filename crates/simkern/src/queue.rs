@@ -1,0 +1,229 @@
+//! Deterministic discrete-event queue.
+//!
+//! A thin wrapper over [`std::collections::BinaryHeap`] that delivers events
+//! in non-decreasing time order and breaks ties by insertion sequence
+//! number. Tie-breaking matters: two events scheduled for the same instant
+//! must always pop in the same order, or a whole-network simulation stops
+//! being reproducible across runs.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A future-event list delivering `(time, event)` pairs in deterministic
+/// simulation order.
+///
+/// ```
+/// use arq_simkern::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ticks(10), "b");
+/// q.schedule(SimTime::from_ticks(5), "a");
+/// q.schedule(SimTime::from_ticks(10), "c"); // same instant as "b"
+/// assert_eq!(q.pop(), Some((SimTime::from_ticks(5), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ticks(10), "b")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ticks(10), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock — scheduling into
+    /// the past is always a simulator bug.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "heap produced time regression");
+        self.now = entry.at;
+        self.popped += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events still pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Discards all pending events without advancing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[9u64, 3, 7, 1, 5] {
+            q.schedule(SimTime::from_ticks(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((time, ev)) = q.pop() {
+            assert_eq!(time.ticks(), ev);
+            out.push(ev);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+        assert_eq!(q.delivered(), 5);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_ticks(42), i);
+        }
+        let popped: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(popped, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_tracks_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ticks(4), ());
+        q.schedule(SimTime::from_ticks(8), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ticks(4));
+        assert_eq!(q.peek_time(), Some(SimTime::from_ticks(8)));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ticks(8));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ticks(10), ());
+        q.pop();
+        q.schedule(SimTime::from_ticks(3), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        // Events scheduled from within the drain loop (the common simulator
+        // pattern) must still come out in order.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ticks(1), 1u64);
+        let mut seen = Vec::new();
+        while let Some((t, ev)) = q.pop() {
+            seen.push(ev);
+            if ev < 5 {
+                q.schedule(SimTime::from_ticks(t.ticks() + 2), ev + 1);
+                q.schedule(SimTime::from_ticks(t.ticks() + 1), 100 + ev);
+            }
+        }
+        assert_eq!(seen, vec![1, 101, 2, 102, 3, 103, 4, 104, 5]);
+    }
+
+    #[test]
+    fn clear_keeps_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ticks(5), ());
+        q.pop();
+        q.schedule(SimTime::from_ticks(9), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::from_ticks(5));
+    }
+}

@@ -1,0 +1,223 @@
+//! Time-series containers for per-trial measurements.
+//!
+//! The paper's figures are all "measure vs. trial number" plots. A
+//! [`TimeSeries`] is an ordered list of `(x, y)` points with helpers for
+//! the reductions the experiment harness needs: means, rolling windows,
+//! down-sampling for chart rendering, and tail averages.
+
+use crate::stats::{Summary, Welford};
+use serde::{Deserialize, Serialize};
+
+/// A named, ordered sequence of `(x, y)` measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Series label (used by charts and JSON output).
+    pub name: String,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            xs: Vec::new(),
+            ys: Vec::new(),
+        }
+    }
+
+    /// Creates a series from y-values indexed 0, 1, 2, …
+    pub fn from_values(name: impl Into<String>, ys: impl IntoIterator<Item = f64>) -> Self {
+        let ys: Vec<f64> = ys.into_iter().collect();
+        let xs = (0..ys.len()).map(|i| i as f64).collect();
+        TimeSeries {
+            name: name.into(),
+            xs,
+            ys,
+        }
+    }
+
+    /// Appends a point. `x` must be non-decreasing.
+    pub fn push(&mut self, x: f64, y: f64) {
+        if let Some(&last) = self.xs.last() {
+            assert!(x >= last, "time series x must be non-decreasing");
+        }
+        self.xs.push(x);
+        self.ys.push(y);
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ys.is_empty()
+    }
+
+    /// The x-coordinates.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The y-coordinates.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Iterates over `(x, y)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.xs.iter().copied().zip(self.ys.iter().copied())
+    }
+
+    /// Mean of all y-values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let mut w = Welford::new();
+        for &y in &self.ys {
+            w.push(y);
+        }
+        w.mean()
+    }
+
+    /// Mean of the last `n` y-values.
+    pub fn tail_mean(&self, n: usize) -> f64 {
+        let start = self.ys.len().saturating_sub(n);
+        let tail = &self.ys[start..];
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+
+    /// Summary statistics of the y-values.
+    pub fn summary(&self) -> Option<Summary> {
+        Summary::of(&self.ys)
+    }
+
+    /// Centered-as-possible rolling mean with the given window size,
+    /// truncating at the edges (same-length output).
+    pub fn rolling_mean(&self, window: usize) -> TimeSeries {
+        assert!(window > 0, "window must be positive");
+        let mut out = TimeSeries::new(format!("{} (rolling {})", self.name, window));
+        for i in 0..self.ys.len() {
+            let lo = i.saturating_sub(window / 2);
+            let hi = (i + window.div_ceil(2)).min(self.ys.len());
+            let slice = &self.ys[lo..hi];
+            out.push(self.xs[i], slice.iter().sum::<f64>() / slice.len() as f64);
+        }
+        out
+    }
+
+    /// Downsamples to at most `max_points` by bucket-averaging; used before
+    /// chart rendering.
+    pub fn downsample(&self, max_points: usize) -> TimeSeries {
+        assert!(max_points > 0);
+        if self.len() <= max_points {
+            return self.clone();
+        }
+        let mut out = TimeSeries::new(self.name.clone());
+        let per = self.len() as f64 / max_points as f64;
+        for b in 0..max_points {
+            let lo = (b as f64 * per) as usize;
+            let hi = (((b + 1) as f64 * per) as usize)
+                .min(self.len())
+                .max(lo + 1);
+            let n = (hi - lo) as f64;
+            let x = self.xs[lo..hi].iter().sum::<f64>() / n;
+            let y = self.ys[lo..hi].iter().sum::<f64>() / n;
+            out.push(x, y);
+        }
+        out
+    }
+
+    /// First index whose y-value drops below `threshold` and never rises to
+    /// or above it again; `None` if the series ends at or above the
+    /// threshold. Used for "success had dropped to almost 0 around the 16th
+    /// trial and never rose again"-style observations.
+    pub fn final_drop_below(&self, threshold: f64) -> Option<usize> {
+        let mut candidate = None;
+        for (i, &y) in self.ys.iter().enumerate() {
+            if y < threshold {
+                if candidate.is_none() {
+                    candidate = Some(i);
+                }
+            } else {
+                candidate = None;
+            }
+        }
+        candidate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_reduce() {
+        let mut s = TimeSeries::new("cov");
+        for i in 0..10 {
+            s.push(i as f64, i as f64 * 0.1);
+        }
+        assert_eq!(s.len(), 10);
+        assert!((s.mean() - 0.45).abs() < 1e-12);
+        assert!((s.tail_mean(2) - 0.85).abs() < 1e-12);
+        assert_eq!(s.iter().count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_time_regression() {
+        let mut s = TimeSeries::new("x");
+        s.push(5.0, 1.0);
+        s.push(4.0, 1.0);
+    }
+
+    #[test]
+    fn from_values_indexes_sequentially() {
+        let s = TimeSeries::from_values("v", [1.0, 2.0, 3.0]);
+        assert_eq!(s.xs(), &[0.0, 1.0, 2.0]);
+        assert_eq!(s.ys(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn rolling_mean_smooths() {
+        let s = TimeSeries::from_values("v", [0.0, 10.0, 0.0, 10.0, 0.0]);
+        let r = s.rolling_mean(3);
+        assert_eq!(r.len(), 5);
+        // Middle points average their neighborhood.
+        assert!((r.ys()[2] - 20.0 / 3.0).abs() < 1e-9);
+        // Edges truncate.
+        assert!((r.ys()[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downsample_preserves_mean_approximately() {
+        let s = TimeSeries::from_values("v", (0..1000).map(|i| i as f64));
+        let d = s.downsample(10);
+        assert_eq!(d.len(), 10);
+        assert!((d.mean() - s.mean()).abs() < 1.0);
+        // Short series untouched.
+        assert_eq!(s.downsample(2000).len(), 1000);
+    }
+
+    #[test]
+    fn final_drop_below_finds_last_crossing() {
+        let s = TimeSeries::from_values("v", [0.9, 0.1, 0.8, 0.05, 0.02, 0.01]);
+        assert_eq!(s.final_drop_below(0.5), Some(3));
+        assert_eq!(s.final_drop_below(0.001), None);
+        let rises = TimeSeries::from_values("v", [0.1, 0.9]);
+        assert_eq!(rises.final_drop_below(0.5), None);
+    }
+
+    #[test]
+    fn tail_mean_of_empty_is_zero() {
+        let s = TimeSeries::new("e");
+        assert_eq!(s.tail_mean(5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.is_empty());
+        assert!(s.summary().is_none());
+    }
+}

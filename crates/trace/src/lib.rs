@@ -1,0 +1,40 @@
+//! # arq-trace — query/reply traces and the trace database
+//!
+//! The paper's entire evaluation is trace-driven: a modified Gnutella node
+//! recorded every query it received and every reply that came back over a
+//! 7-day window, the records were cleaned (duplicate GUIDs from faulty
+//! clients removed), joined into query–reply pairs, and chunked into
+//! fixed-size *blocks* that the routing strategies consume.
+//!
+//! This crate is that machinery:
+//!
+//! * [`record`] — the trace schema: [`record::QueryRecord`] and
+//!   [`record::ReplyRecord`] carry exactly the fields §IV-A lists
+//!   (timestamp, GUID, forwarding neighbor, responding neighbor, responder
+//!   host, file);
+//! * [`db::TraceDb`] — the in-memory replacement for the paper's
+//!   relational database: ingest, GUID-dedup cleaning, query↔reply join
+//!   producing [`record::PairRecord`]s;
+//! * [`blocks`] — fixed-size block partitioning of the pair stream;
+//! * [`csvio`] — flat-file import/export so traces can be stored and
+//!   exchanged;
+//! * [`synth`] — the calibrated synthetic trace generator standing in for
+//!   the (unavailable) 7-day Gnutella capture; see `DESIGN.md` §5 for the
+//!   calibration story;
+//! * [`stats`] — descriptive statistics over traces (unique hosts, pairs
+//!   per host, answer ratio) used to sanity-check synthetic output against
+//!   the paper's reported totals.
+
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod csvio;
+pub mod db;
+pub mod record;
+pub mod stats;
+pub mod synth;
+
+pub use blocks::{Blocks, TimeBlocks};
+pub use db::TraceDb;
+pub use record::{Guid, HostId, PairRecord, QueryId, QueryRecord, ReplyRecord};
+pub use synth::{SynthConfig, SynthTrace};

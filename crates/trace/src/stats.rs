@@ -1,0 +1,163 @@
+//! Descriptive trace statistics.
+//!
+//! Used to sanity-check synthetic traces against the gross properties the
+//! paper reports for the real capture (answer ratio, host cardinalities,
+//! pairs per host) and by the examples to describe whatever trace they
+//! are processing.
+
+use crate::record::{HostId, PairRecord, QueryRecord, ReplyRecord};
+use std::collections::{HashMap, HashSet};
+
+/// Gross statistics of a raw trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawStats {
+    /// Number of query records.
+    pub queries: usize,
+    /// Number of reply records.
+    pub replies: usize,
+    /// Replies per query (the paper's capture: 3.25M / 10.5M ≈ 0.31).
+    pub answer_ratio: f64,
+    /// Distinct hosts that forwarded queries.
+    pub distinct_query_hosts: usize,
+    /// Distinct GUIDs among queries.
+    pub distinct_guids: usize,
+}
+
+/// Computes [`RawStats`].
+pub fn raw_stats(queries: &[QueryRecord], replies: &[ReplyRecord]) -> RawStats {
+    let hosts: HashSet<HostId> = queries.iter().map(|q| q.from).collect();
+    let guids: HashSet<_> = queries.iter().map(|q| q.guid).collect();
+    RawStats {
+        queries: queries.len(),
+        replies: replies.len(),
+        answer_ratio: if queries.is_empty() {
+            0.0
+        } else {
+            replies.len() as f64 / queries.len() as f64
+        },
+        distinct_query_hosts: hosts.len(),
+        distinct_guids: guids.len(),
+    }
+}
+
+/// Gross statistics of a joined pair stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairStats {
+    /// Number of pairs.
+    pub pairs: usize,
+    /// Distinct source (antecedent) hosts.
+    pub distinct_src: usize,
+    /// Distinct via (consequent) hosts.
+    pub distinct_via: usize,
+    /// Distinct (src, via) combinations.
+    pub distinct_pairs: usize,
+    /// Mean pairs per distinct source host.
+    pub pairs_per_src: f64,
+    /// Share of pairs carried by the single most common (src, via)
+    /// combination — a locality indicator.
+    pub top_pair_share: f64,
+}
+
+/// Computes [`PairStats`].
+pub fn pair_stats(pairs: &[PairRecord]) -> PairStats {
+    let mut srcs: HashSet<HostId> = HashSet::new();
+    let mut vias: HashSet<HostId> = HashSet::new();
+    let mut combos: HashMap<(HostId, HostId), usize> = HashMap::new();
+    for p in pairs {
+        srcs.insert(p.src);
+        vias.insert(p.via);
+        *combos.entry((p.src, p.via)).or_insert(0) += 1;
+    }
+    let top = combos.values().copied().max().unwrap_or(0);
+    PairStats {
+        pairs: pairs.len(),
+        distinct_src: srcs.len(),
+        distinct_via: vias.len(),
+        distinct_pairs: combos.len(),
+        pairs_per_src: if srcs.is_empty() {
+            0.0
+        } else {
+            pairs.len() as f64 / srcs.len() as f64
+        },
+        top_pair_share: if pairs.is_empty() {
+            0.0
+        } else {
+            top as f64 / pairs.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Guid, QueryId};
+    use arq_simkern::SimTime;
+
+    #[test]
+    fn raw_stats_counts() {
+        let queries: Vec<QueryRecord> = (0..10)
+            .map(|i| QueryRecord {
+                time: SimTime::from_ticks(i),
+                guid: Guid(u128::from(i % 8)), // two duplicate guids
+                from: HostId((i % 3) as u32),
+                query: QueryId(0),
+            })
+            .collect();
+        let replies: Vec<ReplyRecord> = (0..4)
+            .map(|i| ReplyRecord {
+                time: SimTime::from_ticks(100 + i),
+                guid: Guid(u128::from(i)),
+                via: HostId(9),
+                responder: HostId(50),
+                file: QueryId(0),
+            })
+            .collect();
+        let s = raw_stats(&queries, &replies);
+        assert_eq!(s.queries, 10);
+        assert_eq!(s.replies, 4);
+        assert!((s.answer_ratio - 0.4).abs() < 1e-12);
+        assert_eq!(s.distinct_query_hosts, 3);
+        assert_eq!(s.distinct_guids, 8);
+    }
+
+    #[test]
+    fn pair_stats_locality_indicator() {
+        let mut pairs = Vec::new();
+        for i in 0..90 {
+            pairs.push(PairRecord {
+                time: SimTime::from_ticks(i),
+                guid: Guid(u128::from(i)),
+                src: HostId(1),
+                via: HostId(2),
+                responder: HostId(3),
+                query: QueryId(0),
+            });
+        }
+        for i in 90..100 {
+            pairs.push(PairRecord {
+                time: SimTime::from_ticks(i),
+                guid: Guid(u128::from(i)),
+                src: HostId(4),
+                via: HostId(5),
+                responder: HostId(6),
+                query: QueryId(0),
+            });
+        }
+        let s = pair_stats(&pairs);
+        assert_eq!(s.pairs, 100);
+        assert_eq!(s.distinct_src, 2);
+        assert_eq!(s.distinct_via, 2);
+        assert_eq!(s.distinct_pairs, 2);
+        assert!((s.pairs_per_src - 50.0).abs() < 1e-12);
+        assert!((s.top_pair_share - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = raw_stats(&[], &[]);
+        assert_eq!(s.answer_ratio, 0.0);
+        let p = pair_stats(&[]);
+        assert_eq!(p.pairs_per_src, 0.0);
+        assert_eq!(p.top_pair_share, 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the trace substrate.
+
+use arq_simkern::SimTime;
+use arq_trace::csvio;
+use arq_trace::record::{Guid, HostId, PairRecord, QueryId, QueryRecord, ReplyRecord};
+use arq_trace::{Blocks, TraceDb};
+use proptest::prelude::*;
+
+fn arb_query() -> impl Strategy<Value = QueryRecord> {
+    (0u64..10_000, 0u128..64, 0u32..32, 0u32..100).prop_map(|(t, g, h, q)| QueryRecord {
+        time: SimTime::from_ticks(t),
+        guid: Guid(g),
+        from: HostId(h),
+        query: QueryId(q),
+    })
+}
+
+fn arb_reply() -> impl Strategy<Value = ReplyRecord> {
+    (0u64..10_000, 0u128..64, 0u32..32, 0u32..500).prop_map(|(t, g, v, r)| ReplyRecord {
+        time: SimTime::from_ticks(t),
+        guid: Guid(g),
+        via: HostId(v),
+        responder: HostId(r),
+        file: QueryId(0),
+    })
+}
+
+fn arb_pair() -> impl Strategy<Value = PairRecord> {
+    (0u128..1_000_000, 0u32..64, 0u32..64, 0u32..64, 0u32..512).prop_map(|(g, s, v, r, q)| {
+        PairRecord {
+            time: SimTime::from_ticks(g as u64),
+            guid: Guid(g),
+            src: HostId(s),
+            via: HostId(v),
+            responder: HostId(r),
+            query: QueryId(q),
+        }
+    })
+}
+
+proptest! {
+    /// Cleaning leaves at most one query per GUID, keeps the earliest,
+    /// and is idempotent.
+    #[test]
+    fn clean_dedups_and_is_idempotent(
+        queries in proptest::collection::vec(arb_query(), 0..200),
+        replies in proptest::collection::vec(arb_reply(), 0..200),
+    ) {
+        let mut db = TraceDb::new();
+        db.extend(queries.clone(), replies);
+        let report = db.clean();
+        // One query per GUID.
+        let mut guids = std::collections::HashSet::new();
+        for q in db.queries() {
+            prop_assert!(guids.insert(q.guid), "duplicate GUID survived");
+        }
+        // The survivor is the earliest use.
+        for q in db.queries() {
+            let earliest = queries
+                .iter()
+                .filter(|x| x.guid == q.guid)
+                .map(|x| x.time)
+                .min()
+                .unwrap();
+            prop_assert_eq!(q.time, earliest);
+        }
+        prop_assert_eq!(
+            report.duplicate_queries as usize,
+            queries.len() - db.query_count()
+        );
+        // Idempotence.
+        let again = db.clean();
+        prop_assert_eq!(again.duplicate_queries, 0);
+        prop_assert_eq!(again.orphan_replies, 0);
+    }
+
+    /// Join produces exactly one pair per surviving reply, each pair's
+    /// fields copied from its parents, ordered by time.
+    #[test]
+    fn join_pairs_replies(
+        queries in proptest::collection::vec(arb_query(), 0..150),
+        replies in proptest::collection::vec(arb_reply(), 0..150),
+    ) {
+        let mut db = TraceDb::new();
+        db.extend(queries, replies);
+        let (_, pairs) = db.clean_and_join();
+        prop_assert_eq!(pairs.len(), db.reply_count());
+        let by_guid: std::collections::HashMap<_, _> =
+            db.queries().iter().map(|q| (q.guid, q)).collect();
+        for p in &pairs {
+            let q = by_guid[&p.guid];
+            prop_assert_eq!(p.src, q.from);
+            prop_assert_eq!(p.query, q.query);
+            prop_assert!(p.time >= q.time);
+        }
+        prop_assert!(pairs.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    /// CSV round-trips are exact for arbitrary records.
+    #[test]
+    fn csv_roundtrips(
+        pairs in proptest::collection::vec(arb_pair(), 0..100),
+        queries in proptest::collection::vec(arb_query(), 0..50),
+        replies in proptest::collection::vec(arb_reply(), 0..50),
+    ) {
+        let mut sorted = pairs;
+        sorted.sort_by_key(|p| p.time);
+        let mut buf = Vec::new();
+        csvio::write_pairs(&mut buf, &sorted).unwrap();
+        prop_assert_eq!(&csvio::read_pairs(&buf[..]).unwrap(), &sorted);
+
+        let mut buf = Vec::new();
+        csvio::write_raw(&mut buf, &queries, &replies).unwrap();
+        let (q2, r2) = csvio::read_raw(&buf[..]).unwrap();
+        prop_assert_eq!(q2, queries);
+        prop_assert_eq!(r2, replies);
+    }
+
+    /// Block partitioning covers a prefix exactly, with no overlap.
+    #[test]
+    fn blocks_partition_prefix(
+        pairs in proptest::collection::vec(arb_pair(), 0..300),
+        block_size in 1usize..50,
+    ) {
+        let mut sorted = pairs;
+        sorted.sort_by_key(|p| p.time);
+        let blocks = Blocks::new(&sorted, block_size);
+        let covered: usize = blocks.iter().map(<[PairRecord]>::len).sum();
+        prop_assert_eq!(covered, (sorted.len() / block_size) * block_size);
+        let flat: Vec<PairRecord> = blocks.iter().flatten().copied().collect();
+        prop_assert_eq!(&flat[..], &sorted[..covered]);
+    }
+}
+
+proptest! {
+    /// Time windows partition the whole stream (nothing dropped, nothing
+    /// duplicated) and every pair lands in the window its timestamp
+    /// dictates.
+    #[test]
+    fn time_blocks_partition_everything(
+        times in proptest::collection::vec(0u64..5_000, 0..300),
+        window in 1u64..500,
+    ) {
+        let mut sorted = times;
+        sorted.sort_unstable();
+        let pairs: Vec<PairRecord> = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| PairRecord {
+                time: SimTime::from_ticks(t),
+                guid: Guid(i as u128),
+                src: HostId(0),
+                via: HostId(1),
+                responder: HostId(2),
+                query: QueryId(0),
+            })
+            .collect();
+        let tb = arq_trace::TimeBlocks::new(&pairs, arq_simkern::time::Duration::from_ticks(window));
+        let total: usize = tb.iter().map(<[PairRecord]>::len).sum();
+        prop_assert_eq!(total, pairs.len());
+        if let Some(first) = pairs.first() {
+            let origin = first.time.ticks();
+            for (w, blk) in tb.iter().enumerate() {
+                for p in blk {
+                    let idx = ((p.time.ticks() - origin) / window) as usize;
+                    prop_assert_eq!(idx, w, "pair at t={} in window {}", p.time.ticks(), w);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Live-network comparison: association-rule routing against flooding,
+//! expanding ring, k-random walks, interest shortcuts, and routing
+//! indices on the same churning overlay (the paper's motivating claim).
+//!
+//! ```text
+//! cargo run --release -p arq --example live_network
+//! ```
+
+use arq::baselines::{expanding_ring, FloodPolicy, InterestShortcuts, KRandomWalk, RoutingIndices};
+use arq::content::CatalogConfig;
+use arq::core::{AssocPolicy, AssocPolicyConfig, HybridPolicy};
+use arq::gnutella::metrics::RunMetrics;
+use arq::gnutella::sim::{Network, SimConfig, Topology};
+use arq::overlay::ChurnConfig;
+use arq::simkern::time::Duration;
+
+fn cfg() -> SimConfig {
+    let mut cfg = SimConfig::default_with(400, 2_000, 2006);
+    cfg.topology = Topology::BarabasiAlbert { m: 3 };
+    cfg.ttl = 6;
+    cfg.catalog = CatalogConfig {
+        topics: 20,
+        files_per_topic: 200,
+        ..Default::default()
+    };
+    cfg.churn = Some(ChurnConfig {
+        mean_session: Duration::from_ticks(2_000_000),
+        mean_downtime: Duration::from_ticks(600_000),
+        pinned: vec![],
+    });
+    cfg
+}
+
+fn row(m: &RunMetrics, note: &str) {
+    let hops = m
+        .first_hit_hops
+        .as_ref()
+        .map_or("  n/a".to_string(), |h| format!("{:5.2}", h.mean));
+    println!(
+        "{:<16} {:>12.1} {:>9.3} {:>7}  {}",
+        m.policy, m.messages_per_query, m.success_rate, hops, note
+    );
+}
+
+fn main() {
+    println!(
+        "{:<16} {:>12} {:>9} {:>7}",
+        "policy", "msgs/query", "success", "hops"
+    );
+    row(&Network::new(cfg(), FloodPolicy).run().metrics, "");
+
+    let (flood, ring) = expanding_ring(2, 2, 6, Duration::from_ticks(1_500));
+    let mut ring_cfg = cfg();
+    ring_cfg.ring = Some(ring);
+    let mut m = Network::new(ring_cfg, flood).run().metrics;
+    m.policy = "expanding-ring".into();
+    row(&m, "");
+
+    let mut walk_cfg = cfg();
+    walk_cfg.ttl = 48;
+    row(
+        &Network::new(walk_cfg, KRandomWalk::new(4)).run().metrics,
+        "",
+    );
+
+    row(
+        &Network::new(cfg(), InterestShortcuts::new(5, 2))
+            .run()
+            .metrics,
+        "",
+    );
+    row(
+        &Network::new(cfg(), RoutingIndices::new(3, 0.5, 2))
+            .run()
+            .metrics,
+        "",
+    );
+
+    let (result, policy, _) =
+        Network::new(cfg(), AssocPolicy::new(AssocPolicyConfig::default())).run_full();
+    row(
+        &result.metrics,
+        &format!("(rule usage {:.0}%)", policy.rule_usage() * 100.0),
+    );
+
+    let (result, policy, _) =
+        Network::new(cfg(), HybridPolicy::new(5, 2, AssocPolicyConfig::default())).run_full();
+    row(
+        &result.metrics,
+        &format!(
+            "(targeted {:.0}%, {} rule rescues)",
+            policy.targeted_fraction() * 100.0,
+            policy.rule_decisions()
+        ),
+    );
+}

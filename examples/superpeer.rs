@@ -1,0 +1,89 @@
+//! Structure vs adaptation: a two-tier superpeer network with content
+//! indices (the §II "re-design the network" school) against flat
+//! flooding and association-rule routing on the same node population.
+//!
+//! ```text
+//! cargo run --release -p arq --example superpeer
+//! ```
+
+use arq::baselines::{FloodPolicy, SuperPeerPolicy};
+use arq::content::CatalogConfig;
+use arq::core::{AssocPolicy, AssocPolicyConfig};
+use arq::gnutella::metrics::RunMetrics;
+use arq::gnutella::sim::{Network, SimConfig, Topology};
+
+const NODES: usize = 400;
+const QUERIES: usize = 2_000;
+const N_SUPER: usize = 20;
+
+fn base_cfg(topology: Topology, ttl: u32) -> SimConfig {
+    let mut cfg = SimConfig::default_with(NODES, QUERIES, 42);
+    cfg.topology = topology;
+    cfg.ttl = ttl;
+    cfg.catalog = CatalogConfig {
+        topics: 16,
+        files_per_topic: 150,
+        ..Default::default()
+    };
+    cfg
+}
+
+fn row(m: &RunMetrics, note: &str) {
+    let hops = m
+        .first_hit_hops
+        .as_ref()
+        .map_or("  n/a".to_string(), |h| format!("{:5.2}", h.mean));
+    println!(
+        "{:<12} {:>12.1} {:>9.3} {:>7}  {}",
+        m.policy, m.messages_per_query, m.success_rate, hops, note
+    );
+}
+
+fn main() {
+    println!(
+        "{:<12} {:>12} {:>9} {:>7}",
+        "policy", "msgs/query", "success", "hops"
+    );
+
+    // Flat power-law overlay, full flooding.
+    let flat = base_cfg(Topology::BarabasiAlbert { m: 3 }, 6);
+    row(
+        &Network::new(flat.clone(), FloodPolicy).run().metrics,
+        "flat overlay",
+    );
+
+    // Flat overlay, association-rule routing.
+    let (result, policy, _) =
+        Network::new(flat, AssocPolicy::new(AssocPolicyConfig::default())).run_full();
+    row(
+        &result.metrics,
+        &format!(
+            "flat overlay (rule usage {:.0}%)",
+            policy.rule_usage() * 100.0
+        ),
+    );
+
+    // Two-tier superpeer network with per-superpeer content indices.
+    let two_tier = base_cfg(
+        Topology::SuperPeer {
+            n_super: N_SUPER,
+            super_degree: 4,
+        },
+        8,
+    );
+    let (result, policy, _) = Network::new(two_tier, SuperPeerPolicy::new(N_SUPER)).run_full();
+    row(
+        &result.metrics,
+        &format!(
+            "two-tier ({} index hits, {} core floods)",
+            policy.index_hits(),
+            policy.core_floods()
+        ),
+    );
+
+    println!(
+        "\nThe superpeer index resolves most queries in O(core) messages — the \n\
+         structural benefit §II describes — while rule routing recovers a large \n\
+         share of those savings without imposing any structure on the overlay."
+    );
+}

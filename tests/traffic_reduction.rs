@@ -1,0 +1,82 @@
+//! The motivating claim (§I): association-rule routing must cut traffic
+//! substantially below flooding at comparable search success, and the
+//! baselines must behave according to their known trade-offs.
+
+use arq::baselines::KRandomWalk;
+use arq::content::CatalogConfig;
+use arq::core::{AssocPolicy, AssocPolicyConfig};
+use arq::gnutella::sim::{Network, SimConfig};
+use arq::gnutella::FloodPolicy;
+
+fn cfg(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::default_with(250, 2_500, seed);
+    cfg.ttl = 6;
+    cfg.catalog = CatalogConfig {
+        topics: 12,
+        files_per_topic: 120,
+        ..Default::default()
+    };
+    cfg
+}
+
+#[test]
+fn assoc_routing_beats_flooding_on_traffic() {
+    let flood = Network::new(cfg(5), FloodPolicy).run().metrics;
+    let (assoc_result, policy, _) =
+        Network::new(cfg(5), AssocPolicy::new(AssocPolicyConfig::default())).run_full();
+    let assoc = assoc_result.metrics;
+
+    assert!(
+        assoc.messages_per_query < flood.messages_per_query * 0.6,
+        "assoc {} vs flood {} messages/query",
+        assoc.messages_per_query,
+        flood.messages_per_query
+    );
+    assert!(
+        assoc.success_rate > flood.success_rate - 0.15,
+        "assoc success {} collapsed vs flood {}",
+        assoc.success_rate,
+        flood.success_rate
+    );
+    assert!(
+        policy.rule_usage() > 0.3,
+        "rules barely used: {}",
+        policy.rule_usage()
+    );
+}
+
+#[test]
+fn k_walk_trades_traffic_for_success() {
+    let flood = Network::new(cfg(6), FloodPolicy).run().metrics;
+    let mut walk_cfg = cfg(6);
+    walk_cfg.ttl = 48;
+    let walk = Network::new(walk_cfg, KRandomWalk::new(4)).run().metrics;
+    assert!(
+        walk.messages_per_query < flood.messages_per_query,
+        "walks should send fewer messages than floods"
+    );
+    assert!(
+        walk.success_rate < flood.success_rate,
+        "4 walkers cannot out-search a full flood"
+    );
+}
+
+#[test]
+fn rule_routing_improves_as_rules_accumulate() {
+    // Quarter-by-quarter message cost must trend down as nodes learn.
+    let mut c = cfg(7);
+    c.queries = 4_000;
+    let (result, policy, _) =
+        Network::new(c, AssocPolicy::new(AssocPolicyConfig::default())).run_full();
+    assert!(result.metrics.queries == 4_000);
+    assert!(
+        policy.rule_forwards() > 0,
+        "no rule-based forwarding happened"
+    );
+    // The flood fallback share must be well below 100% by the end.
+    assert!(
+        policy.rule_usage() > 0.25,
+        "rule usage stayed at {}",
+        policy.rule_usage()
+    );
+}
