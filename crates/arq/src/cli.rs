@@ -17,14 +17,9 @@
 
 use arq_assoc::mine_pairs;
 use arq_assoc::pairs::mine_pairs_with_confidence;
-use arq_core::strategy::Strategy;
-use arq_core::{
-    evaluate, AdaptiveSlidingWindow, AssocPolicy, AssocPolicyConfig, HybridPolicy,
-    IncrementalStream, LazySlidingWindow, LossyStream, SlidingWindow, StaticRuleset,
-    TopicSlidingWindow,
-};
-use arq_gnutella::sim::{Network, SimConfig};
-use arq_gnutella::FloodPolicy;
+use arq_core::engine;
+use arq_core::evaluate;
+use arq_gnutella::sim::SimConfig;
 use arq_simkern::chart::{render, ChartOptions};
 use arq_trace::csvio;
 use arq_trace::stats::{pair_stats, raw_stats};
@@ -117,11 +112,14 @@ COMMANDS:
   mine        mine one block's association rules and print the strongest
               --trace FILE [--block N] [--support N] [--confidence F] [--top N]
   evaluate    replay a trace through a rule-maintenance strategy
-              --trace FILE [--strategy NAME] [--block N] [--support N] [--chart]
+              --trace FILE [--strategy SPEC] [--block N] [--support N] [--chart]
               strategies: static | sliding | lazy | adaptive | incremental | lossy | topic
+              SPEC may also carry registry parameters, e.g. sliding(s=10,c=0.05)
   simulate    run a live overlay simulation with a forwarding policy
-              [--nodes N] [--queries N] [--policy NAME] [--seed S]
-              policies: flood | assoc | hybrid
+              [--nodes N] [--queries N] [--policy SPEC] [--seed S]
+              policies: flood | expanding-ring | k-walk | shortcuts |
+                        routing-index | superpeer | assoc | hybrid
+              SPEC accepts registry parameters too, e.g. assoc(k=2,hl=500)
   help        print this text
 ";
 
@@ -263,21 +261,21 @@ fn mine(args: &[String]) -> Result<String, CliError> {
     Ok(report)
 }
 
-fn make_strategy(name: &str, support: u64, block: usize) -> Result<Box<dyn Strategy>, CliError> {
-    Ok(match name {
-        "static" => Box::new(StaticRuleset::new(support)),
-        "sliding" => Box::new(SlidingWindow::new(support)),
-        "lazy" => Box::new(LazySlidingWindow::new(support, 10)),
-        "adaptive" => Box::new(AdaptiveSlidingWindow::new(support, 10, 0.7)),
-        "incremental" => Box::new(IncrementalStream::new(support as f64, 2.0 * block as f64)),
-        "lossy" => Box::new(LossyStream::new(support, 1.0 / (2.0 * block as f64))),
-        "topic" => Box::new(TopicSlidingWindow::new(support)),
-        other => {
-            return Err(err(format!(
-                "unknown strategy `{other}` (try: static, sliding, lazy, adaptive, incremental, lossy, topic)"
-            )))
-        }
-    })
+/// Maps the CLI's strategy flags onto a registry spec string. A full
+/// spec like `sliding(s=10,c=0.05)` passes through verbatim; a bare
+/// name composes `--support` (and, for the streaming maintainers,
+/// `--block`-derived defaults) into parameters.
+fn strategy_spec(name: &str, support: u64, block: usize) -> String {
+    if name.contains('(') {
+        return name.to_string();
+    }
+    match name {
+        // Historical CLI shorthand for `topic-sliding`.
+        "topic" => format!("topic-sliding(s={support})"),
+        "incremental" => format!("incremental(t={support},hl={})", 2 * block),
+        "lossy" => format!("lossy(t={support},eps={})", 1.0 / (2.0 * block as f64)),
+        other => format!("{other}(s={support})"),
+    }
 }
 
 fn cmd_evaluate(args: &[String]) -> Result<String, CliError> {
@@ -294,7 +292,8 @@ fn cmd_evaluate(args: &[String]) -> Result<String, CliError> {
             pairs.len()
         )));
     }
-    let mut strategy = make_strategy(name, support, block)?;
+    let mut strategy = engine::make_strategy(&strategy_spec(name, support, block))
+        .map_err(|e| err(e.to_string()))?;
     let run = evaluate(strategy.as_mut(), &pairs, block);
     let mut report = String::new();
     let _ = writeln!(report, "strategy:        {}", run.strategy);
@@ -329,27 +328,16 @@ fn simulate(args: &[String]) -> Result<String, CliError> {
     let seed: u64 = flags.parse_num("seed", 1)?;
     let policy = flags.get("policy").unwrap_or("flood");
     let cfg = SimConfig::default_with(nodes, queries, seed);
+    let (metrics, stats, _, _) =
+        engine::run_live(cfg, policy, None).map_err(|e| err(e.to_string()))?;
     let mut report = String::new();
-    let metrics = match policy {
-        "flood" => Network::new(cfg, FloodPolicy).run().metrics,
-        "assoc" => {
-            let (r, p, _) =
-                Network::new(cfg, AssocPolicy::new(AssocPolicyConfig::default())).run_full();
-            let _ = writeln!(report, "rule usage:        {:.2}", p.rule_usage());
-            r.metrics
-        }
-        "hybrid" => {
-            let (r, p, _) =
-                Network::new(cfg, HybridPolicy::new(5, 2, AssocPolicyConfig::default())).run_full();
-            let _ = writeln!(report, "targeted fraction: {:.2}", p.targeted_fraction());
-            r.metrics
-        }
-        other => {
-            return Err(err(format!(
-                "unknown policy `{other}` (try: flood, assoc, hybrid)"
-            )))
-        }
-    };
+    for (key, value) in &stats {
+        let _ = writeln!(
+            report,
+            "{:<19}{value:.2}",
+            format!("{}:", key.replace('_', " "))
+        );
+    }
     let _ = writeln!(report, "policy:            {}", metrics.policy);
     let _ = writeln!(report, "queries:           {}", metrics.queries);
     let _ = writeln!(

@@ -17,11 +17,10 @@
 
 use crate::pairs::RuleSet;
 use arq_trace::record::{Guid, PairRecord};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Counts from evaluating one rule set against one test block.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BlockMeasures {
     /// `N`: unique responded queries in the block.
     pub total: u64,

@@ -15,12 +15,11 @@
 //! > the query."
 
 use arq_trace::record::{HostId, PairRecord};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A mined rule set: antecedent host → consequent hosts ranked by
 /// descending support (ties broken by host id for determinism).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RuleSet {
     rules: HashMap<HostId, Vec<(HostId, u64)>>,
     min_support: u64,

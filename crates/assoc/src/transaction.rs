@@ -5,11 +5,10 @@
 //! transaction is stored sorted and deduplicated so subset tests are
 //! merge-scans.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A dense item identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ItemId(pub u32);
 
 /// An in-memory transaction database.

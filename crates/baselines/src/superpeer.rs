@@ -140,6 +140,17 @@ impl ForwardingPolicy for SuperPeerPolicy {
             .filter(|&n| self.is_super(n))
             .collect()
     }
+
+    fn stats(&self) -> Vec<(String, f64)> {
+        vec![
+            ("index_hits".into(), self.index_hits as f64),
+            ("core_floods".into(), self.core_floods as f64),
+        ]
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

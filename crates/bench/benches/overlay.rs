@@ -1,59 +1,80 @@
 //! Overlay substrate costs: topology generation, BFS, churn.
 
-use arq::overlay::churn::{ChurnConfig, ChurnProcess};
-use arq::overlay::{algo, generate, NodeId};
-use arq::simkern::time::{Duration, SimTime};
-use arq::simkern::Rng64;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+// Criterion lives on crates.io; the `criterion` feature is default-off
+// so the workspace builds offline. Without it this target is a stub.
 
-fn bench_overlay(c: &mut Criterion) {
-    let mut group = c.benchmark_group("topology_generation_2k");
-    for (name, gen) in [
-        (
-            "barabasi_albert",
-            Box::new(|rng: &mut Rng64| generate::barabasi_albert(2_000, 3, rng))
-                as Box<dyn Fn(&mut Rng64) -> arq::overlay::Graph>,
-        ),
-        (
-            "erdos_renyi",
-            Box::new(|rng: &mut Rng64| generate::erdos_renyi(2_000, 0.003, rng)),
-        ),
-        (
-            "watts_strogatz",
-            Box::new(|rng: &mut Rng64| generate::watts_strogatz(2_000, 3, 0.1, rng)),
-        ),
-    ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &gen, |b, gen| {
-            let mut rng = Rng64::seed_from(1);
-            b.iter(|| gen(&mut rng).edge_count());
+#[cfg(feature = "criterion")]
+mod real {
+    use arq::overlay::churn::{ChurnConfig, ChurnProcess};
+    use arq::overlay::{algo, generate, NodeId};
+    use arq::simkern::time::{Duration, SimTime};
+    use arq::simkern::Rng64;
+    use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+    fn bench_overlay(c: &mut Criterion) {
+        let mut group = c.benchmark_group("topology_generation_2k");
+        for (name, gen) in [
+            (
+                "barabasi_albert",
+                Box::new(|rng: &mut Rng64| generate::barabasi_albert(2_000, 3, rng))
+                    as Box<dyn Fn(&mut Rng64) -> arq::overlay::Graph>,
+            ),
+            (
+                "erdos_renyi",
+                Box::new(|rng: &mut Rng64| generate::erdos_renyi(2_000, 0.003, rng)),
+            ),
+            (
+                "watts_strogatz",
+                Box::new(|rng: &mut Rng64| generate::watts_strogatz(2_000, 3, 0.1, rng)),
+            ),
+        ] {
+            group.bench_with_input(BenchmarkId::from_parameter(name), &gen, |b, gen| {
+                let mut rng = Rng64::seed_from(1);
+                b.iter(|| gen(&mut rng).edge_count());
+            });
+        }
+        group.finish();
+
+        let mut rng = Rng64::seed_from(2);
+        let g = generate::barabasi_albert(5_000, 3, &mut rng);
+        c.bench_function("bfs_5k_nodes", |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 1) % 5_000;
+                algo::bfs_distances(&g, NodeId(i))
+            });
+        });
+
+        c.bench_function("churn_1k_events", |b| {
+            b.iter(|| {
+                let cfg = ChurnConfig {
+                    mean_session: Duration::from_ticks(1_000),
+                    mean_downtime: Duration::from_ticks(500),
+                    pinned: vec![],
+                };
+                let mut p = ChurnProcess::new(500, cfg, Rng64::seed_from(3));
+                for _ in 0..1_000 {
+                    p.next_before(SimTime::MAX);
+                }
+            });
         });
     }
-    group.finish();
 
-    let mut rng = Rng64::seed_from(2);
-    let g = generate::barabasi_albert(5_000, 3, &mut rng);
-    c.bench_function("bfs_5k_nodes", |b| {
-        let mut i = 0u32;
-        b.iter(|| {
-            i = (i + 1) % 5_000;
-            algo::bfs_distances(&g, NodeId(i))
-        });
-    });
-
-    c.bench_function("churn_1k_events", |b| {
-        b.iter(|| {
-            let cfg = ChurnConfig {
-                mean_session: Duration::from_ticks(1_000),
-                mean_downtime: Duration::from_ticks(500),
-                pinned: vec![],
-            };
-            let mut p = ChurnProcess::new(500, cfg, Rng64::seed_from(3));
-            for _ in 0..1_000 {
-                p.next_before(SimTime::MAX);
-            }
-        });
-    });
+    criterion_group!(benches, bench_overlay);
+    pub fn main() {
+        benches();
+    }
 }
 
-criterion_group!(benches, bench_overlay);
-criterion_main!(benches);
+#[cfg(feature = "criterion")]
+fn main() {
+    real::main();
+}
+
+#[cfg(not(feature = "criterion"))]
+fn main() {
+    eprintln!(
+        "benchmark disabled: rebuild with `--features criterion` \
+         (needs network access to fetch the criterion crate)"
+    );
+}

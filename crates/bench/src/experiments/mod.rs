@@ -1,0 +1,257 @@
+//! One function per experiment (see `DESIGN.md` §4 for the index).
+//!
+//! Every function is deterministic in `(scale, seed)` and returns an
+//! [`ExperimentReport`] holding the measured rows, rendered charts, and
+//! the raw series for `results/*.json`.
+//!
+//! No experiment constructs a `Strategy` or `ForwardingPolicy` directly:
+//! each one describes its runs as registry spec strings inside
+//! [`RunSpec`]s and hands them to the engine's deterministic parallel
+//! executor ([`arq::core::engine::execute`]). The CLI, the harness, and
+//! the tests therefore share one construction path, and the persisted
+//! artifact JSON is byte-identical at any worker count (`ARQ_THREADS`).
+//!
+//! The functions are grouped by the world they run in:
+//!
+//! * [`trace`] — trace-driven evaluation (E1–E6, E9, E12, E14);
+//! * [`live`] — live-network simulation (E7, E10, E11, E13, E15);
+//! * [`cost`] — wall-clock cost measurement (E8).
+
+mod cost;
+mod live;
+mod trace;
+
+pub use cost::e8_rulegen_cost;
+pub use live::{e10_topk, e11_topology, e13_hybrid, e15_superpeer, e7_traffic};
+pub use trace::{
+    e12_topic_rules, e14_stream_maintainers, e1_static, e2_sliding, e3_block_sizes, e3b_thresholds,
+    e4_lazy, e5_adaptive, e6_incremental, e9_confidence,
+};
+
+use arq::content::CatalogConfig;
+use arq::core::engine::{self, RunArtifact, RunSpec, TraceSource};
+use arq::gnutella::metrics::RunMetrics;
+use arq::gnutella::sim::{SimConfig, Topology};
+use arq::overlay::ChurnConfig;
+use arq::simkern::chart::ChartOptions;
+use arq::simkern::time::Duration;
+use arq::simkern::{Json, ToJson};
+use arq::trace::{SynthConfig, SynthTrace};
+use std::sync::Arc;
+
+/// Structured result of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Experiment id (E1..E15).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper reports for this experiment.
+    pub paper_claim: String,
+    /// Measured metric rows.
+    pub rows: Vec<(String, String)>,
+    /// Rendered ASCII charts.
+    pub charts: Vec<String>,
+    /// Raw series for JSON persistence — usually the engine's
+    /// [`RunArtifact`]s, so `results/*.json` carries full provenance
+    /// (seed, spec description, config digest) alongside the numbers.
+    pub series: Json,
+}
+
+/// Experiment sizing. `full()` matches the paper's 365 trials of
+/// 10,000-pair blocks; `quick()` is a CI-sized smoke configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Blocks per trace (incl. the warm-up block).
+    pub blocks: usize,
+    /// Pairs per block.
+    pub block_size: usize,
+    /// Live-simulation overlay size.
+    pub live_nodes: usize,
+    /// Live-simulation query count.
+    pub live_queries: usize,
+}
+
+impl Scale {
+    /// Paper-scale: 366 blocks → 365 trials, 10k-pair blocks.
+    pub fn full() -> Self {
+        Scale {
+            blocks: 366,
+            block_size: 10_000,
+            live_nodes: 800,
+            live_queries: 4_000,
+        }
+    }
+
+    /// Smoke-scale for CI and development.
+    pub fn quick() -> Self {
+        Scale {
+            blocks: 61,
+            block_size: 10_000,
+            live_nodes: 250,
+            live_queries: 1_200,
+        }
+    }
+
+    fn pairs(&self) -> usize {
+        self.blocks * self.block_size
+    }
+}
+
+/// The paper's default drifting workload, synthesized once and shared
+/// (via `Arc`) across every spec of an experiment.
+fn shared_trace(scale: Scale, seed: u64) -> TraceSource {
+    TraceSource::Shared {
+        label: "paper-default".into(),
+        seed,
+        pairs: Arc::new(SynthTrace::new(SynthConfig::paper_default(scale.pairs(), seed)).pairs()),
+    }
+}
+
+/// A trace-evaluation spec over `trace` with a registry strategy string.
+fn eval_spec(trace: &TraceSource, strategy: &str, block_size: usize) -> RunSpec {
+    RunSpec::TraceEval {
+        trace: trace.clone(),
+        strategy: strategy.to_string(),
+        block_size,
+    }
+}
+
+/// A live-simulation spec over `cfg` with a registry policy string.
+fn live_spec(cfg: &SimConfig, policy: &str) -> RunSpec {
+    RunSpec::LiveSim {
+        cfg: cfg.clone(),
+        policy: policy.to_string(),
+        graph: None,
+    }
+}
+
+/// Fans the specs across the engine's executor. Experiments only submit
+/// registered names, so registry failures are programming errors here.
+fn execute(specs: Vec<RunSpec>) -> Vec<RunArtifact> {
+    engine::execute(&specs).expect("experiment specs use registered names")
+}
+
+/// All artifacts as a JSON array — the standard `series` payload.
+fn artifacts_json(artifacts: &[RunArtifact]) -> Json {
+    Json::Arr(artifacts.iter().map(ToJson::to_json).collect())
+}
+
+fn chart_opts() -> ChartOptions {
+    ChartOptions {
+        y_range: Some((0.0, 1.0)),
+        x_label: "trial (block #)".into(),
+        y_label: "measure".into(),
+        ..Default::default()
+    }
+}
+
+fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+fn live_cfg(scale: Scale, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::default_with(scale.live_nodes, scale.live_queries, seed);
+    cfg.topology = Topology::BarabasiAlbert { m: 3 };
+    cfg.ttl = 6;
+    cfg.catalog = CatalogConfig {
+        topics: 20,
+        files_per_topic: 200,
+        ..Default::default()
+    };
+    cfg.churn = Some(ChurnConfig {
+        mean_session: Duration::from_ticks(2_000_000),
+        mean_downtime: Duration::from_ticks(600_000),
+        pinned: vec![],
+    });
+    cfg
+}
+
+fn metrics_row(m: &RunMetrics, extra: &str) -> (String, String) {
+    (
+        m.policy.clone(),
+        format!(
+            "{:.1} msg/query ({:.1} KiB), success {:.3}, first-hit hops {}{}",
+            m.messages_per_query,
+            m.bytes_per_query / 1024.0,
+            m.success_rate,
+            m.first_hit_hops
+                .as_ref()
+                .map_or("n/a".into(), |h| format!("{:.2}", h.mean)),
+            extra
+        ),
+    )
+}
+
+/// Runs every experiment (or the named subset) at the given scale.
+pub fn run_all(scale: Scale, seed: u64, only: Option<&[String]>) -> Vec<ExperimentReport> {
+    type ExpFn = fn(Scale, u64) -> ExperimentReport;
+    let table: Vec<(&str, ExpFn)> = vec![
+        ("e1", e1_static),
+        ("e2", e2_sliding),
+        ("e3", e3_block_sizes),
+        ("e3b", e3b_thresholds),
+        ("e4", e4_lazy),
+        ("e5", e5_adaptive),
+        ("e6", e6_incremental),
+        ("e7", e7_traffic),
+        ("e8", e8_rulegen_cost),
+        ("e9", e9_confidence),
+        ("e10", e10_topk),
+        ("e11", e11_topology),
+        ("e12", e12_topic_rules),
+        ("e13", e13_hybrid),
+        ("e14", e14_stream_maintainers),
+        ("e15", e15_superpeer),
+    ];
+    table
+        .into_iter()
+        .filter(|(id, _)| only.is_none_or(|names| names.iter().any(|n| n.eq_ignore_ascii_case(id))))
+        .map(|(_, f)| f(scale, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            blocks: 6,
+            block_size: 2_000,
+            live_nodes: 60,
+            live_queries: 150,
+        }
+    }
+
+    #[test]
+    fn e2_smoke() {
+        let r = e2_sliding(tiny(), 3);
+        assert_eq!(r.id, "E2");
+        assert_eq!(r.rows.len(), 3);
+        assert!(r.charts[0].contains("Figure 1"));
+    }
+
+    #[test]
+    fn run_all_filter() {
+        let only = vec!["e8".to_string()];
+        let reports = run_all(tiny(), 3, Some(&only));
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].id, "E8");
+    }
+
+    #[test]
+    fn series_carry_provenance() {
+        let r = e2_sliding(tiny(), 3);
+        let artifact = r.series.at(0).expect("one artifact");
+        assert_eq!(
+            artifact.get("label").and_then(Json::as_str),
+            Some("sliding(s=10)")
+        );
+        assert!(artifact.get("digest").is_some());
+        assert!(artifact
+            .get("spec")
+            .and_then(Json::as_str)
+            .is_some_and(|s| s.contains("paper-default")));
+    }
+}

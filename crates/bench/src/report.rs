@@ -1,6 +1,7 @@
 //! Rendering and persistence of experiment reports.
 
 use crate::experiments::ExperimentReport;
+use arq::simkern::Json;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -28,14 +29,21 @@ pub fn render_markdown(reports: &[ExperimentReport], header: &str) -> String {
 pub fn save_json(dir: &Path, report: &ExperimentReport) -> io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.json", report.id.to_lowercase()));
-    let doc = serde_json::json!({
-        "id": report.id,
-        "title": report.title,
-        "paper_claim": report.paper_claim,
-        "rows": report.rows,
-        "series": report.series,
-    });
-    std::fs::write(path, serde_json::to_string_pretty(&doc)?)
+    let rows = Json::Arr(
+        report
+            .rows
+            .iter()
+            .map(|(k, v)| Json::Arr(vec![Json::from(k), Json::from(v)]))
+            .collect(),
+    );
+    let doc = Json::obj([
+        ("id", Json::from(&report.id)),
+        ("title", Json::from(&report.title)),
+        ("paper_claim", Json::from(&report.paper_claim)),
+        ("rows", rows),
+        ("series", report.series.clone()),
+    ]);
+    std::fs::write(path, doc.to_string_pretty())
 }
 
 #[cfg(test)]
@@ -49,7 +57,7 @@ mod tests {
             paper_claim: "n/a".into(),
             rows: vec![("metric".into(), "1.0".into())],
             charts: vec!["<chart>\n".into()],
-            series: serde_json::json!({"x": [1, 2, 3]}),
+            series: Json::obj([("x", Json::from(&[1.0, 2.0, 3.0][..]))]),
         }
     }
 
@@ -67,9 +75,14 @@ mod tests {
         let dir = std::env::temp_dir().join("arq-report-test");
         save_json(&dir, &report()).unwrap();
         let text = std::fs::read_to_string(dir.join("e0.json")).unwrap();
-        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
-        assert_eq!(doc["id"], "E0");
-        assert_eq!(doc["series"]["x"][2], 3);
+        let doc = arq::simkern::json::parse(&text).unwrap();
+        assert_eq!(doc.get("id").and_then(Json::as_str), Some("E0"));
+        let x3 = doc
+            .get("series")
+            .and_then(|s| s.get("x"))
+            .and_then(|x| x.at(2))
+            .and_then(Json::as_f64);
+        assert_eq!(x3, Some(3.0));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

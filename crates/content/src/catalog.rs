@@ -9,15 +9,14 @@
 
 use crate::zipf::Zipf;
 use arq_simkern::Rng64;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An interest group / content category.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Topic(pub u16);
 
 /// A shared file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FileId(pub u32);
 
 impl fmt::Display for Topic {
@@ -33,7 +32,7 @@ impl fmt::Display for FileId {
 }
 
 /// Catalog shape parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CatalogConfig {
     /// Number of topics (interest groups).
     pub topics: usize,
@@ -64,7 +63,7 @@ impl Default for CatalogConfig {
 }
 
 /// Metadata of one catalog file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FileMeta {
     /// The file's interest group.
     pub topic: Topic,

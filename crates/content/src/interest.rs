@@ -10,10 +10,9 @@
 
 use crate::catalog::Topic;
 use arq_simkern::Rng64;
-use serde::{Deserialize, Serialize};
 
 /// A weighted set of topics a node cares about.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InterestProfile {
     topics: Vec<Topic>,
     weights: Vec<f64>, // normalized, same length as topics

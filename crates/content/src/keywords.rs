@@ -14,10 +14,9 @@
 //!   a real servent keeps over its shared folder.
 
 use crate::catalog::{Catalog, FileId};
-use serde::{Deserialize, Serialize};
 
 /// A keyword query: a normalized set of word ids.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct KeywordQuery {
     words: Vec<u32>,
 }

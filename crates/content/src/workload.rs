@@ -9,13 +9,12 @@
 use crate::catalog::{Catalog, FileId, Topic};
 use crate::interest::InterestProfile;
 use arq_simkern::Rng64;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// What a query asks for. Matching is by exact file — the Gnutella
 /// analogue of "this set of keywords identifies the song I want". The
 /// topic rides along for baselines (routing indices classify by topic).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct QueryKey {
     /// The file being searched for.
     pub file: FileId,
@@ -24,7 +23,7 @@ pub struct QueryKey {
 }
 
 /// The set of files one node shares.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Library {
     files: BTreeSet<FileId>,
 }
@@ -80,7 +79,7 @@ impl Library {
 }
 
 /// Workload shape parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadConfig {
     /// Interests per node.
     pub interests_per_node: usize,

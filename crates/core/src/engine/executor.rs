@@ -1,0 +1,227 @@
+//! Deterministic parallel execution of [`RunSpec`] lists.
+//!
+//! Independent runs fan out over `std::thread::scope` workers pulling
+//! from a shared atomic counter. Determinism at any thread count follows
+//! from three properties:
+//!
+//! 1. each run is self-contained — its randomness comes from its own
+//!    seeded `StreamFactory` streams inside the simulator/synthesizer,
+//!    never from shared state;
+//! 2. strategies/policies are constructed *inside* the worker from the
+//!    spec's registry string, so no cross-thread state exists to race on;
+//! 3. results land in a slot indexed by spec position, so output order
+//!    is the submission order regardless of completion order.
+//!
+//! Consequently `execute_with_threads(specs, 1)` and
+//! `execute_with_threads(specs, n)` produce byte-identical artifact
+//! JSON. The thread count defaults to the machine's parallelism and can
+//! be pinned with the `ARQ_THREADS` environment variable (CI uses this
+//! to assert the equality above).
+
+use super::registry::{self, RegistryError};
+use super::spec::{RunArtifact, RunOutput, RunSpec};
+use crate::eval::evaluate;
+use arq_gnutella::policy::ForwardingPolicy;
+use arq_gnutella::sim::Network;
+use arq_overlay::Graph;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count: `ARQ_THREADS` if set to a positive integer, else the
+/// machine's available parallelism.
+pub fn thread_count() -> usize {
+    std::env::var("ARQ_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Runs every spec, in parallel, returning artifacts in spec order.
+///
+/// Fails fast (before any run starts) if a spec names an unregistered
+/// strategy/policy or has malformed parameters.
+pub fn execute(specs: &[RunSpec]) -> Result<Vec<RunArtifact>, RegistryError> {
+    execute_with_threads(specs, thread_count())
+}
+
+/// [`execute`] with an explicit worker count.
+pub fn execute_with_threads(
+    specs: &[RunSpec],
+    threads: usize,
+) -> Result<Vec<RunArtifact>, RegistryError> {
+    for spec in specs {
+        validate(spec)?;
+    }
+    let threads = threads.clamp(1, specs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunArtifact>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let artifact = run_one(i, &specs[i]).expect("spec was validated before dispatch");
+                *slots[i].lock().expect("result slot poisoned") = Some(artifact);
+            });
+        }
+    });
+    Ok(slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without filling its slot")
+        })
+        .collect())
+}
+
+/// Checks that a spec's strategy/policy string is constructible.
+pub fn validate(spec: &RunSpec) -> Result<(), RegistryError> {
+    match spec {
+        RunSpec::TraceEval { strategy, .. } => registry::make_strategy(strategy).map(|_| ()),
+        RunSpec::LiveSim { policy, .. } => registry::make_policy(policy).map(|_| ()),
+    }
+}
+
+/// Runs one spec to completion on the current thread.
+pub fn run_one(index: usize, spec: &RunSpec) -> Result<RunArtifact, RegistryError> {
+    let (label, output) = match spec {
+        RunSpec::TraceEval {
+            trace,
+            strategy,
+            block_size,
+        } => {
+            let mut strategy = registry::make_strategy(strategy)?;
+            let pairs = trace.materialize();
+            let run = evaluate(strategy.as_mut(), &pairs, *block_size);
+            (run.strategy.clone(), RunOutput::Trace(run))
+        }
+        RunSpec::LiveSim { cfg, policy, graph } => {
+            let (metrics, stats, _, _) = run_live(cfg.clone(), policy, graph.as_deref())?;
+            (metrics.policy.clone(), RunOutput::Live { metrics, stats })
+        }
+    };
+    Ok(RunArtifact {
+        index,
+        label,
+        seed: spec.seed(),
+        spec: spec.describe(),
+        digest: spec.digest(),
+        output,
+    })
+}
+
+/// Everything one live simulation returns: canonicalized metrics, the
+/// policy's stats, the policy itself (for [`ForwardingPolicy::as_any`]
+/// downcasts — e.g. reading learned association rules for topology
+/// adaptation), and the final overlay.
+pub type LiveRun = (
+    arq_gnutella::metrics::RunMetrics,
+    Vec<(String, f64)>,
+    Box<dyn ForwardingPolicy + Send>,
+    Graph,
+);
+
+/// Builds and runs one live simulation from a policy spec.
+pub fn run_live(
+    mut cfg: arq_gnutella::sim::SimConfig,
+    policy_spec: &str,
+    graph: Option<&Graph>,
+) -> Result<LiveRun, RegistryError> {
+    let built = registry::make_policy(policy_spec)?;
+    built.apply_to(&mut cfg);
+    let label = built.label;
+    let network = match graph {
+        Some(g) => Network::with_graph(cfg, built.policy, g.clone()),
+        None => Network::new(cfg, built.policy),
+    };
+    let (result, policy, graph) = network.run_full();
+    let mut metrics = result.metrics;
+    metrics.policy = label;
+    let stats = policy.stats();
+    Ok((metrics, stats, policy, graph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::spec::TraceSource;
+    use arq_gnutella::sim::SimConfig;
+    use arq_simkern::ToJson;
+
+    fn trace_specs() -> Vec<RunSpec> {
+        let trace = TraceSource::PaperDefault {
+            pairs: 8_000,
+            seed: 5,
+        };
+        ["static", "sliding", "lazy", "adaptive"]
+            .iter()
+            .map(|s| RunSpec::TraceEval {
+                trace: trace.clone(),
+                strategy: s.to_string(),
+                block_size: 1_000,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn artifacts_keep_spec_order_at_any_thread_count() {
+        let specs = trace_specs();
+        let one = execute_with_threads(&specs, 1).unwrap();
+        let four = execute_with_threads(&specs, 4).unwrap();
+        let labels: Vec<&str> = one.iter().map(|a| a.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "static(s=10)",
+                "sliding(s=10)",
+                "lazy(s=10,p=10)",
+                "adaptive(s=10)"
+            ]
+        );
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+        }
+    }
+
+    #[test]
+    fn invalid_specs_fail_before_running() {
+        let mut specs = trace_specs();
+        specs.push(RunSpec::TraceEval {
+            trace: TraceSource::PaperDefault {
+                pairs: 100,
+                seed: 1,
+            },
+            strategy: "bogus".into(),
+            block_size: 10,
+        });
+        assert!(matches!(
+            execute_with_threads(&specs, 2),
+            Err(RegistryError::UnknownStrategy(_))
+        ));
+    }
+
+    #[test]
+    fn live_runs_canonicalize_rider_labels() {
+        let mut cfg = SimConfig::default_with(50, 100, 11);
+        cfg.catalog.topics = 5;
+        cfg.catalog.files_per_topic = 40;
+        let spec = RunSpec::LiveSim {
+            cfg,
+            policy: "expanding-ring(start=2,step=3,max=5,wait=1000)".into(),
+            graph: None,
+        };
+        let artifacts = execute_with_threads(std::slice::from_ref(&spec), 1).unwrap();
+        let m = artifacts[0].metrics().unwrap();
+        assert_eq!(m.policy, "expanding-ring");
+        assert_eq!(artifacts[0].label, "expanding-ring");
+        assert_eq!(m.queries, 100);
+    }
+}

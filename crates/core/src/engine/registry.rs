@@ -1,0 +1,488 @@
+//! Name-keyed construction of strategies and forwarding policies.
+//!
+//! Every `Strategy` and `ForwardingPolicy` in the workspace is buildable
+//! from a spec string — `"sliding(s=10,c=0.05)"`, `"k-walk(k=4)"`,
+//! `"flood"` — making this module the single source of truth for the
+//! CLI, the experiment harness, and tests. A spec is a registered name
+//! optionally followed by `key=value` parameters; omitted parameters take
+//! the documented defaults, and the canonical label reported by the
+//! constructed object round-trips through [`make_strategy`] /
+//! [`make_policy`].
+//!
+//! Unknown names produce an error that lists every valid name, so a typo
+//! at the CLI is self-correcting.
+
+use crate::hybrid::HybridPolicy;
+use crate::policy::{AssocPolicy, AssocPolicyConfig};
+use crate::strategy::{
+    AdaptiveSlidingWindow, IncrementalStream, LazySlidingWindow, LossyStream, SlidingWindow,
+    StaticRuleset, Strategy, TopicSlidingWindow,
+};
+use arq_baselines::{
+    expanding_ring, FloodPolicy, InterestShortcuts, KRandomWalk, RoutingIndices, SuperPeerPolicy,
+};
+use arq_gnutella::policy::ForwardingPolicy;
+use arq_gnutella::sim::{RingSchedule, SimConfig};
+use arq_simkern::time::Duration;
+
+/// Every registered strategy name, in registry order.
+pub const STRATEGY_NAMES: &[&str] = &[
+    "static",
+    "sliding",
+    "lazy",
+    "adaptive",
+    "incremental",
+    "lossy",
+    "topic-sliding",
+];
+
+/// Every registered forwarding-policy name, in registry order.
+pub const POLICY_NAMES: &[&str] = &[
+    "flood",
+    "expanding-ring",
+    "k-walk",
+    "shortcuts",
+    "routing-index",
+    "superpeer",
+    "assoc",
+    "hybrid",
+];
+
+/// A spec failed to parse or named something unregistered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// The name is not a registered strategy.
+    UnknownStrategy(String),
+    /// The name is not a registered policy.
+    UnknownPolicy(String),
+    /// The spec's parameter list is malformed or names an unknown key.
+    BadSpec {
+        /// The offending spec string.
+        spec: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownStrategy(name) => write!(
+                f,
+                "unknown strategy `{name}` (valid: {})",
+                STRATEGY_NAMES.join(", ")
+            ),
+            RegistryError::UnknownPolicy(name) => write!(
+                f,
+                "unknown policy `{name}` (valid: {})",
+                POLICY_NAMES.join(", ")
+            ),
+            RegistryError::BadSpec { spec, reason } => {
+                write!(f, "bad spec `{spec}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A spec string split into its name and `key=value` parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSpec {
+    /// The registered name.
+    pub name: String,
+    /// Parameters in written order.
+    pub params: Vec<(String, f64)>,
+}
+
+/// Splits `"name(k=v,...)"` (or bare `"name"`) into name and parameters.
+/// Does not check the name against a registry — [`make_strategy`] /
+/// [`make_policy`] do that.
+pub fn parse_spec(spec: &str) -> Result<ParsedSpec, RegistryError> {
+    let bad = |reason: &str| RegistryError::BadSpec {
+        spec: spec.to_string(),
+        reason: reason.to_string(),
+    };
+    let spec = spec.trim();
+    let (name, args) = match spec.find('(') {
+        None => (spec, None),
+        Some(open) => {
+            let Some(inner) = spec[open + 1..].strip_suffix(')') else {
+                return Err(bad("missing closing `)`"));
+            };
+            (&spec[..open], Some(inner))
+        }
+    };
+    if name.is_empty() {
+        return Err(bad("empty name"));
+    }
+    let mut params = Vec::new();
+    if let Some(args) = args {
+        for part in args.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(bad(&format!("parameter `{part}` is not `key=value`")));
+            };
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| bad(&format!("parameter `{part}` has a non-numeric value")))?;
+            params.push((key.trim().to_string(), value));
+        }
+    }
+    Ok(ParsedSpec {
+        name: name.to_string(),
+        params,
+    })
+}
+
+/// Looks up the parsed parameters against a table of `(key, default)`
+/// entries (extra slots in `keys` may be aliases mapping to the same
+/// canonical index via `alias_of`). Returns the resolved values in table
+/// order, rejecting unknown keys.
+struct ParamTable<'a> {
+    spec: &'a str,
+    keys: &'a [(&'a str, f64)],
+    values: Vec<f64>,
+}
+
+impl<'a> ParamTable<'a> {
+    fn resolve(
+        spec: &'a str,
+        parsed: &ParsedSpec,
+        keys: &'a [(&'a str, f64)],
+        aliases: &[(&str, &str)],
+    ) -> Result<Self, RegistryError> {
+        let mut values: Vec<f64> = keys.iter().map(|&(_, d)| d).collect();
+        for (given, value) in &parsed.params {
+            let canonical = aliases
+                .iter()
+                .find(|(a, _)| a == given)
+                .map(|&(_, c)| c)
+                .unwrap_or(given.as_str());
+            let Some(idx) = keys.iter().position(|&(k, _)| k == canonical) else {
+                let valid: Vec<&str> = keys.iter().map(|&(k, _)| k).collect();
+                return Err(RegistryError::BadSpec {
+                    spec: spec.to_string(),
+                    reason: format!("unknown parameter `{given}` (valid: {})", valid.join(", ")),
+                });
+            };
+            values[idx] = *value;
+        }
+        Ok(ParamTable { spec, keys, values })
+    }
+
+    fn f64(&self, key: &str) -> f64 {
+        let idx = self
+            .keys
+            .iter()
+            .position(|&(k, _)| k == key)
+            .expect("lookup of undeclared parameter");
+        self.values[idx]
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, RegistryError> {
+        let v = self.f64(key);
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(RegistryError::BadSpec {
+                spec: self.spec.to_string(),
+                reason: format!("parameter `{key}` must be a non-negative integer, got {v}"),
+            });
+        }
+        Ok(v as u64)
+    }
+
+    fn usize(&self, key: &str) -> Result<usize, RegistryError> {
+        Ok(self.u64(key)? as usize)
+    }
+}
+
+/// Constructs a rule-maintenance strategy from a spec string.
+///
+/// | name | parameters (default) |
+/// |------|----------------------|
+/// | `static` | `s` min support (10) |
+/// | `sliding` | `s` (10), `c` min confidence (0) |
+/// | `lazy` | `s` (10), `p` regeneration period in blocks (10) |
+/// | `adaptive` | `s` (10), `h` threshold history (10), `i` initial threshold (0.7) |
+/// | `incremental` | `t` decayed-support threshold (10), `hl` half-life in pairs (20000) |
+/// | `lossy` | `t` support threshold (10), `eps` Lossy Counting error (5e-5) |
+/// | `topic-sliding` | `s` (10) |
+///
+/// `s` is accepted as an alias for `t` on the streaming maintainers, so
+/// a generic `--support` CLI flag maps onto every strategy.
+pub fn make_strategy(spec: &str) -> Result<Box<dyn Strategy + Send>, RegistryError> {
+    let parsed = parse_spec(spec)?;
+    let table = |keys: &'static [(&'static str, f64)]| {
+        ParamTable::resolve(spec, &parsed, keys, &[("s", "t")])
+    };
+    Ok(match parsed.name.as_str() {
+        "static" => {
+            let p = ParamTable::resolve(spec, &parsed, &[("s", 10.0)], &[])?;
+            Box::new(StaticRuleset::new(p.u64("s")?))
+        }
+        "sliding" => {
+            let p = ParamTable::resolve(spec, &parsed, &[("s", 10.0), ("c", 0.0)], &[])?;
+            Box::new(SlidingWindow::with_confidence(p.u64("s")?, p.f64("c")))
+        }
+        "lazy" => {
+            let p = ParamTable::resolve(spec, &parsed, &[("s", 10.0), ("p", 10.0)], &[])?;
+            Box::new(LazySlidingWindow::new(p.u64("s")?, p.usize("p")?))
+        }
+        "adaptive" => {
+            let p =
+                ParamTable::resolve(spec, &parsed, &[("s", 10.0), ("h", 10.0), ("i", 0.7)], &[])?;
+            Box::new(AdaptiveSlidingWindow::new(
+                p.u64("s")?,
+                p.usize("h")?,
+                p.f64("i"),
+            ))
+        }
+        "incremental" => {
+            let p = table(&[("t", 10.0), ("hl", 20_000.0)])?;
+            Box::new(IncrementalStream::new(p.f64("t"), p.f64("hl")))
+        }
+        "lossy" => {
+            let p = table(&[("t", 10.0), ("eps", 5e-5)])?;
+            Box::new(LossyStream::new(p.u64("t")?, p.f64("eps")))
+        }
+        "topic-sliding" => {
+            let p = ParamTable::resolve(spec, &parsed, &[("s", 10.0)], &[])?;
+            Box::new(TopicSlidingWindow::new(p.u64("s")?))
+        }
+        other => return Err(RegistryError::UnknownStrategy(other.to_string())),
+    })
+}
+
+/// A constructed forwarding policy plus the run-configuration riders its
+/// scheme requires.
+///
+/// Two registered schemes are more than a `select()` implementation:
+/// expanding ring needs a reissue schedule installed in the
+/// [`SimConfig`], and k-random walks need a long TTL (each walker step
+/// costs one message, so the TTL plays a different role than in
+/// flooding). Encoding those riders here keeps every experiment and CLI
+/// invocation of the same scheme identical.
+pub struct BuiltPolicy {
+    /// The policy itself.
+    pub policy: Box<dyn ForwardingPolicy + Send>,
+    /// Reissue schedule to install, if the scheme uses one.
+    pub ring: Option<RingSchedule>,
+    /// TTL the scheme requires, overriding the run configuration.
+    pub ttl: Option<u32>,
+    /// Canonical label for metrics. Usually `policy.name()`; differs for
+    /// schemes defined by their riders (expanding ring floods, but is
+    /// reported as `expanding-ring`).
+    pub label: String,
+}
+
+impl BuiltPolicy {
+    /// Installs this scheme's riders (ring schedule, TTL) into `cfg`.
+    pub fn apply_to(&self, cfg: &mut SimConfig) {
+        if let Some(ttl) = self.ttl {
+            cfg.ttl = ttl;
+        }
+        if let Some(ring) = &self.ring {
+            cfg.ring = Some(ring.clone());
+        }
+    }
+}
+
+/// Constructs a forwarding policy (plus config riders) from a spec
+/// string.
+///
+/// | name | parameters (default) |
+/// |------|----------------------|
+/// | `flood` | — |
+/// | `expanding-ring` | `start` TTL (2), `step` (2), `max` TTL (6), `wait` ticks (1500) |
+/// | `k-walk` | `k` walkers (4), `ttl` walker TTL (48) |
+/// | `shortcuts` | `cap` per-topic shortcut cap (5), `k` fan-out (2) |
+/// | `routing-index` | `horizon` (3), `atten` attenuation (0.5), `k` fan-out (2) |
+/// | `superpeer` | `n` core size (16) |
+/// | `assoc` | `k` fan-out (2), `s` min decayed support (3), `hl` half-life (500), `top` top-by-support 1/0 (1) |
+/// | `hybrid` | `cap` (5), `k` (2), `s` (3), `hl` (500) |
+pub fn make_policy(spec: &str) -> Result<BuiltPolicy, RegistryError> {
+    let parsed = parse_spec(spec)?;
+    let plain = |policy: Box<dyn ForwardingPolicy + Send>| {
+        let label = policy.name().to_string();
+        BuiltPolicy {
+            policy,
+            ring: None,
+            ttl: None,
+            label,
+        }
+    };
+    Ok(match parsed.name.as_str() {
+        "flood" => plain(Box::new(FloodPolicy)),
+        "expanding-ring" => {
+            let p = ParamTable::resolve(
+                spec,
+                &parsed,
+                &[
+                    ("start", 2.0),
+                    ("step", 2.0),
+                    ("max", 6.0),
+                    ("wait", 1_500.0),
+                ],
+                &[],
+            )?;
+            let (policy, ring) = expanding_ring(
+                p.u64("start")? as u32,
+                p.u64("step")? as u32,
+                p.u64("max")? as u32,
+                Duration::from_ticks(p.u64("wait")?),
+            );
+            BuiltPolicy {
+                policy: Box::new(policy),
+                ring: Some(ring),
+                ttl: None,
+                label: "expanding-ring".to_string(),
+            }
+        }
+        "k-walk" => {
+            let p = ParamTable::resolve(spec, &parsed, &[("k", 4.0), ("ttl", 48.0)], &[])?;
+            BuiltPolicy {
+                policy: Box::new(KRandomWalk::new(p.usize("k")?)),
+                ring: None,
+                ttl: Some(p.u64("ttl")? as u32),
+                label: "k-walk".to_string(),
+            }
+        }
+        "shortcuts" => {
+            let p = ParamTable::resolve(spec, &parsed, &[("cap", 5.0), ("k", 2.0)], &[])?;
+            plain(Box::new(InterestShortcuts::new(
+                p.usize("cap")?,
+                p.usize("k")?,
+            )))
+        }
+        "routing-index" => {
+            let p = ParamTable::resolve(
+                spec,
+                &parsed,
+                &[("horizon", 3.0), ("atten", 0.5), ("k", 2.0)],
+                &[],
+            )?;
+            plain(Box::new(RoutingIndices::new(
+                p.u64("horizon")? as u32,
+                p.f64("atten"),
+                p.usize("k")?,
+            )))
+        }
+        "superpeer" => {
+            let p = ParamTable::resolve(spec, &parsed, &[("n", 16.0)], &[])?;
+            plain(Box::new(SuperPeerPolicy::new(p.usize("n")?)))
+        }
+        "assoc" => {
+            let p = ParamTable::resolve(
+                spec,
+                &parsed,
+                &[("k", 2.0), ("s", 3.0), ("hl", 500.0), ("top", 1.0)],
+                &[],
+            )?;
+            plain(Box::new(AssocPolicy::new(AssocPolicyConfig {
+                k: p.usize("k")?,
+                min_support: p.f64("s"),
+                half_life: p.f64("hl"),
+                top_by_support: p.f64("top") != 0.0,
+            })))
+        }
+        "hybrid" => {
+            let p = ParamTable::resolve(
+                spec,
+                &parsed,
+                &[("cap", 5.0), ("k", 2.0), ("s", 3.0), ("hl", 500.0)],
+                &[],
+            )?;
+            plain(Box::new(HybridPolicy::new(
+                p.usize("cap")?,
+                p.usize("k")?,
+                AssocPolicyConfig {
+                    k: p.usize("k")?,
+                    min_support: p.f64("s"),
+                    half_life: p.f64("hl"),
+                    top_by_support: true,
+                },
+            )))
+        }
+        other => return Err(RegistryError::UnknownPolicy(other.to_string())),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing() {
+        let p = parse_spec("sliding(s=10, c=0.05)").unwrap();
+        assert_eq!(p.name, "sliding");
+        assert_eq!(p.params, vec![("s".into(), 10.0), ("c".into(), 0.05)]);
+        assert_eq!(parse_spec("flood").unwrap().params, vec![]);
+        assert!(parse_spec("x(").is_err());
+        assert!(parse_spec("x(a)").is_err());
+        assert!(parse_spec("x(a=b)").is_err());
+        assert!(parse_spec("").is_err());
+    }
+
+    #[test]
+    fn strategy_defaults_match_bare_names() {
+        for name in STRATEGY_NAMES {
+            let bare = make_strategy(name).unwrap();
+            assert!(
+                bare.name().starts_with(name),
+                "{name} constructed as {}",
+                bare.name()
+            );
+        }
+    }
+
+    fn strategy_err(spec: &str) -> String {
+        match make_strategy(spec) {
+            Err(e) => e.to_string(),
+            Ok(s) => panic!("`{spec}` unexpectedly built {}", s.name()),
+        }
+    }
+
+    #[test]
+    fn unknown_names_list_alternatives() {
+        let e = strategy_err("slidng");
+        assert!(e.contains("unknown strategy"), "{e}");
+        assert!(e.contains("topic-sliding"), "{e}");
+        let e = match make_policy("floood") {
+            Err(e) => e.to_string(),
+            Ok(p) => panic!("`floood` unexpectedly built {}", p.label),
+        };
+        assert!(e.contains("unknown policy"), "{e}");
+        assert!(e.contains("expanding-ring"), "{e}");
+    }
+
+    #[test]
+    fn unknown_parameters_are_rejected() {
+        let e = strategy_err("sliding(q=3)");
+        assert!(e.contains("unknown parameter"), "{e}");
+        assert!(make_policy("k-walk(k=0.5)").is_err());
+    }
+
+    #[test]
+    fn support_alias_reaches_streaming_maintainers() {
+        let s = make_strategy("incremental(s=7)").unwrap();
+        assert!(s.name().contains("t=7"), "{}", s.name());
+    }
+
+    #[test]
+    fn riders_are_applied() {
+        let built = make_policy("expanding-ring(start=2,step=2,max=7,wait=500)").unwrap();
+        assert_eq!(built.label, "expanding-ring");
+        let mut cfg = SimConfig::default_with(50, 10, 1);
+        built.apply_to(&mut cfg);
+        assert_eq!(cfg.ring.as_ref().unwrap().ttls, vec![2, 4, 6, 7]);
+
+        let walk = make_policy("k-walk").unwrap();
+        let mut cfg = SimConfig::default_with(50, 10, 1);
+        walk.apply_to(&mut cfg);
+        assert_eq!(cfg.ttl, 48);
+    }
+}

@@ -1,0 +1,305 @@
+//! Declarative run descriptions and their unified result artifact.
+//!
+//! A [`RunSpec`] names everything one run needs — which world
+//! (trace-driven evaluation or live simulation), which strategy/policy
+//! (as a registry spec string), and the inputs — without constructing
+//! anything. Construction happens at execution time inside a worker
+//! thread, which is what lets the executor fan specs out without `Send`
+//! bounds on strategies.
+//!
+//! Every run produces a [`RunArtifact`]: the measured series/metrics
+//! plus provenance (seed, canonical spec description, FNV config
+//! digest). Artifacts serialize to JSON through `arq_simkern::json`, and
+//! that serialization is byte-deterministic — the executor's determinism
+//! guarantee is stated over these bytes.
+
+use crate::eval::EvalRun;
+use arq_gnutella::metrics::RunMetrics;
+use arq_gnutella::sim::SimConfig;
+use arq_overlay::Graph;
+use arq_simkern::rng::fnv1a;
+use arq_simkern::{Json, ToJson};
+use arq_trace::record::PairRecord;
+use std::sync::Arc;
+
+/// Where a trace-driven run gets its query–reply pair stream.
+#[derive(Debug, Clone)]
+pub enum TraceSource {
+    /// Synthesize the paper's default workload (gradual interest drift).
+    PaperDefault {
+        /// Total pairs to generate.
+        pairs: usize,
+        /// Synthesis seed.
+        seed: u64,
+    },
+    /// Synthesize the paper's static-decay workload (E1's world: routes
+    /// drift away from a frozen warm-up).
+    PaperStatic {
+        /// Total pairs to generate.
+        pairs: usize,
+        /// Synthesis seed.
+        seed: u64,
+    },
+    /// A pre-materialized trace shared (via `Arc`) across many specs —
+    /// how a sweep evaluates one trace under many configurations without
+    /// re-synthesizing it per run.
+    Shared {
+        /// Provenance label (include shape and seed — it feeds the
+        /// config digest).
+        label: String,
+        /// Seed the trace was built from, for artifact provenance.
+        seed: u64,
+        /// The pairs themselves.
+        pairs: Arc<Vec<PairRecord>>,
+    },
+}
+
+impl TraceSource {
+    /// The seed recorded in artifact provenance.
+    pub fn seed(&self) -> u64 {
+        match self {
+            TraceSource::PaperDefault { seed, .. }
+            | TraceSource::PaperStatic { seed, .. }
+            | TraceSource::Shared { seed, .. } => *seed,
+        }
+    }
+
+    /// Canonical description for the config digest.
+    pub fn describe(&self) -> String {
+        match self {
+            TraceSource::PaperDefault { pairs, seed } => {
+                format!("paper-default(pairs={pairs},seed={seed})")
+            }
+            TraceSource::PaperStatic { pairs, seed } => {
+                format!("paper-static(pairs={pairs},seed={seed})")
+            }
+            TraceSource::Shared { label, seed, pairs } => {
+                format!("shared({label},pairs={},seed={seed})", pairs.len())
+            }
+        }
+    }
+
+    /// The pair stream, synthesizing if necessary.
+    pub fn materialize(&self) -> Arc<Vec<PairRecord>> {
+        use arq_trace::{SynthConfig, SynthTrace};
+        match self {
+            TraceSource::PaperDefault { pairs, seed } => {
+                Arc::new(SynthTrace::new(SynthConfig::paper_default(*pairs, *seed)).pairs())
+            }
+            TraceSource::PaperStatic { pairs, seed } => {
+                Arc::new(SynthTrace::new(SynthConfig::paper_static(*pairs, *seed)).pairs())
+            }
+            TraceSource::Shared { pairs, .. } => Arc::clone(pairs),
+        }
+    }
+}
+
+/// One self-contained unit of work for the executor.
+// Spec lists are short-lived and a few entries long; the size gap
+// between the variants (SimConfig vs a TraceSource) is irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum RunSpec {
+    /// Replay a pair trace through a rule-maintenance strategy
+    /// ([`crate::eval::evaluate`]).
+    TraceEval {
+        /// The pair stream.
+        trace: TraceSource,
+        /// Registry spec for the strategy, e.g. `"sliding(s=10)"`.
+        strategy: String,
+        /// Pairs per evaluation block.
+        block_size: usize,
+    },
+    /// Run the live network simulator under a forwarding policy.
+    LiveSim {
+        /// Full simulator configuration (carries its own seed).
+        cfg: SimConfig,
+        /// Registry spec for the policy, e.g. `"assoc(k=2)"`.
+        policy: String,
+        /// Run on this pre-built overlay instead of generating one from
+        /// `cfg.topology` — how the topology-adaptation experiment
+        /// replays one workload on rewired graphs.
+        graph: Option<Arc<Graph>>,
+    },
+}
+
+impl RunSpec {
+    /// The master seed this run draws from.
+    pub fn seed(&self) -> u64 {
+        match self {
+            RunSpec::TraceEval { trace, .. } => trace.seed(),
+            RunSpec::LiveSim { cfg, .. } => cfg.seed,
+        }
+    }
+
+    /// The registry spec string (strategy or policy).
+    pub fn subject(&self) -> &str {
+        match self {
+            RunSpec::TraceEval { strategy, .. } => strategy,
+            RunSpec::LiveSim { policy, .. } => policy,
+        }
+    }
+
+    /// Canonical, human-readable description of the full configuration.
+    /// Two specs describing identical runs produce identical strings;
+    /// any config change changes the string (and hence [`Self::digest`]).
+    pub fn describe(&self) -> String {
+        match self {
+            RunSpec::TraceEval {
+                trace,
+                strategy,
+                block_size,
+            } => format!(
+                "trace-eval|trace={}|strategy={strategy}|block={block_size}",
+                trace.describe()
+            ),
+            RunSpec::LiveSim { cfg, policy, graph } => {
+                let graph_tag = match graph {
+                    // `Graph` intentionally has no cheap canonical form;
+                    // tag size + live + edge counts, which distinguishes
+                    // the rewired variants a single experiment compares.
+                    Some(g) => format!(
+                        "prebuilt(n={},live={},edges={})",
+                        g.len(),
+                        g.live_count(),
+                        g.edge_count()
+                    ),
+                    None => "generated".to_string(),
+                };
+                format!("live-sim|cfg={cfg:?}|policy={policy}|graph={graph_tag}")
+            }
+        }
+    }
+
+    /// FNV-1a digest of [`Self::describe`] — the artifact's config
+    /// fingerprint.
+    pub fn digest(&self) -> u64 {
+        fnv1a(self.describe().as_bytes())
+    }
+}
+
+/// The measured output of one run.
+#[derive(Debug, Clone)]
+pub enum RunOutput {
+    /// Trace-driven evaluation result.
+    Trace(EvalRun),
+    /// Live-simulation result.
+    Live {
+        /// Traffic/search metrics (policy label already canonicalized).
+        metrics: RunMetrics,
+        /// Policy-specific counters (rule usage, index hits, …).
+        stats: Vec<(String, f64)>,
+    },
+}
+
+/// One run's results plus provenance. The unified currency between the
+/// executor, the experiment harness, and persisted `results/*.json`.
+#[derive(Debug, Clone)]
+pub struct RunArtifact {
+    /// Position in the submitted spec list (results keep this order).
+    pub index: usize,
+    /// Canonical strategy/policy label (`name()` of the constructed
+    /// object, or the scheme label for rider-defined schemes).
+    pub label: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Canonical config description (see [`RunSpec::describe`]).
+    pub spec: String,
+    /// FNV-1a digest of `spec`.
+    pub digest: u64,
+    /// The measurements.
+    pub output: RunOutput,
+}
+
+impl RunArtifact {
+    /// The trace-evaluation result, if this was a trace run.
+    pub fn eval_run(&self) -> Option<&EvalRun> {
+        match &self.output {
+            RunOutput::Trace(run) => Some(run),
+            RunOutput::Live { .. } => None,
+        }
+    }
+
+    /// The live-simulation metrics, if this was a live run.
+    pub fn metrics(&self) -> Option<&RunMetrics> {
+        match &self.output {
+            RunOutput::Live { metrics, .. } => Some(metrics),
+            RunOutput::Trace(_) => None,
+        }
+    }
+
+    /// A policy stat by name, if this was a live run that reported it.
+    pub fn stat(&self, name: &str) -> Option<f64> {
+        match &self.output {
+            RunOutput::Live { stats, .. } => stats.iter().find(|(k, _)| k == name).map(|&(_, v)| v),
+            RunOutput::Trace(_) => None,
+        }
+    }
+}
+
+impl ToJson for RunArtifact {
+    fn to_json(&self) -> Json {
+        let (kind, run) = match &self.output {
+            RunOutput::Trace(run) => ("trace-eval", run.to_json()),
+            RunOutput::Live { metrics, stats } => (
+                "live-sim",
+                Json::obj([
+                    ("metrics", metrics.to_json()),
+                    (
+                        "stats",
+                        Json::Obj(
+                            stats
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Float(*v)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        };
+        Json::obj([
+            ("index", Json::from(self.index)),
+            ("kind", Json::from(kind)),
+            ("label", Json::from(&self.label)),
+            ("seed", Json::from(self.seed)),
+            ("digest", Json::from(format!("{:016x}", self.digest))),
+            ("spec", Json::from(&self.spec)),
+            ("run", run),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_separate_configs() {
+        let a = RunSpec::TraceEval {
+            trace: TraceSource::PaperDefault {
+                pairs: 1_000,
+                seed: 3,
+            },
+            strategy: "sliding(s=10)".into(),
+            block_size: 100,
+        };
+        let mut b = a.clone();
+        assert_eq!(a.digest(), b.digest());
+        if let RunSpec::TraceEval { block_size, .. } = &mut b {
+            *block_size = 200;
+        }
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn shared_traces_materialize_without_copying() {
+        let pairs = Arc::new(Vec::new());
+        let src = TraceSource::Shared {
+            label: "t".into(),
+            seed: 9,
+            pairs: Arc::clone(&pairs),
+        };
+        assert!(Arc::ptr_eq(&src.materialize(), &pairs));
+        assert_eq!(src.seed(), 9);
+    }
+}

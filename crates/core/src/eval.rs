@@ -11,10 +11,9 @@ use arq_simkern::time::Duration;
 use arq_simkern::TimeSeries;
 use arq_trace::record::PairRecord;
 use arq_trace::{Blocks, TimeBlocks};
-use serde::{Deserialize, Serialize};
 
 /// The results of replaying one strategy over one trace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EvalRun {
     /// Strategy label.
     pub strategy: String,
@@ -41,6 +40,26 @@ impl EvalRun {
     /// every 1.7 blocks"). `None` when the strategy never regenerated.
     pub fn blocks_per_regen(&self) -> Option<f64> {
         (self.regenerations > 0).then(|| self.trials as f64 / self.regenerations as f64)
+    }
+}
+
+impl arq_simkern::ToJson for EvalRun {
+    fn to_json(&self) -> arq_simkern::Json {
+        use arq_simkern::Json;
+        Json::obj([
+            ("strategy", Json::from(&self.strategy)),
+            ("block_size", Json::from(self.block_size)),
+            ("trials", Json::from(self.trials)),
+            ("coverage", Json::from(self.coverage.ys())),
+            ("success", Json::from(self.success.ys())),
+            (
+                "rule_counts",
+                Json::Arr(self.rule_counts.iter().map(|&c| Json::from(c)).collect()),
+            ),
+            ("avg_coverage", Json::from(self.avg_coverage)),
+            ("avg_success", Json::from(self.avg_success)),
+            ("regenerations", Json::from(self.regenerations)),
+        ])
     }
 }
 

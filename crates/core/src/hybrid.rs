@@ -100,6 +100,19 @@ impl ForwardingPolicy for HybridPolicy {
         self.shortcuts.on_reply(node, upstream, via, key);
         self.rules.on_reply(node, upstream, via, key);
     }
+
+    fn stats(&self) -> Vec<(String, f64)> {
+        vec![
+            ("shortcut_decisions".into(), self.shortcut_decisions as f64),
+            ("rule_decisions".into(), self.rule_decisions as f64),
+            ("flood_decisions".into(), self.flood_decisions as f64),
+            ("targeted_fraction".into(), self.targeted_fraction()),
+        ]
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

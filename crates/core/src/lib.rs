@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod eval;
 pub mod hybrid;
 pub mod policy;
@@ -41,6 +42,7 @@ pub mod strategy;
 pub mod threshold;
 pub mod topology;
 
+pub use engine::{RunArtifact, RunSpec, TraceSource};
 pub use eval::{evaluate, evaluate_timed, EvalRun, Trial};
 pub use hybrid::HybridPolicy;
 pub use policy::{AssocPolicy, AssocPolicyConfig};

@@ -177,6 +177,18 @@ impl ForwardingPolicy for AssocPolicy {
         let antecedent = host(upstream.unwrap_or(node));
         self.learner(node).observe(antecedent, host(via));
     }
+
+    fn stats(&self) -> Vec<(String, f64)> {
+        vec![
+            ("rule_forwards".into(), self.rule_forwards as f64),
+            ("flood_fallbacks".into(), self.flood_fallbacks as f64),
+            ("rule_usage".into(), self.rule_usage()),
+        ]
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

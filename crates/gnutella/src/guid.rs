@@ -9,7 +9,6 @@
 
 use arq_simkern::Rng64;
 use arq_trace::record::Guid;
-use rand::RngCore;
 
 /// Per-node GUID generator.
 #[derive(Debug, Clone)]

@@ -7,14 +7,13 @@
 use arq_content::QueryKey;
 use arq_overlay::NodeId;
 use arq_trace::record::Guid;
-use serde::{Deserialize, Serialize};
 
 /// A query descriptor in flight.
 ///
 /// As in Gnutella, the message does *not* name the issuing node — replies
 /// travel the reverse path, preserving querier anonymity (a property the
 /// paper calls out for association routing as well).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryMsg {
     /// GUID stamped by the issuer (faulty clients may reuse them).
     pub guid: Guid,
@@ -59,7 +58,7 @@ impl QueryMsg {
 }
 
 /// A query hit travelling back along the reverse path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HitMsg {
     /// GUID of the query being answered.
     pub guid: Guid,

@@ -8,7 +8,6 @@
 
 use arq_simkern::time::Duration;
 use arq_simkern::{Summary, Welford};
-use serde::{Deserialize, Serialize};
 
 /// Per-query bookkeeping while a query is live.
 #[derive(Debug, Clone, Default)]
@@ -34,7 +33,7 @@ pub struct QueryOutcome {
 }
 
 /// Aggregated results of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunMetrics {
     /// Policy label.
     pub policy: String,
@@ -60,6 +59,26 @@ pub struct RunMetrics {
     pub first_hit_hops: Option<Summary>,
     /// Summary of first-hit latencies in ticks (answered queries only).
     pub first_hit_latency: Option<Summary>,
+}
+
+impl arq_simkern::ToJson for RunMetrics {
+    fn to_json(&self) -> arq_simkern::Json {
+        use arq_simkern::Json;
+        Json::obj([
+            ("policy", Json::from(&self.policy)),
+            ("queries", Json::from(self.queries)),
+            ("answerable", Json::from(self.answerable)),
+            ("answered", Json::from(self.answered)),
+            ("query_messages", Json::from(self.query_messages)),
+            ("hit_messages", Json::from(self.hit_messages)),
+            ("bytes", Json::from(self.bytes)),
+            ("messages_per_query", Json::from(self.messages_per_query)),
+            ("bytes_per_query", Json::from(self.bytes_per_query)),
+            ("success_rate", Json::from(self.success_rate)),
+            ("first_hit_hops", self.first_hit_hops.to_json()),
+            ("first_hit_latency", self.first_hit_latency.to_json()),
+        ])
+    }
 }
 
 /// Accumulates per-query outcomes into [`RunMetrics`].

@@ -59,6 +59,62 @@ pub trait ForwardingPolicy {
         _key: arq_content::QueryKey,
     ) {
     }
+
+    /// Policy-specific counters for experiment reports (e.g. rule usage,
+    /// index hits), as ordered `(label, value)` pairs. Stateless policies
+    /// report nothing. The order must be deterministic — these feed
+    /// byte-compared run artifacts.
+    fn stats(&self) -> Vec<(String, f64)> {
+        Vec::new()
+    }
+
+    /// Downcast hook for callers that need the concrete policy back after
+    /// a type-erased run (e.g. topology adaptation reading the learned
+    /// association rules). Policies that expose post-run state override
+    /// this with `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+/// Boxed policies forward every call to the inner policy, so a
+/// `Network<Box<dyn ForwardingPolicy>>` behaves exactly like the
+/// monomorphic version. This is what lets the engine registry construct
+/// policies from run-time names.
+impl<P: ForwardingPolicy + ?Sized> ForwardingPolicy for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn init(&mut self, graph: &Graph, workload: &WorkloadGen, catalog: &Catalog) {
+        (**self).init(graph, workload, catalog);
+    }
+
+    fn on_topology_change(&mut self, graph: &Graph) {
+        (**self).on_topology_change(graph);
+    }
+
+    fn select(&mut self, ctx: &ForwardCtx<'_>, rng: &mut Rng64) -> Vec<NodeId> {
+        (**self).select(ctx, rng)
+    }
+
+    fn on_reply(
+        &mut self,
+        node: NodeId,
+        upstream: Option<NodeId>,
+        via: NodeId,
+        key: arq_content::QueryKey,
+    ) {
+        (**self).on_reply(node, upstream, via, key);
+    }
+
+    fn stats(&self) -> Vec<(String, f64)> {
+        (**self).stats()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        (**self).as_any()
+    }
 }
 
 /// Plain Gnutella flooding: forward to every candidate.

@@ -1,3 +1,7 @@
+// Property tests require the external `proptest` crate; the feature is
+// default-off so offline builds skip this file entirely.
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the protocol simulator.
 
 use arq_content::{CatalogConfig, FileId, QueryKey, Topic};

@@ -7,11 +7,10 @@
 //! overlays are sparse (Gnutella averages 3–10 neighbors), so linear scans
 //! beat hashing while keeping iteration order deterministic.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an overlay node. Dense, stable across leave/rejoin.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -29,7 +28,7 @@ impl fmt::Display for NodeId {
 }
 
 /// An undirected overlay graph with per-node liveness.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Graph {
     adj: Vec<Vec<NodeId>>,
     alive: Vec<bool>,

@@ -7,15 +7,18 @@
 //! * [`queue::EventQueue`] — a binary-heap event queue with **deterministic
 //!   tie-breaking** (events scheduled at the same instant fire in insertion
 //!   order), which is what makes whole-simulation runs reproducible;
-//! * [`rng`] — self-contained SplitMix64 / Xoshiro256** generators
-//!   implementing [`rand::RngCore`], plus a [`rng::StreamFactory`] that
-//!   derives independent, stable sub-streams from one master seed;
+//! * [`rng`] — self-contained SplitMix64 / Xoshiro256** generators with
+//!   inherent draw methods (no external RNG crate), plus a
+//!   [`rng::StreamFactory`] that derives independent, stable sub-streams
+//!   from one master seed;
 //! * [`stats`] — streaming statistics (Welford mean/variance, histograms,
 //!   exact quantiles, EWMA);
 //! * [`series`] — time-series containers used for per-trial coverage and
 //!   success measurements;
 //! * [`chart`] — ASCII line charts used to render the paper's figures into
-//!   `EXPERIMENTS.md`.
+//!   `EXPERIMENTS.md`;
+//! * [`json`] — dependency-free JSON values and serialization with
+//!   insertion-ordered objects, so experiment artifacts are byte-stable.
 //!
 //! The kernel deliberately does not prescribe an event *type*: each
 //! simulator (e.g. `arq-gnutella`) defines its own event enum and drains an
@@ -25,12 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod json;
 pub mod queue;
 pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
 
+pub use json::{Json, ToJson};
 pub use queue::EventQueue;
 pub use rng::{Rng64, SplitMix64, StreamFactory};
 pub use series::TimeSeries;

@@ -7,14 +7,12 @@
 //! independent stream derived from one master seed.
 //!
 //! We therefore implement [SplitMix64] and [xoshiro256**] directly (public
-//! domain algorithms by Steele/Lea/Vigna and Blackman/Vigna respectively)
-//! and expose them through [`rand::RngCore`] so the whole `rand`
-//! distribution toolkit still applies.
+//! domain algorithms by Steele/Lea/Vigna and Blackman/Vigna respectively).
+//! All draw methods are inherent on [`Rng64`], so the workspace carries no
+//! external RNG dependency and builds fully offline.
 //!
 //! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
 //! [xoshiro256**]: https://prng.di.unimi.it/xoshiro256starstar.c
-
-use rand::{RngCore, SeedableRng};
 
 /// SplitMix64: a tiny 64-bit generator used for seeding and stream
 /// derivation. Passes BigCrush when used as a stepping sequence.
@@ -47,8 +45,7 @@ impl SplitMix64 {
 /// xoshiro256**: the workspace's general-purpose generator.
 ///
 /// 256 bits of state, period 2^256 − 1, excellent statistical quality, and
-/// ~0.8 ns per output on modern x86-64. Implements [`RngCore`] +
-/// [`SeedableRng`] so it plugs into `rand::distributions`.
+/// ~0.8 ns per output on modern x86-64.
 #[derive(Debug, Clone)]
 pub struct Rng64 {
     s: [u64; 4],
@@ -157,18 +154,21 @@ impl Rng64 {
     }
 }
 
-impl RngCore for Rng64 {
+impl Rng64 {
+    /// Next 32 random bits (upper half of the next raw output).
     #[inline]
-    fn next_u32(&mut self) -> u32 {
+    pub fn next_u32(&mut self) -> u32 {
         (self.next_raw() >> 32) as u32
     }
 
+    /// Next 64 random bits.
     #[inline]
-    fn next_u64(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         self.next_raw()
     }
 
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next_raw().to_le_bytes());
@@ -178,19 +178,6 @@ impl RngCore for Rng64 {
             let bytes = self.next_raw().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for Rng64 {
-    type Seed = [u8; 8];
-
-    fn from_seed(seed: Self::Seed) -> Self {
-        Rng64::seed_from(u64::from_le_bytes(seed))
     }
 }
 
@@ -228,7 +215,10 @@ impl StreamFactory {
     }
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a hash of a byte string. Used for stream labelling here and for
+/// config digests in run provenance — stable across platforms and
+/// versions by construction.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for &b in bytes {
         h ^= b as u64;

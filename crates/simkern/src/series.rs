@@ -6,10 +6,9 @@
 //! down-sampling for chart rendering, and tail averages.
 
 use crate::stats::{Summary, Welford};
-use serde::{Deserialize, Serialize};
 
 /// A named, ordered sequence of `(x, y)` measurements.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
     /// Series label (used by charts and JSON output).
     pub name: String,

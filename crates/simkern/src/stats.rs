@@ -7,12 +7,10 @@
 //! exact-quantile summary, and an exponentially weighted moving average
 //! (used by the adaptive strategy's threshold calculators).
 
-use serde::{Deserialize, Serialize};
-
 /// Welford's online algorithm for mean and variance.
 ///
 /// Numerically stable for long streams; O(1) per observation.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Welford {
     n: u64,
     mean: f64,
@@ -106,7 +104,7 @@ impl Welford {
 ///
 /// Built from a slice in O(n log n); intended for end-of-experiment
 /// reporting rather than hot loops.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Summary {
     /// Number of observations.
     pub count: usize,
@@ -170,7 +168,7 @@ pub fn quantile(sorted: &[f64], q: f64) -> f64 {
 
 /// A fixed-range, fixed-bucket histogram for positive measurements
 /// (message counts, hop counts, latencies).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -241,7 +239,7 @@ impl Histogram {
 /// `alpha` is the weight of the newest observation. The adaptive strategy
 /// offers this as an alternative threshold calculator to the paper's plain
 /// mean-of-last-N.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Ewma {
     alpha: f64,
     value: Option<f64>,

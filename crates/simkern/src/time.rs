@@ -4,7 +4,6 @@
 //! whatever the enclosing simulator decides (the Gnutella simulator uses
 //! microseconds); the kernel only requires monotonicity and cheap ordering.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -13,15 +12,11 @@ use std::ops::{Add, AddAssign, Sub};
 /// `SimTime` is totally ordered and supports saturating arithmetic with
 /// [`Duration`] deltas. Construction from a raw tick count is explicit via
 /// [`SimTime::from_ticks`] to avoid accidental unit confusion.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time (difference of two [`SimTime`]s).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Duration(u64);
 
 impl SimTime {

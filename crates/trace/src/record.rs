@@ -15,22 +15,21 @@
 //! trace so joins and rule antecedents remain meaningful.
 
 use arq_simkern::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A host identity as seen by the collecting node (the paper's IP
 /// address).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HostId(pub u32);
 
 /// An interned query string.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct QueryId(pub u32);
 
 /// A query's globally-unique identifier — *assigned by the issuing node*,
 /// and therefore not actually guaranteed unique: faulty clients reuse
 /// them, which is why [`crate::db::TraceDb::clean`] exists.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Guid(pub u128);
 
 impl fmt::Display for HostId {
@@ -52,7 +51,7 @@ impl fmt::Display for Guid {
 }
 
 /// One query message observed at the collecting node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryRecord {
     /// When the query arrived.
     pub time: SimTime,
@@ -65,7 +64,7 @@ pub struct QueryRecord {
 }
 
 /// One reply message observed at the collecting node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReplyRecord {
     /// When the reply arrived.
     pub time: SimTime,
@@ -82,7 +81,7 @@ pub struct ReplyRecord {
 
 /// A joined query–reply pair: the unit the rule miner and all four
 /// strategies consume. `src → via` is the candidate association rule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PairRecord {
     /// Reply arrival time (pairs are ordered by it).
     pub time: SimTime,

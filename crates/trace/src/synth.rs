@@ -35,12 +35,11 @@
 use crate::record::{Guid, HostId, PairRecord, QueryId, QueryRecord, ReplyRecord};
 use arq_simkern::time::Duration;
 use arq_simkern::{Rng64, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the synthetic pair process. All lifetimes are measured
 /// in **pairs** (one pair ≈ one unit of trace time), so analysis block
 /// size is an independent choice, exactly as in the paper.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SynthConfig {
     /// Number of query–reply pairs to generate.
     pub pairs: usize,

@@ -1,0 +1,138 @@
+//! Engine integration tests: registry round-trips and executor
+//! determinism, asserted over the public umbrella-crate surface.
+//!
+//! The determinism claims here are the ones CI enforces end-to-end by
+//! diffing experiment artifacts across `ARQ_THREADS` settings: the
+//! executor must produce byte-identical artifact JSON at any worker
+//! count, and rerunning a spec with the same seed must reproduce it.
+
+use arq::core::engine::{
+    execute_with_threads, make_policy, make_strategy, run_one, POLICY_NAMES, STRATEGY_NAMES,
+};
+use arq::core::{RunSpec, TraceSource};
+use arq::gnutella::sim::SimConfig;
+use arq::simkern::ToJson;
+use std::sync::Arc;
+
+fn trace() -> TraceSource {
+    TraceSource::PaperDefault {
+        pairs: 6_000,
+        seed: 17,
+    }
+}
+
+fn mixed_specs() -> Vec<RunSpec> {
+    let mut specs: Vec<RunSpec> = ["sliding(s=10)", "lazy(s=5,p=3)", "incremental"]
+        .iter()
+        .map(|s| RunSpec::TraceEval {
+            trace: trace(),
+            strategy: s.to_string(),
+            block_size: 1_000,
+        })
+        .collect();
+    let mut cfg = SimConfig::default_with(60, 120, 23);
+    cfg.catalog.topics = 5;
+    cfg.catalog.files_per_topic = 40;
+    for policy in ["flood", "assoc", "k-walk(k=2,ttl=24)"] {
+        specs.push(RunSpec::LiveSim {
+            cfg: cfg.clone(),
+            policy: policy.into(),
+            graph: None,
+        });
+    }
+    specs
+}
+
+#[test]
+fn executor_is_thread_count_invariant() {
+    let specs = mixed_specs();
+    let one = execute_with_threads(&specs, 1).unwrap();
+    let many = execute_with_threads(&specs, 8).unwrap();
+    assert_eq!(one.len(), specs.len());
+    for (a, b) in one.iter().zip(&many) {
+        assert_eq!(
+            a.to_json().to_string(),
+            b.to_json().to_string(),
+            "artifact {} differs between 1 and 8 workers",
+            a.index
+        );
+    }
+}
+
+#[test]
+fn same_seed_reruns_are_byte_identical() {
+    let specs = mixed_specs();
+    let first = execute_with_threads(&specs, 4).unwrap();
+    let second = execute_with_threads(&specs, 4).unwrap();
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+    }
+}
+
+#[test]
+fn every_strategy_round_trips_through_the_registry() {
+    for name in STRATEGY_NAMES {
+        let built = make_strategy(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let canonical = built.name();
+        assert!(
+            canonical.starts_with(name),
+            "bare `{name}` built `{canonical}`"
+        );
+        // The canonical label itself is a valid spec reconstructing the
+        // same configuration.
+        let again = make_strategy(&canonical).unwrap_or_else(|e| panic!("{canonical}: {e}"));
+        assert_eq!(again.name(), canonical);
+    }
+}
+
+#[test]
+fn every_policy_builds_and_keeps_its_label() {
+    for name in POLICY_NAMES {
+        let built = make_policy(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            &built.label, name,
+            "bare `{name}` labeled `{}`",
+            built.label
+        );
+    }
+}
+
+#[test]
+fn unknown_names_report_the_valid_alternatives() {
+    let e = match make_strategy("windowed") {
+        Err(e) => e.to_string(),
+        Ok(s) => panic!("`windowed` unexpectedly built {}", s.name()),
+    };
+    for name in STRATEGY_NAMES {
+        assert!(e.contains(name), "`{e}` does not mention `{name}`");
+    }
+    let e = match make_policy("gossip") {
+        Err(e) => e.to_string(),
+        Ok(p) => panic!("`gossip` unexpectedly built {}", p.label),
+    };
+    for name in POLICY_NAMES {
+        assert!(e.contains(name), "`{e}` does not mention `{name}`");
+    }
+}
+
+#[test]
+fn artifacts_carry_provenance() {
+    let pairs = Arc::new(
+        arq::trace::SynthTrace::new(arq::trace::SynthConfig::paper_default(1_000, 99)).pairs(),
+    );
+    let spec = RunSpec::TraceEval {
+        trace: TraceSource::Shared {
+            label: "paper-default".into(),
+            seed: 99,
+            pairs,
+        },
+        strategy: "static".into(),
+        block_size: 100,
+    };
+    let artifact = run_one(3, &spec).unwrap();
+    assert_eq!(artifact.index, 3);
+    assert_eq!(artifact.seed, 99);
+    assert_eq!(artifact.digest, spec.digest());
+    assert!(artifact.spec.contains("strategy=static"));
+    assert_eq!(artifact.label, "static(s=10)");
+}
