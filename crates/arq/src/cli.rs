@@ -116,10 +116,16 @@ COMMANDS:
               strategies: static | sliding | lazy | adaptive | incremental | lossy | topic
               SPEC may also carry registry parameters, e.g. sliding(s=10,c=0.05)
   simulate    run a live overlay simulation with a forwarding policy
+              (alias: live)
               [--nodes N] [--queries N] [--policy SPEC] [--seed S]
+              [--faults SPEC] [--retry SPEC]
               policies: flood | expanding-ring | k-walk | shortcuts |
-                        routing-index | superpeer | assoc | hybrid
+                        routing-index | superpeer | assoc | assoc-adaptive |
+                        hybrid
               SPEC accepts registry parameters too, e.g. assoc(k=2,hl=500)
+              --faults injects deterministic failures, e.g. 'loss=0.05'
+              or 'faults(loss=0.05,crash=0.01,silent=0.02)'; --retry adds
+              the bounded-retry lifecycle, e.g. 'deadline=2000,attempts=3'
   help        print this text
 ";
 
@@ -134,7 +140,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "clean-join" => clean_join(rest),
         "mine" => mine(rest),
         "evaluate" => cmd_evaluate(rest),
-        "simulate" => simulate(rest),
+        "simulate" | "live" => simulate(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -321,13 +327,34 @@ fn cmd_evaluate(args: &[String]) -> Result<String, CliError> {
     Ok(report)
 }
 
+/// Wraps a bare `k=v,...` list into `name(k=v,...)`; full specs that
+/// already carry a parameter list pass through verbatim.
+fn wrap_spec(name: &str, spec: &str) -> String {
+    if spec.contains('(') {
+        spec.to_string()
+    } else {
+        format!("{name}({spec})")
+    }
+}
+
 fn simulate(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args, &[])?;
     let nodes: usize = flags.parse_num("nodes", 400)?;
     let queries: usize = flags.parse_num("queries", 2_000)?;
     let seed: u64 = flags.parse_num("seed", 1)?;
     let policy = flags.get("policy").unwrap_or("flood");
-    let cfg = SimConfig::default_with(nodes, queries, seed);
+    let mut cfg = SimConfig::default_with(nodes, queries, seed);
+    if let Some(spec) = flags.get("faults") {
+        cfg.faults = Some(
+            engine::make_fault_plan(&wrap_spec("faults", spec)).map_err(|e| err(e.to_string()))?,
+        );
+    }
+    if let Some(spec) = flags.get("retry") {
+        cfg.retry = Some(
+            engine::make_retry_policy(&wrap_spec("retry", spec)).map_err(|e| err(e.to_string()))?,
+        );
+    }
+    let faulted = cfg.faults.is_some() || cfg.retry.is_some();
     let (metrics, stats, _, _) =
         engine::run_live(cfg, policy, None).map_err(|e| err(e.to_string()))?;
     let mut report = String::new();
@@ -348,6 +375,12 @@ fn simulate(args: &[String]) -> Result<String, CliError> {
     let _ = writeln!(report, "success rate:      {:.3}", metrics.success_rate);
     if let Some(h) = &metrics.first_hit_hops {
         let _ = writeln!(report, "first-hit hops:    {:.2}", h.mean);
+    }
+    if faulted {
+        let _ = writeln!(report, "retried:           {}", metrics.retried);
+        let _ = writeln!(report, "expired:           {}", metrics.expired);
+        let _ = writeln!(report, "duplicate hits:    {}", metrics.duplicate_hits);
+        let _ = writeln!(report, "lost messages:     {}", metrics.lost_messages);
     }
     Ok(report)
 }
@@ -492,6 +525,30 @@ mod tests {
         }
         let e = run(&args("simulate --policy bogus")).unwrap_err();
         assert!(e.0.contains("unknown policy"));
+    }
+
+    #[test]
+    fn simulate_with_faults_and_retry() {
+        // Bare key=value lists wrap into registry specs; `live` aliases
+        // `simulate`.
+        let out = run(&args(
+            "live --nodes 60 --queries 150 --seed 9 --faults loss=0.2 --retry attempts=2",
+        ))
+        .unwrap();
+        assert!(out.contains("lost messages:"), "{out}");
+        assert!(out.contains("retried:"), "{out}");
+        // Full specs pass through verbatim.
+        let out = run(&args(
+            "simulate --nodes 60 --queries 150 --seed 9 --faults faults(loss=0.1,silent=0.05)",
+        ))
+        .unwrap();
+        assert!(out.contains("lost messages:"), "{out}");
+        // Bad fault keys surface the registry's key list.
+        let e = run(&args("simulate --faults dropchance=0.5")).unwrap_err();
+        assert!(e.0.contains("unknown parameter"), "{e}");
+        assert!(e.0.contains("valid:"), "{e}");
+        let e = run(&args("simulate --retry deadline=0")).unwrap_err();
+        assert!(e.0.contains("deadline"), "{e}");
     }
 
     #[test]

@@ -95,6 +95,38 @@ impl DecayedPairCounts {
         self.observe(p.src, p.via);
     }
 
+    /// Demotes one association: brings its decayed count forward and
+    /// multiplies it by `factor` (in `[0, 1]`). `factor == 0.0` evicts the
+    /// rule outright. Negative feedback — a consequent observed dead or a
+    /// query that timed out along the rule's route — flows through here,
+    /// so a stale rule drops below the support threshold after a few
+    /// failures instead of waiting out its half-life.
+    pub fn penalize(&mut self, src: HostId, via: HostId, factor: f64) {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "penalty factor outside [0, 1]"
+        );
+        let Some(inner) = self.counts.get_mut(&src) else {
+            return;
+        };
+        let clock = self.clock;
+        let half_life = self.half_life;
+        if factor == 0.0 {
+            if inner.remove(&via).is_some() {
+                self.entries -= 1;
+            }
+            if inner.is_empty() {
+                self.counts.remove(&src);
+            }
+            return;
+        }
+        if let Some(entry) = inner.get_mut(&via) {
+            let age = (clock - entry.at) as f64;
+            entry.value = entry.value * 0.5f64.powf(age / half_life) * factor;
+            entry.at = clock;
+        }
+    }
+
     /// Current decayed count for one association.
     pub fn count(&self, src: HostId, via: HostId) -> f64 {
         self.counts
@@ -240,6 +272,30 @@ mod tests {
         assert_eq!(c.top_k(HostId(1), 2, 1.0), vec![HostId(30), HostId(20)]);
         assert_eq!(c.top_k(HostId(1), 10, 3.0), vec![HostId(30), HostId(20)]);
         assert!(c.top_k(HostId(9), 3, 1.0).is_empty());
+    }
+
+    #[test]
+    fn penalize_demotes_and_evicts() {
+        let mut c = DecayedPairCounts::new(1e9);
+        for _ in 0..8 {
+            c.observe(HostId(1), HostId(10));
+        }
+        c.penalize(HostId(1), HostId(10), 0.5);
+        assert!((c.count(HostId(1), HostId(10)) - 4.0).abs() < 1e-6);
+        // Unknown associations are a no-op.
+        c.penalize(HostId(1), HostId(99), 0.5);
+        c.penalize(HostId(9), HostId(10), 0.5);
+        // A zero factor evicts the rule and its emptied antecedent.
+        c.penalize(HostId(1), HostId(10), 0.0);
+        assert_eq!(c.count(HostId(1), HostId(10)), 0.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "penalty factor")]
+    fn penalize_rejects_growth_factors() {
+        let mut c = DecayedPairCounts::new(10.0);
+        c.penalize(HostId(1), HostId(2), 1.5);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! The functions are grouped by the world they run in:
 //!
 //! * [`trace`] — trace-driven evaluation (E1–E6, E9, E12, E14);
-//! * [`live`] — live-network simulation (E7, E10, E11, E13, E15);
+//! * [`live`] — live-network simulation (E7, E10, E11, E13, E15, E16);
 //! * [`cost`] — wall-clock cost measurement (E8).
 
 mod cost;
@@ -22,7 +22,7 @@ mod live;
 mod trace;
 
 pub use cost::e8_rulegen_cost;
-pub use live::{e10_topk, e11_topology, e13_hybrid, e15_superpeer, e7_traffic};
+pub use live::{e10_topk, e11_topology, e13_hybrid, e15_superpeer, e16_degradation, e7_traffic};
 pub use trace::{
     e12_topic_rules, e14_stream_maintainers, e1_static, e2_sliding, e3_block_sizes, e3b_thresholds,
     e4_lazy, e5_adaptive, e6_incremental, e9_confidence,
@@ -203,6 +203,7 @@ pub fn run_all(scale: Scale, seed: u64, only: Option<&[String]>) -> Vec<Experime
         ("e13", e13_hybrid),
         ("e14", e14_stream_maintainers),
         ("e15", e15_superpeer),
+        ("e16", e16_degradation),
     ];
     table
         .into_iter()
@@ -238,6 +239,17 @@ mod tests {
         let reports = run_all(tiny(), 3, Some(&only));
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].id, "E8");
+    }
+
+    // 3 policies × 4 loss rates; the zero-loss-equals-baseline assertion
+    // inside the experiment runs as part of this smoke test.
+    #[test]
+    fn e16_smoke() {
+        let r = e16_degradation(tiny(), 3);
+        assert_eq!(r.id, "E16");
+        assert_eq!(r.rows.len(), 12);
+        assert!(r.rows[0].0.starts_with("flood loss=0.00"));
+        assert!(r.rows[0].1.contains("recall"));
     }
 
     #[test]

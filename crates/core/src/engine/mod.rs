@@ -27,7 +27,7 @@ pub mod spec;
 
 pub use executor::{execute, execute_with_threads, run_live, run_one, thread_count, LiveRun};
 pub use registry::{
-    make_policy, make_strategy, parse_spec, BuiltPolicy, ParsedSpec, RegistryError, POLICY_NAMES,
-    STRATEGY_NAMES,
+    make_fault_plan, make_policy, make_retry_policy, make_strategy, parse_spec, BuiltPolicy,
+    ParsedSpec, RegistryError, POLICY_NAMES, STRATEGY_NAMES,
 };
 pub use spec::{RunArtifact, RunOutput, RunSpec, TraceSource};

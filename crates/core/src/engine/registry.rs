@@ -22,7 +22,8 @@ use arq_baselines::{
     expanding_ring, FloodPolicy, InterestShortcuts, KRandomWalk, RoutingIndices, SuperPeerPolicy,
 };
 use arq_gnutella::policy::ForwardingPolicy;
-use arq_gnutella::sim::{RingSchedule, SimConfig};
+use arq_gnutella::sim::{RetryPolicy, RingSchedule, SimConfig};
+use arq_gnutella::FaultPlan;
 use arq_simkern::time::Duration;
 
 /// Every registered strategy name, in registry order.
@@ -45,6 +46,7 @@ pub const POLICY_NAMES: &[&str] = &[
     "routing-index",
     "superpeer",
     "assoc",
+    "assoc-adaptive",
     "hybrid",
 ];
 
@@ -303,6 +305,7 @@ impl BuiltPolicy {
 /// | `routing-index` | `horizon` (3), `atten` attenuation (0.5), `k` fan-out (2) |
 /// | `superpeer` | `n` core size (16) |
 /// | `assoc` | `k` fan-out (2), `s` min decayed support (3), `hl` half-life (500), `top` top-by-support 1/0 (1) |
+/// | `assoc-adaptive` | `assoc` params plus `demote` dead-rule factor (0.5), `fw` failure window (20), `ft` miss threshold (0.75) |
 /// | `hybrid` | `cap` (5), `k` (2), `s` (3), `hl` (500) |
 pub fn make_policy(spec: &str) -> Result<BuiltPolicy, RegistryError> {
     let parsed = parse_spec(spec)?;
@@ -387,6 +390,32 @@ pub fn make_policy(spec: &str) -> Result<BuiltPolicy, RegistryError> {
                 min_support: p.f64("s"),
                 half_life: p.f64("hl"),
                 top_by_support: p.f64("top") != 0.0,
+                ..Default::default()
+            })))
+        }
+        "assoc-adaptive" => {
+            let p = ParamTable::resolve(
+                spec,
+                &parsed,
+                &[
+                    ("k", 2.0),
+                    ("s", 3.0),
+                    ("hl", 500.0),
+                    ("top", 1.0),
+                    ("demote", 0.5),
+                    ("fw", 20.0),
+                    ("ft", 0.75),
+                ],
+                &[],
+            )?;
+            plain(Box::new(AssocPolicy::new(AssocPolicyConfig {
+                k: p.usize("k")?,
+                min_support: p.f64("s"),
+                half_life: p.f64("hl"),
+                top_by_support: p.f64("top") != 0.0,
+                demote: p.f64("demote"),
+                fail_window: p.usize("fw")?,
+                fail_threshold: p.f64("ft"),
             })))
         }
         "hybrid" => {
@@ -404,10 +433,99 @@ pub fn make_policy(spec: &str) -> Result<BuiltPolicy, RegistryError> {
                     min_support: p.f64("s"),
                     half_life: p.f64("hl"),
                     top_by_support: true,
+                    ..Default::default()
                 },
             )))
         }
         other => return Err(RegistryError::UnknownPolicy(other.to_string())),
+    })
+}
+
+/// Constructs a [`FaultPlan`] from a spec string:
+/// `faults(loss=0.05,jitter=40,crash=0.01,silent=0.02)`.
+///
+/// All parameters default to zero, so `faults` alone is a valid (no-op)
+/// plan; unknown keys are rejected with the valid keys listed.
+pub fn make_fault_plan(spec: &str) -> Result<FaultPlan, RegistryError> {
+    let parsed = parse_spec(spec)?;
+    if parsed.name != "faults" {
+        return Err(RegistryError::BadSpec {
+            spec: spec.to_string(),
+            reason: format!("fault spec must be `faults(...)`, got `{}`", parsed.name),
+        });
+    }
+    let p = ParamTable::resolve(
+        spec,
+        &parsed,
+        &[
+            ("loss", 0.0),
+            ("jitter", 0.0),
+            ("crash", 0.0),
+            ("silent", 0.0),
+        ],
+        &[],
+    )?;
+    let plan = FaultPlan {
+        loss: p.f64("loss"),
+        jitter: p.u64("jitter")?,
+        crash: p.f64("crash"),
+        silent: p.f64("silent"),
+    };
+    plan.validate().map_err(|e| RegistryError::BadSpec {
+        spec: spec.to_string(),
+        reason: e.to_string(),
+    })?;
+    Ok(plan)
+}
+
+/// Constructs a [`RetryPolicy`] from a spec string:
+/// `retry(deadline=2000,attempts=3,backoff=2,step=1,maxttl=8)`.
+///
+/// Unknown keys are rejected with the valid keys listed.
+pub fn make_retry_policy(spec: &str) -> Result<RetryPolicy, RegistryError> {
+    let parsed = parse_spec(spec)?;
+    if parsed.name != "retry" {
+        return Err(RegistryError::BadSpec {
+            spec: spec.to_string(),
+            reason: format!("retry spec must be `retry(...)`, got `{}`", parsed.name),
+        });
+    }
+    let p = ParamTable::resolve(
+        spec,
+        &parsed,
+        &[
+            ("deadline", 2_000.0),
+            ("attempts", 3.0),
+            ("backoff", 2.0),
+            ("step", 1.0),
+            ("maxttl", 8.0),
+        ],
+        &[],
+    )?;
+    let bad = |reason: String| RegistryError::BadSpec {
+        spec: spec.to_string(),
+        reason,
+    };
+    let deadline = p.u64("deadline")?;
+    if deadline == 0 {
+        return Err(bad("parameter `deadline` must be positive".to_string()));
+    }
+    let attempts = p.u64("attempts")?;
+    if attempts == 0 {
+        return Err(bad("parameter `attempts` must be positive".to_string()));
+    }
+    let backoff = p.f64("backoff");
+    if backoff < 1.0 {
+        return Err(bad(format!(
+            "parameter `backoff` must be at least 1, got {backoff}"
+        )));
+    }
+    Ok(RetryPolicy {
+        deadline: Duration::from_ticks(deadline),
+        max_attempts: attempts as u32,
+        backoff,
+        ttl_step: p.u64("step")? as u32,
+        max_ttl: p.u64("maxttl")? as u32,
     })
 }
 
@@ -470,6 +588,57 @@ mod tests {
     fn support_alias_reaches_streaming_maintainers() {
         let s = make_strategy("incremental(s=7)").unwrap();
         assert!(s.name().contains("t=7"), "{}", s.name());
+    }
+
+    #[test]
+    fn fault_specs_round_trip() {
+        let plan = make_fault_plan("faults(loss=0.05,crash=0.01,silent=0.02,jitter=40)").unwrap();
+        assert_eq!(plan.loss, 0.05);
+        assert_eq!(plan.jitter, 40);
+        assert_eq!(plan.crash, 0.01);
+        assert_eq!(plan.silent, 0.02);
+        assert!(make_fault_plan("faults").unwrap().is_noop());
+        assert!(make_fault_plan("faults(loss=1.5)").is_err());
+        assert!(make_fault_plan("retry(loss=0.1)").is_err());
+    }
+
+    #[test]
+    fn unknown_fault_keys_list_valid_keys() {
+        let e = make_fault_plan("faults(los=0.05)").unwrap_err().to_string();
+        assert!(e.contains("unknown parameter `los`"), "{e}");
+        for key in ["loss", "jitter", "crash", "silent"] {
+            assert!(e.contains(key), "`{key}` missing from: {e}");
+        }
+    }
+
+    #[test]
+    fn retry_specs_round_trip() {
+        let rp = make_retry_policy("retry(deadline=1500,attempts=4,backoff=1.5,step=2,maxttl=9)")
+            .unwrap();
+        assert_eq!(rp.deadline, Duration::from_ticks(1_500));
+        assert_eq!(rp.max_attempts, 4);
+        assert_eq!(rp.backoff, 1.5);
+        assert_eq!(rp.ttl_step, 2);
+        assert_eq!(rp.max_ttl, 9);
+        let defaults = make_retry_policy("retry").unwrap();
+        assert_eq!(defaults.max_attempts, 3);
+        assert!(make_retry_policy("retry(attempts=0)").is_err());
+        assert!(make_retry_policy("retry(deadline=0)").is_err());
+        assert!(make_retry_policy("retry(backoff=0.5)").is_err());
+        let e = make_retry_policy("retry(atempts=2)")
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("unknown parameter"), "{e}");
+        assert!(e.contains("deadline"), "{e}");
+    }
+
+    #[test]
+    fn adaptive_assoc_builds_with_its_own_label() {
+        let built = make_policy("assoc-adaptive(demote=0.25,fw=10)").unwrap();
+        assert_eq!(built.label, "assoc-adaptive");
+        // Plain assoc stays plain — adaptive defaults must not leak in.
+        let plain = make_policy("assoc").unwrap();
+        assert_eq!(plain.label, "assoc");
     }
 
     #[test]

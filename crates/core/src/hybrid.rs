@@ -144,6 +144,7 @@ mod tests {
             min_support: 2.0,
             half_life: 1e9,
             top_by_support: true,
+            ..Default::default()
         }
     }
 

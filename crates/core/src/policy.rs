@@ -37,6 +37,19 @@ pub struct AssocPolicyConfig {
     /// `false`, pick k uniformly at random among qualifying consequents
     /// (the paper's §III-B.1 alternative, ablated in E10).
     pub top_by_support: bool,
+    /// Multiply a rule's support by this factor whenever its consequent
+    /// is observed dead — either absent from the live candidates at
+    /// selection time or blamed for a query timeout. `1.0` disables
+    /// demotion (plain rule-or-flood behavior); `0.0` evicts outright.
+    pub demote: f64,
+    /// Tumbling window of issuer query outcomes per node driving
+    /// Adaptive-Sliding-Window-style re-mines: once a node accumulates
+    /// this many outcomes, a miss fraction of at least `fail_threshold`
+    /// discards its rule set so it re-learns from live traffic.
+    /// `0` disables.
+    pub fail_window: usize,
+    /// Miss fraction within a full window that triggers the re-mine.
+    pub fail_threshold: f64,
 }
 
 impl Default for AssocPolicyConfig {
@@ -46,7 +59,17 @@ impl Default for AssocPolicyConfig {
             min_support: 3.0,
             half_life: 500.0,
             top_by_support: true,
+            demote: 1.0,
+            fail_window: 0,
+            fail_threshold: 0.75,
         }
+    }
+}
+
+impl AssocPolicyConfig {
+    /// Whether any failure-adaptation mechanism is active.
+    pub fn adaptive(&self) -> bool {
+        self.demote < 1.0 || self.fail_window > 0
     }
 }
 
@@ -56,8 +79,12 @@ pub struct AssocPolicy {
     cfg: AssocPolicyConfig,
     /// One learner per node, created lazily.
     learners: Vec<Option<DecayedPairCounts>>,
+    /// Per-node (successes, failures) in the current tumbling window.
+    windows: Vec<(u32, u32)>,
     rule_forwards: u64,
     flood_fallbacks: u64,
+    dead_demotions: u64,
+    failure_remines: u64,
 }
 
 impl AssocPolicy {
@@ -65,11 +92,22 @@ impl AssocPolicy {
     pub fn new(cfg: AssocPolicyConfig) -> Self {
         assert!(cfg.k >= 1, "k must be at least 1");
         assert!(cfg.min_support >= 1.0, "min_support below one observation");
+        assert!(
+            (0.0..=1.0).contains(&cfg.demote),
+            "demote factor outside [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.fail_threshold),
+            "fail_threshold outside [0, 1]"
+        );
         AssocPolicy {
             cfg,
             learners: Vec::new(),
+            windows: Vec::new(),
             rule_forwards: 0,
             flood_fallbacks: 0,
+            dead_demotions: 0,
+            failure_remines: 0,
         }
     }
 
@@ -93,12 +131,51 @@ impl AssocPolicy {
         }
     }
 
+    /// Rules demoted after their consequent was observed dead.
+    pub fn dead_demotions(&self) -> u64 {
+        self.dead_demotions
+    }
+
+    /// Rule sets discarded by the failure-window re-mine trigger.
+    pub fn failure_remines(&self) -> u64 {
+        self.failure_remines
+    }
+
     fn learner(&mut self, node: NodeId) -> &mut DecayedPairCounts {
         let idx = node.index();
         if idx >= self.learners.len() {
             self.learners.resize_with(idx + 1, || None);
         }
         self.learners[idx].get_or_insert_with(|| DecayedPairCounts::new(self.cfg.half_life))
+    }
+
+    /// Folds one issuer-side query outcome into the node's tumbling
+    /// window; a full window with too many misses discards the node's
+    /// rule set, forcing a fresh mine from subsequent replies.
+    fn note_outcome(&mut self, node: NodeId, success: bool) {
+        if self.cfg.fail_window == 0 {
+            return;
+        }
+        let idx = node.index();
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, (0, 0));
+        }
+        let w = &mut self.windows[idx];
+        if success {
+            w.0 += 1;
+        } else {
+            w.1 += 1;
+        }
+        if (w.0 + w.1) as usize >= self.cfg.fail_window {
+            let miss = f64::from(w.1) / f64::from(w.0 + w.1);
+            self.windows[idx] = (0, 0);
+            if miss >= self.cfg.fail_threshold {
+                if let Some(slot @ Some(_)) = self.learners.get_mut(idx) {
+                    *slot = None;
+                    self.failure_remines += 1;
+                }
+            }
+        }
     }
 
     /// Warm-starts one node's learner from an offline-mined rule set —
@@ -128,7 +205,11 @@ impl AssocPolicy {
 
 impl ForwardingPolicy for AssocPolicy {
     fn name(&self) -> &'static str {
-        "assoc"
+        if self.cfg.adaptive() {
+            "assoc-adaptive"
+        } else {
+            "assoc"
+        }
     }
 
     fn select(&mut self, ctx: &ForwardCtx<'_>, rng: &mut Rng64) -> Vec<NodeId> {
@@ -136,27 +217,35 @@ impl ForwardingPolicy for AssocPolicy {
         let k = self.cfg.k;
         let min_support = self.cfg.min_support;
         let top_by_support = self.cfg.top_by_support;
+        let demote = self.cfg.demote;
         let learner = self.learner(ctx.node);
+        let all: Vec<NodeId> = learner
+            .top_k(antecedent, usize::MAX, min_support)
+            .into_iter()
+            .map(|h| NodeId(h.0))
+            .collect();
+        // Qualifying consequents that are no longer live candidates are
+        // observed dead; with demotion enabled, shrink them on the spot
+        // so stale rules decay faster than their half-life alone allows.
+        let mut demoted = 0;
+        if demote < 1.0 {
+            for n in all.iter().filter(|n| !ctx.candidates.contains(n)) {
+                learner.penalize(antecedent, host(*n), demote);
+                demoted += 1;
+            }
+        }
+        self.dead_demotions += demoted;
         // Qualifying consequents that are actually live candidates.
-        let qualifying: Vec<NodeId> = if top_by_support {
-            learner
-                .top_k(antecedent, usize::MAX, min_support)
-                .into_iter()
-                .map(|h| NodeId(h.0))
-                .filter(|n| ctx.candidates.contains(n))
-                .take(k)
-                .collect()
+        let mut qualifying: Vec<NodeId> = all
+            .into_iter()
+            .filter(|n| ctx.candidates.contains(n))
+            .collect();
+        if top_by_support {
+            qualifying.truncate(k);
         } else {
-            let mut all: Vec<NodeId> = learner
-                .top_k(antecedent, usize::MAX, min_support)
-                .into_iter()
-                .map(|h| NodeId(h.0))
-                .filter(|n| ctx.candidates.contains(n))
-                .collect();
-            rng.shuffle(&mut all);
-            all.truncate(k);
-            all
-        };
+            rng.shuffle(&mut qualifying);
+            qualifying.truncate(k);
+        }
         if qualifying.is_empty() {
             // No applicable rule: revert to flooding.
             self.flood_fallbacks += 1;
@@ -176,14 +265,34 @@ impl ForwardingPolicy for AssocPolicy {
     ) {
         let antecedent = host(upstream.unwrap_or(node));
         self.learner(node).observe(antecedent, host(via));
+        if upstream.is_none() {
+            // A hit reached the issuer: a success for its window.
+            self.note_outcome(node, true);
+        }
+    }
+
+    fn on_failure(&mut self, node: NodeId, target: NodeId) {
+        if self.cfg.demote < 1.0 {
+            let demote = self.cfg.demote;
+            if let Some(Some(learner)) = self.learners.get_mut(node.index()) {
+                learner.penalize(host(node), host(target), demote);
+                self.dead_demotions += 1;
+            }
+        }
+        self.note_outcome(node, false);
     }
 
     fn stats(&self) -> Vec<(String, f64)> {
-        vec![
+        let mut stats = vec![
             ("rule_forwards".into(), self.rule_forwards as f64),
             ("flood_fallbacks".into(), self.flood_fallbacks as f64),
             ("rule_usage".into(), self.rule_usage()),
-        ]
+        ];
+        if self.cfg.adaptive() {
+            stats.push(("dead_demotions".into(), self.dead_demotions as f64));
+            stats.push(("failure_remines".into(), self.failure_remines as f64));
+        }
+        stats
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -227,6 +336,7 @@ mod tests {
             min_support: 3.0,
             half_life: 1e9,
             top_by_support: true,
+            ..Default::default()
         });
         let mut rng = Rng64::seed_from(1);
         let candidates = vec![NodeId(10), NodeId(11), NodeId(12)];
@@ -257,6 +367,7 @@ mod tests {
             min_support: 2.0,
             half_life: 1e9,
             top_by_support: true,
+            ..Default::default()
         });
         let mut rng = Rng64::seed_from(2);
         teach(&mut p, NodeId(5), NodeId(2), NodeId(11), 5);
@@ -287,6 +398,7 @@ mod tests {
             min_support: 2.0,
             half_life: 1e9,
             top_by_support: true,
+            ..Default::default()
         });
         let mut rng = Rng64::seed_from(3);
         // Hits for queries the node issued itself (upstream None).
@@ -328,6 +440,7 @@ mod tests {
             min_support: 2.0,
             half_life: 1e9,
             top_by_support: true,
+            ..Default::default()
         });
         let mut rng = Rng64::seed_from(5);
         teach(&mut p, NodeId(5), NodeId(2), NodeId(10), 3);
@@ -350,6 +463,7 @@ mod tests {
             min_support: 2.0,
             half_life: 1e9,
             top_by_support: false,
+            ..Default::default()
         });
         let mut rng = Rng64::seed_from(6);
         teach(&mut p, NodeId(5), NodeId(2), NodeId(10), 5);
@@ -369,6 +483,138 @@ mod tests {
             seen.insert(sel[0]);
         }
         assert_eq!(seen.len(), 2, "random-k never varied its choice");
+    }
+
+    #[test]
+    fn failure_feedback_demotes_rules_until_flooding_resumes() {
+        let mut p = AssocPolicy::new(AssocPolicyConfig {
+            k: 1,
+            min_support: 3.0,
+            half_life: 1e9,
+            top_by_support: true,
+            demote: 0.25,
+            fail_window: 0,
+            fail_threshold: 0.75,
+        });
+        assert_eq!(p.name(), "assoc-adaptive");
+        let mut rng = Rng64::seed_from(7);
+        // Node 5 learned (self -> 11) from its own issued queries.
+        for _ in 0..8 {
+            p.on_reply(NodeId(5), None, NodeId(11), key());
+        }
+        let candidates = vec![NodeId(10), NodeId(11)];
+        let m = msg();
+        let ctx = ForwardCtx {
+            node: NodeId(5),
+            from: None,
+            query: &m,
+            candidates: &candidates,
+        };
+        assert_eq!(p.select(&ctx, &mut rng), vec![NodeId(11)]);
+        // Timeouts blame the consequent; support 8 * 0.25^2 < 3 kills it.
+        p.on_failure(NodeId(5), NodeId(11));
+        p.on_failure(NodeId(5), NodeId(11));
+        assert!(p.dead_demotions() >= 2);
+        assert_eq!(
+            p.select(&ctx, &mut rng),
+            candidates,
+            "dead rule kept routing"
+        );
+    }
+
+    #[test]
+    fn select_demotes_consequents_missing_from_candidates() {
+        let mut p = AssocPolicy::new(AssocPolicyConfig {
+            k: 1,
+            min_support: 2.0,
+            half_life: 1e9,
+            top_by_support: true,
+            demote: 0.0, // observed-dead rules are evicted outright
+            fail_window: 0,
+            fail_threshold: 0.75,
+        });
+        let mut rng = Rng64::seed_from(8);
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(11), 10);
+        // Node 11 offline: selecting floods AND evicts the rule.
+        let without_11 = vec![NodeId(10), NodeId(12)];
+        let m = msg();
+        let ctx = ForwardCtx {
+            node: NodeId(5),
+            from: Some(NodeId(2)),
+            query: &m,
+            candidates: &without_11,
+        };
+        assert_eq!(p.select(&ctx, &mut rng), without_11);
+        assert_eq!(p.dead_demotions(), 1);
+        // Node 11 comes back: the rule is gone, still flooding.
+        let with_11 = vec![NodeId(10), NodeId(11)];
+        let ctx = ForwardCtx {
+            node: NodeId(5),
+            from: Some(NodeId(2)),
+            query: &m,
+            candidates: &with_11,
+        };
+        assert_eq!(p.select(&ctx, &mut rng), with_11);
+    }
+
+    #[test]
+    fn failure_window_triggers_remine() {
+        let mut p = AssocPolicy::new(AssocPolicyConfig {
+            k: 1,
+            min_support: 2.0,
+            half_life: 1e9,
+            top_by_support: true,
+            demote: 1.0,
+            fail_window: 4,
+            fail_threshold: 0.75,
+        });
+        assert_eq!(p.name(), "assoc-adaptive");
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(11), 10);
+        // Four straight timeouts fill node 5's window and discard its rules.
+        for _ in 0..4 {
+            p.on_failure(NodeId(5), NodeId(10));
+        }
+        assert_eq!(p.failure_remines(), 1);
+        assert!(p.consequents(NodeId(5), HostId(2), 3).is_empty());
+        // Fresh replies rebuild the rule set (the re-mine).
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(11), 3);
+        assert_eq!(p.consequents(NodeId(5), HostId(2), 3), vec![HostId(11)]);
+    }
+
+    #[test]
+    fn successes_keep_windows_from_triggering() {
+        let mut p = AssocPolicy::new(AssocPolicyConfig {
+            k: 1,
+            min_support: 2.0,
+            half_life: 1e9,
+            top_by_support: true,
+            demote: 1.0,
+            fail_window: 4,
+            fail_threshold: 0.75,
+        });
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(11), 10);
+        // Half misses < 0.75 threshold: rules survive the window tumble.
+        for _ in 0..2 {
+            p.on_failure(NodeId(5), NodeId(10));
+            p.on_reply(NodeId(5), None, NodeId(11), key());
+        }
+        assert_eq!(p.failure_remines(), 0);
+        assert_eq!(p.consequents(NodeId(5), HostId(2), 3), vec![HostId(11)]);
+    }
+
+    #[test]
+    fn plain_config_ignores_failure_feedback() {
+        let mut p = AssocPolicy::new(AssocPolicyConfig::default());
+        assert_eq!(p.name(), "assoc");
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(11), 10);
+        for _ in 0..20 {
+            p.on_failure(NodeId(5), NodeId(11));
+        }
+        assert_eq!(p.dead_demotions(), 0);
+        assert_eq!(p.failure_remines(), 0);
+        assert_eq!(p.consequents(NodeId(5), HostId(2), 3), vec![HostId(11)]);
+        // And no adaptive stats leak into artifacts for plain assoc.
+        assert!(p.stats().iter().all(|(k, _)| k != "dead_demotions"));
     }
 
     #[test]
@@ -410,6 +656,7 @@ mod seed_tests {
             min_support: 5.0,
             half_life: 1e9,
             top_by_support: true,
+            ..Default::default()
         });
         p.seed_rules(NodeId(5), &rules);
         let candidates = vec![NodeId(10), NodeId(11)];

@@ -96,6 +96,7 @@ mod tests {
             min_support: 2.0,
             half_life: 1e9,
             top_by_support: true,
+            ..Default::default()
         });
         for _ in 0..5 {
             p.on_reply(NodeId(1), Some(NodeId(0)), NodeId(2), key());
@@ -155,6 +156,7 @@ mod tests {
             min_support: 2.0,
             half_life: 1e9,
             top_by_support: true,
+            ..Default::default()
         });
         // Node 1 learns a distinct route for each of three upstreams.
         for _ in 0..5 {

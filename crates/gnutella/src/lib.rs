@@ -17,11 +17,18 @@
 //! the paper's modified Gnutella client captured (see
 //! [`collector::Collector`]), producing `arq-trace` records that feed the
 //! offline mining pipeline.
+//!
+//! The [`faults`] module layers deterministic fault injection over the
+//! simulator — per-link loss, latency jitter, crash-without-rejoin nodes,
+//! and silent free-riders — and [`sim::RetryPolicy`] gives queries a
+//! deadline/retry lifecycle so robustness under those faults is
+//! measurable per policy.
 
 #![warn(missing_docs)]
 
 pub mod collector;
 pub mod discovery;
+pub mod faults;
 pub mod guid;
 pub mod message;
 pub mod metrics;
@@ -31,7 +38,8 @@ pub mod sim;
 
 pub use collector::Collector;
 pub use discovery::{ping_crawl, rewire_via_discovery, Discovery};
+pub use faults::{FaultPlan, FaultPlanError, FaultState};
 pub use message::QueryMsg;
 pub use metrics::{QueryOutcome, RunMetrics};
 pub use policy::{FloodPolicy, ForwardingPolicy};
-pub use sim::{Network, SimConfig};
+pub use sim::{Network, RetryPolicy, SimConfig};

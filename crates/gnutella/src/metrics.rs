@@ -28,8 +28,16 @@ pub struct QueryOutcome {
     /// reachable when the query was issued (ground truth; a query with no
     /// available holder cannot be "missed" by a policy).
     pub answerable: bool,
-    /// Flood attempts (expanding-ring reissues count extra).
+    /// Flood attempts (expanding-ring reissues and retries count extra).
     pub attempts: u32,
+    /// Timeout-driven retries of this query (attempts beyond the first).
+    pub retries: u32,
+    /// Whether the query exhausted its retry budget without a hit.
+    pub expired: bool,
+    /// Hits from responders that had already answered this query —
+    /// suppressed rather than delivered (retries can re-discover the
+    /// same holder).
+    pub duplicate_hits: u64,
 }
 
 /// Aggregated results of one simulation run.
@@ -55,6 +63,14 @@ pub struct RunMetrics {
     pub bytes_per_query: f64,
     /// Hit rate over answerable queries.
     pub success_rate: f64,
+    /// Total timeout-driven retries across all queries.
+    pub retried: u64,
+    /// Queries that exhausted their retry budget without a hit.
+    pub expired: u64,
+    /// Suppressed duplicate hit deliveries.
+    pub duplicate_hits: u64,
+    /// Messages dropped in flight by the fault layer.
+    pub lost_messages: u64,
     /// Summary of first-hit hop counts (answered queries only).
     pub first_hit_hops: Option<Summary>,
     /// Summary of first-hit latencies in ticks (answered queries only).
@@ -75,6 +91,10 @@ impl arq_simkern::ToJson for RunMetrics {
             ("messages_per_query", Json::from(self.messages_per_query)),
             ("bytes_per_query", Json::from(self.bytes_per_query)),
             ("success_rate", Json::from(self.success_rate)),
+            ("retried", Json::from(self.retried)),
+            ("expired", Json::from(self.expired)),
+            ("duplicate_hits", Json::from(self.duplicate_hits)),
+            ("lost_messages", Json::from(self.lost_messages)),
             ("first_hit_hops", self.first_hit_hops.to_json()),
             ("first_hit_latency", self.first_hit_latency.to_json()),
         ])
@@ -90,6 +110,9 @@ pub struct MetricsBuilder {
     query_messages: u64,
     hit_messages: u64,
     bytes: u64,
+    retried: u64,
+    expired: u64,
+    duplicate_hits: u64,
     hops: Vec<f64>,
     latency: Vec<f64>,
     msg_stats: Welford,
@@ -113,6 +136,11 @@ impl MetricsBuilder {
         self.query_messages += outcome.query_messages;
         self.hit_messages += outcome.hit_messages;
         self.bytes += outcome.bytes;
+        self.retried += u64::from(outcome.retries);
+        if outcome.expired {
+            self.expired += 1;
+        }
+        self.duplicate_hits += outcome.duplicate_hits;
         self.msg_stats
             .push((outcome.query_messages + outcome.hit_messages) as f64);
         if let Some(h) = outcome.first_hit_hops {
@@ -149,6 +177,10 @@ impl MetricsBuilder {
             } else {
                 self.answered as f64 / self.answerable as f64
             },
+            retried: self.retried,
+            expired: self.expired,
+            duplicate_hits: self.duplicate_hits,
+            lost_messages: 0,
             first_hit_hops: Summary::of(&self.hops),
             first_hit_latency: Summary::of(&self.latency),
         }
@@ -169,6 +201,9 @@ mod tests {
             first_hit_latency: (hits > 0).then(|| Duration::from_ticks(50)),
             answerable,
             attempts: 1,
+            retries: 0,
+            expired: false,
+            duplicate_hits: 0,
         }
     }
 
@@ -191,6 +226,24 @@ mod tests {
         let hops = m.first_hit_hops.unwrap();
         assert_eq!(hops.count, 1);
         assert_eq!(hops.mean, 3.0);
+    }
+
+    #[test]
+    fn failure_counters_aggregate() {
+        let mut b = MetricsBuilder::new();
+        let mut retried = outcome(40, 2, 1, true);
+        retried.retries = 2;
+        retried.duplicate_hits = 1;
+        b.record(&retried);
+        let mut dead = outcome(20, 0, 0, true);
+        dead.retries = 3;
+        dead.expired = true;
+        b.record(&dead);
+        let m = b.finish("assoc");
+        assert_eq!(m.retried, 5);
+        assert_eq!(m.expired, 1);
+        assert_eq!(m.duplicate_hits, 1);
+        assert_eq!(m.lost_messages, 0); // filled in by the simulator
     }
 
     #[test]

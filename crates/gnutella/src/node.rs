@@ -4,8 +4,16 @@
 //! floods revisit nodes constantly) and, for each GUID, the upstream
 //! neighbor it first heard the query from. That upstream pointer is the
 //! reverse-path routing table along which hits travel back.
+//!
+//! The table is bounded two ways: by capacity (LRU eviction of the
+//! oldest entry) and, optionally, by age — entries older than a
+//! sim-time TTL expire lazily on the next [`NodeState::record`]. Age
+//! expiry keeps long dead queries from pinning cache slots in long runs
+//! with retries, where each retry mints a fresh GUID.
 
 use arq_overlay::NodeId;
+use arq_simkern::time::Duration;
+use arq_simkern::SimTime;
 use arq_trace::record::Guid;
 use std::collections::{HashMap, VecDeque};
 
@@ -18,40 +26,68 @@ pub enum Upstream {
     Neighbor(NodeId),
 }
 
-/// A node's message-routing memory, bounded LRU-style.
+/// A node's message-routing memory, bounded LRU-style with optional
+/// sim-time expiry.
 #[derive(Debug)]
 pub struct NodeState {
     seen: HashMap<Guid, Upstream>,
-    order: VecDeque<Guid>,
+    order: VecDeque<(Guid, SimTime)>,
     capacity: usize,
+    expiry: Option<Duration>,
 }
 
 impl NodeState {
-    /// Creates state remembering at most `capacity` GUIDs.
+    /// Creates state remembering at most `capacity` GUIDs, with no age
+    /// limit.
     pub fn new(capacity: usize) -> Self {
+        Self::with_expiry(capacity, None)
+    }
+
+    /// Creates state remembering at most `capacity` GUIDs, each for at
+    /// most `expiry` of sim time (when `Some`).
+    pub fn with_expiry(capacity: usize, expiry: Option<Duration>) -> Self {
         assert!(capacity > 0, "GUID cache needs capacity");
+        if let Some(ttl) = expiry {
+            assert!(ttl > Duration::ZERO, "GUID expiry must be positive");
+        }
         NodeState {
             seen: HashMap::new(),
             order: VecDeque::new(),
             capacity,
+            expiry,
         }
     }
 
-    /// Records the first sighting of `guid`. Returns `false` (a
-    /// duplicate) if the GUID was already known — the message must then
-    /// be dropped, not relayed.
-    pub fn record(&mut self, guid: Guid, upstream: Upstream) -> bool {
+    /// Records the first sighting of `guid` at sim time `now`. Returns
+    /// `false` (a duplicate) if the GUID was already known — the message
+    /// must then be dropped, not relayed.
+    pub fn record(&mut self, guid: Guid, upstream: Upstream, now: SimTime) -> bool {
+        self.expire(now);
         if self.seen.contains_key(&guid) {
             return false;
         }
         if self.order.len() == self.capacity {
-            if let Some(old) = self.order.pop_front() {
+            if let Some((old, _)) = self.order.pop_front() {
                 self.seen.remove(&old);
             }
         }
         self.seen.insert(guid, upstream);
-        self.order.push_back(guid);
+        self.order.push_back((guid, now));
         true
+    }
+
+    /// Drops entries recorded more than the expiry TTL before `now`.
+    /// Insertion times are monotone, so expired entries are a prefix of
+    /// the order queue and this is amortized O(1) per record.
+    fn expire(&mut self, now: SimTime) {
+        let Some(ttl) = self.expiry else { return };
+        while let Some(&(old, at)) = self.order.front() {
+            if now.since(at) <= ttl {
+                break;
+            }
+            self.order.pop_front();
+            self.seen.remove(&old);
+        }
     }
 
     /// Whether `guid` has been seen.
@@ -86,11 +122,13 @@ impl NodeState {
 mod tests {
     use super::*;
 
+    const T0: SimTime = SimTime::ZERO;
+
     #[test]
     fn first_sighting_accepted_duplicate_rejected() {
         let mut s = NodeState::new(8);
-        assert!(s.record(Guid(1), Upstream::Neighbor(NodeId(5))));
-        assert!(!s.record(Guid(1), Upstream::Neighbor(NodeId(6))));
+        assert!(s.record(Guid(1), Upstream::Neighbor(NodeId(5)), T0));
+        assert!(!s.record(Guid(1), Upstream::Neighbor(NodeId(6)), T0));
         // Upstream stays the first one.
         assert_eq!(s.upstream(Guid(1)), Some(Upstream::Neighbor(NodeId(5))));
     }
@@ -98,7 +136,7 @@ mod tests {
     #[test]
     fn origin_marker() {
         let mut s = NodeState::new(8);
-        s.record(Guid(9), Upstream::Origin);
+        s.record(Guid(9), Upstream::Origin, T0);
         assert_eq!(s.upstream(Guid(9)), Some(Upstream::Origin));
     }
 
@@ -106,7 +144,7 @@ mod tests {
     fn lru_eviction() {
         let mut s = NodeState::new(3);
         for i in 0..5u128 {
-            assert!(s.record(Guid(i), Upstream::Origin));
+            assert!(s.record(Guid(i), Upstream::Origin, T0));
         }
         assert_eq!(s.len(), 3);
         assert!(!s.has_seen(Guid(0)));
@@ -114,22 +152,65 @@ mod tests {
         assert!(s.has_seen(Guid(2)));
         assert!(s.has_seen(Guid(4)));
         // An evicted GUID can be recorded again.
-        assert!(s.record(Guid(0), Upstream::Neighbor(NodeId(1))));
+        assert!(s.record(Guid(0), Upstream::Neighbor(NodeId(1)), T0));
+    }
+
+    #[test]
+    fn entries_expire_by_sim_time() {
+        let mut s = NodeState::with_expiry(16, Some(Duration::from_ticks(100)));
+        assert!(s.record(Guid(1), Upstream::Origin, SimTime::from_ticks(0)));
+        assert!(s.record(Guid(2), Upstream::Origin, SimTime::from_ticks(60)));
+        // Inside the TTL both are still duplicates.
+        assert!(!s.record(Guid(1), Upstream::Origin, SimTime::from_ticks(100)));
+        // At t=150 the first entry (age 150 > 100) is expired, the second
+        // (age 90) survives.
+        assert!(s.record(
+            Guid(1),
+            Upstream::Neighbor(NodeId(2)),
+            SimTime::from_ticks(150)
+        ));
+        assert!(!s.record(Guid(2), Upstream::Origin, SimTime::from_ticks(150)));
+        assert_eq!(s.upstream(Guid(1)), Some(Upstream::Neighbor(NodeId(2))));
+    }
+
+    #[test]
+    fn expiry_frees_capacity() {
+        let mut s = NodeState::with_expiry(2, Some(Duration::from_ticks(10)));
+        s.record(Guid(1), Upstream::Origin, SimTime::from_ticks(0));
+        s.record(Guid(2), Upstream::Origin, SimTime::from_ticks(0));
+        // Both expired by t=20: the new entry does not evict via LRU.
+        assert!(s.record(Guid(3), Upstream::Origin, SimTime::from_ticks(20)));
+        assert_eq!(s.len(), 1);
+        assert!(!s.has_seen(Guid(1)));
+        assert!(!s.has_seen(Guid(2)));
+    }
+
+    #[test]
+    fn no_expiry_means_age_is_ignored() {
+        let mut s = NodeState::new(4);
+        s.record(Guid(1), Upstream::Origin, SimTime::from_ticks(0));
+        assert!(!s.record(Guid(1), Upstream::Origin, SimTime::from_ticks(u64::MAX)));
     }
 
     #[test]
     fn reset_clears_everything() {
         let mut s = NodeState::new(4);
-        s.record(Guid(1), Upstream::Origin);
+        s.record(Guid(1), Upstream::Origin, T0);
         s.reset();
         assert!(s.is_empty());
         assert!(!s.has_seen(Guid(1)));
-        assert!(s.record(Guid(1), Upstream::Origin));
+        assert!(s.record(Guid(1), Upstream::Origin, T0));
     }
 
     #[test]
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         NodeState::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expiry")]
+    fn zero_expiry_rejected() {
+        NodeState::with_expiry(4, Some(Duration::ZERO));
     }
 }

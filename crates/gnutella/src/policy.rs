@@ -60,6 +60,14 @@ pub trait ForwardingPolicy {
     ) {
     }
 
+    /// Failure feedback: a query issued at `node` that was first
+    /// forwarded to neighbor `target` hit its deadline without producing
+    /// a hit. Learning policies use this to demote or evict rules whose
+    /// consequent looks dead; stateless policies ignore it. Fired once
+    /// per first-hop target on every timeout (including the final one
+    /// that expires the query).
+    fn on_failure(&mut self, _node: NodeId, _target: NodeId) {}
+
     /// Policy-specific counters for experiment reports (e.g. rule usage,
     /// index hits), as ordered `(label, value)` pairs. Stateless policies
     /// report nothing. The order must be deterministic — these feed
@@ -106,6 +114,10 @@ impl<P: ForwardingPolicy + ?Sized> ForwardingPolicy for Box<P> {
         key: arq_content::QueryKey,
     ) {
         (**self).on_reply(node, upstream, via, key);
+    }
+
+    fn on_failure(&mut self, node: NodeId, target: NodeId) {
+        (**self).on_failure(node, target);
     }
 
     fn stats(&self) -> Vec<(String, f64)> {

@@ -17,6 +17,7 @@
 //! same [`SimConfig`] produce byte-identical results.
 
 use crate::collector::Collector;
+use crate::faults::{FaultPlan, FaultState};
 use crate::guid::GuidGen;
 use crate::message::{HitMsg, QueryMsg};
 use crate::metrics::{MetricsBuilder, QueryOutcome, RunMetrics};
@@ -26,7 +27,7 @@ use arq_content::{Catalog, CatalogConfig, QueryKey, WorkloadConfig, WorkloadGen}
 use arq_overlay::churn::{rewire_join, ChurnKind};
 use arq_overlay::{generate, ChurnConfig, ChurnProcess, Graph, NodeId};
 use arq_simkern::time::Duration;
-use arq_simkern::{EventQueue, Rng64, SimTime, StreamFactory};
+use arq_simkern::{Backoff, EventQueue, Rng64, SimTime, StreamFactory};
 use arq_trace::record::Guid;
 use arq_trace::TraceDb;
 use std::collections::HashMap;
@@ -69,6 +70,43 @@ pub struct RingSchedule {
     pub wait: Duration,
 }
 
+/// Timeout-driven retry schedule for individual queries.
+///
+/// Every issued query gets a deadline. If no hit arrives in time the
+/// issuer reissues under a **fresh GUID** with an escalated TTL
+/// (expanding-ring style) and waits again, successive waits growing
+/// geometrically per [`Backoff`]. A query that exhausts `max_attempts`
+/// without a hit is marked expired. On every timeout — including the
+/// final, expiring one — the forwarding policy receives
+/// [`ForwardingPolicy::on_failure`] feedback for the failed attempt's
+/// first-hop targets, which is how learning policies notice dead rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Wait before the first deadline fires.
+    pub deadline: Duration,
+    /// Total attempts allowed (initial issue + retries), at least 1.
+    pub max_attempts: u32,
+    /// Geometric growth factor for successive waits (>= 1.0).
+    pub backoff: f64,
+    /// TTL added per retry (attempt `k` uses `ttl + ttl_step * k`).
+    pub ttl_step: u32,
+    /// TTL ceiling for the escalation.
+    pub max_ttl: u32,
+}
+
+impl RetryPolicy {
+    /// A moderate default: 3 attempts, doubling waits, +1 TTL per retry.
+    pub fn default_with(deadline: Duration, max_ttl: u32) -> Self {
+        RetryPolicy {
+            deadline,
+            max_attempts: 3,
+            backoff: 2.0,
+            ttl_step: 1,
+            max_ttl,
+        }
+    }
+}
+
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -104,10 +142,20 @@ pub struct SimConfig {
     /// Workload shape.
     pub workload: WorkloadConfig,
     /// Expanding-ring schedule; `None` means single-shot queries.
+    /// Mutually exclusive with `retry`.
     pub ring: Option<RingSchedule>,
     /// Probability that any transmitted message is silently lost in
     /// flight (UDP-style failure injection; 0.0 disables).
     pub loss_rate: f64,
+    /// Fault-injection plan (loss, jitter, crashes, silent free-riders);
+    /// `None` — or a plan with every rate zero — injects nothing.
+    pub faults: Option<FaultPlan>,
+    /// Per-query deadline/retry lifecycle; `None` means queries are
+    /// fire-and-forget. Mutually exclusive with `ring`.
+    pub retry: Option<RetryPolicy>,
+    /// Age limit for seen-GUID table entries; `None` keeps entries until
+    /// LRU capacity eviction.
+    pub guid_expiry: Option<Duration>,
     /// When `true`, an issuer downloads the file after its first hit,
     /// adding it to its own library — the replication feedback loop that
     /// spreads popular content through real file-sharing networks.
@@ -136,6 +184,9 @@ impl SimConfig {
             workload: WorkloadConfig::default(),
             ring: None,
             loss_rate: 0.0,
+            faults: None,
+            retry: None,
+            guid_expiry: None,
             download_on_hit: false,
             seed,
         }
@@ -160,6 +211,13 @@ enum Event {
         qidx: usize,
         stage: usize,
     },
+    QueryDeadline {
+        qidx: usize,
+        attempt: u32,
+    },
+    Crash {
+        node: NodeId,
+    },
 }
 
 /// Everything a finished run yields.
@@ -171,6 +229,11 @@ pub struct SimResult {
     pub trace: Option<TraceDb>,
     /// Final simulated time.
     pub end_time: SimTime,
+    /// Distinct query GUIDs observed across all attempts (with proper
+    /// generators this equals `total_attempts`: every retry re-draws).
+    pub distinct_query_guids: usize,
+    /// Query attempts issued across all queries (initial + reissues).
+    pub total_attempts: u64,
 }
 
 struct LiveQuery {
@@ -178,6 +241,12 @@ struct LiveQuery {
     key: QueryKey,
     issued_at: SimTime,
     outcome: QueryOutcome,
+    /// First-hop targets of the most recent attempt — the neighbors the
+    /// issuer's policy picked; they receive failure feedback on timeout.
+    first_hop: Vec<NodeId>,
+    /// Responders whose hits already reached the issuer (duplicate
+    /// suppression across retries).
+    responders: Vec<NodeId>,
 }
 
 /// One simulation instance. Build with [`Network::new`], consume with
@@ -198,6 +267,9 @@ pub struct Network<P: ForwardingPolicy> {
     issue_rng: Rng64,
     net_rng: Rng64,
     policy_rng: Rng64,
+    faults: Option<FaultState>,
+    /// Nodes that crashed permanently; their churn events are ignored.
+    crashed: Vec<bool>,
 }
 
 impl<P: ForwardingPolicy> Network<P> {
@@ -227,6 +299,21 @@ impl<P: ForwardingPolicy> Network<P> {
             (0.0..1.0).contains(&cfg.loss_rate),
             "loss rate must be in [0, 1)"
         );
+        assert!(
+            cfg.ring.is_none() || cfg.retry.is_none(),
+            "ring and retry schedules are mutually exclusive"
+        );
+        if let Some(rp) = &cfg.retry {
+            // Backoff::new enforces deadline > 0, backoff >= 1, attempts > 0.
+            let _ = Backoff::new(rp.deadline, rp.backoff, rp.max_attempts);
+            assert!(
+                rp.max_ttl >= cfg.ttl,
+                "retry max_ttl below the base TTL would shrink the search"
+            );
+        }
+        if let Some(plan) = &cfg.faults {
+            plan.validate().expect("invalid fault plan");
+        }
         let streams = StreamFactory::new(cfg.seed);
         let mut topo_rng = streams.stream("topology");
         let graph = prebuilt.unwrap_or_else(|| match cfg.topology {
@@ -289,12 +376,25 @@ impl<P: ForwardingPolicy> Network<P> {
             queue.schedule(t, Event::Issue { qidx });
         }
 
+        // The fault layer draws from its own stream, so a zero-rate plan
+        // (or no plan) leaves every other stream untouched. Crash times
+        // span the issue horizon — the last scheduled query.
+        let faults = cfg.faults.clone().map(|plan| {
+            let exempt: Vec<NodeId> = cfg.collector.into_iter().collect();
+            FaultState::new(plan, cfg.nodes, t, &exempt, streams.stream("faults"))
+        });
+        if let Some(f) = &faults {
+            for &(at, node) in f.crash_schedule() {
+                queue.schedule(at, Event::Crash { node });
+            }
+        }
+
         policy.init(&graph, &workload, &catalog);
 
         Network {
             collector: cfg.collector.map(Collector::new),
             states: (0..cfg.nodes)
-                .map(|_| NodeState::new(cfg.guid_cache))
+                .map(|_| NodeState::with_expiry(cfg.guid_cache, cfg.guid_expiry))
                 .collect(),
             guid_gens,
             churn,
@@ -304,6 +404,8 @@ impl<P: ForwardingPolicy> Network<P> {
             issue_rng,
             net_rng: streams.stream("net"),
             policy_rng: streams.stream("policy"),
+            faults,
+            crashed: vec![false; cfg.nodes],
             graph,
             catalog,
             workload,
@@ -328,10 +430,18 @@ impl<P: ForwardingPolicy> Network<P> {
         };
         let mut changed = false;
         while let Some(ev) = churn.next_before(horizon) {
+            if self.crashed[ev.node.index()] {
+                continue; // crashed nodes neither leave nor rejoin
+            }
             match ev.kind {
                 ChurnKind::Leave => {
                     self.graph.depart(ev.node);
                     self.states[ev.node.index()].reset();
+                }
+                ChurnKind::Crash => {
+                    self.graph.depart(ev.node);
+                    self.states[ev.node.index()].reset();
+                    self.crashed[ev.node.index()] = true;
                 }
                 ChurnKind::Join => {
                     self.graph.rejoin(ev.node);
@@ -369,10 +479,12 @@ impl<P: ForwardingPolicy> Network<P> {
         }
     }
 
-    fn issue_attempt(&mut self, qidx: usize, ttl: u32, now: SimTime) {
+    /// Issues one attempt of query `qidx` under a fresh GUID. Returns
+    /// `false` when the issuer is offline and nothing was sent.
+    fn issue_attempt(&mut self, qidx: usize, ttl: u32, now: SimTime) -> bool {
         let node = self.queries[qidx].node;
         if !self.graph.is_alive(node) {
-            return; // issuer offline at reissue time
+            return false; // issuer offline at reissue time
         }
         let key = self.queries[qidx].key;
         let guid = self.guid_gens[node.index()].next(&mut self.net_rng);
@@ -384,14 +496,23 @@ impl<P: ForwardingPolicy> Network<P> {
             ttl,
             hops: 0,
         };
-        self.states[node.index()].record(guid, Upstream::Origin);
-        self.relay(node, None, msg, now);
+        self.states[node.index()].record(guid, Upstream::Origin, now);
+        let first_hop = self.relay(node, None, msg, now);
+        self.queries[qidx].first_hop = first_hop;
+        true
     }
 
     /// Runs the policy at `node` and transmits the query onward.
-    fn relay(&mut self, node: NodeId, from: Option<NodeId>, msg: QueryMsg, now: SimTime) {
+    /// Returns the targets the policy selected.
+    fn relay(
+        &mut self,
+        node: NodeId,
+        from: Option<NodeId>,
+        msg: QueryMsg,
+        now: SimTime,
+    ) -> Vec<NodeId> {
         let Some(next) = msg.hop() else {
-            return;
+            return Vec::new();
         };
         let candidates: Vec<NodeId> = self
             .graph
@@ -399,7 +520,7 @@ impl<P: ForwardingPolicy> Network<P> {
             .filter(|&n| Some(n) != from)
             .collect();
         if candidates.is_empty() {
-            return;
+            return Vec::new();
         }
         let ctx = ForwardCtx {
             node,
@@ -415,13 +536,16 @@ impl<P: ForwardingPolicy> Network<P> {
                 self.policy.name()
             );
         }
-        for target in selected {
+        for &target in &selected {
             if let Some(qidx) = self.guid_to_query.get(&msg.guid) {
                 let outcome = &mut self.queries[*qidx].outcome;
                 outcome.query_messages += 1;
                 outcome.bytes += next.wire_size();
             }
-            let at = now.saturating_add(self.hop_latency());
+            let mut at = now.saturating_add(self.hop_latency());
+            if let Some(f) = self.faults.as_mut() {
+                at = at.saturating_add(f.jitter());
+            }
             self.queue.schedule(
                 at,
                 Event::Query {
@@ -431,6 +555,7 @@ impl<P: ForwardingPolicy> Network<P> {
                 },
             );
         }
+        selected
     }
 
     fn send_hit(&mut self, to: NodeId, from: NodeId, msg: HitMsg, now: SimTime) {
@@ -439,13 +564,24 @@ impl<P: ForwardingPolicy> Network<P> {
             outcome.hit_messages += 1;
             outcome.bytes += msg.wire_size();
         }
-        let at = now.saturating_add(self.hop_latency());
+        let mut at = now.saturating_add(self.hop_latency());
+        if let Some(f) = self.faults.as_mut() {
+            at = at.saturating_add(f.jitter());
+        }
         self.queue.schedule(at, Event::Hit { to, from, msg });
+    }
+
+    /// Rolls the fault layer's per-link loss for one delivery.
+    fn fault_dropped(&mut self) -> bool {
+        self.faults.as_mut().is_some_and(|f| f.drops_message())
     }
 
     fn handle_query(&mut self, to: NodeId, from: NodeId, msg: QueryMsg, now: SimTime) {
         if self.cfg.loss_rate > 0.0 && self.net_rng.chance(self.cfg.loss_rate) {
             return; // lost in flight
+        }
+        if self.fault_dropped() {
+            return; // lost in flight (fault layer)
         }
         if !self.graph.is_alive(to) {
             return; // delivered into the void
@@ -455,7 +591,7 @@ impl<P: ForwardingPolicy> Network<P> {
                 col.on_query(now, msg.guid, from, msg.key);
             }
         }
-        if !self.states[to.index()].record(msg.guid, Upstream::Neighbor(from)) {
+        if !self.states[to.index()].record(msg.guid, Upstream::Neighbor(from), now) {
             return; // duplicate
         }
         // Local match: reply, then keep relaying (Gnutella semantics).
@@ -467,6 +603,11 @@ impl<P: ForwardingPolicy> Network<P> {
                 query_hops: msg.hops,
             };
             self.route_hit_from(to, hit, now);
+        }
+        // Silent free-riders answer from their own library (self-interest)
+        // but never spend upstream bandwidth relaying for others.
+        if self.faults.as_ref().is_some_and(|f| f.is_silent(to)) {
+            return;
         }
         self.relay(to, Some(from), msg, now);
     }
@@ -495,6 +636,9 @@ impl<P: ForwardingPolicy> Network<P> {
     fn handle_hit(&mut self, to: NodeId, from: NodeId, msg: HitMsg, now: SimTime) {
         if self.cfg.loss_rate > 0.0 && self.net_rng.chance(self.cfg.loss_rate) {
             return; // lost in flight
+        }
+        if self.fault_dropped() {
+            return; // lost in flight (fault layer)
         }
         if !self.graph.is_alive(to) {
             return;
@@ -528,6 +672,16 @@ impl<P: ForwardingPolicy> Network<P> {
         };
         let q = &mut self.queries[qidx];
         debug_assert_eq!(q.node, issuer);
+        // Retried queries can re-discover a holder that already answered
+        // an earlier attempt; suppress the duplicate instead of counting
+        // it as a fresh delivery. Single-attempt runs never get here.
+        if self.cfg.retry.is_some() {
+            if q.responders.contains(&msg.responder) {
+                q.outcome.duplicate_hits += 1;
+                return;
+            }
+            q.responders.push(msg.responder);
+        }
         q.outcome.hits_delivered += 1;
         if q.outcome.first_hit_hops.is_none() {
             q.outcome.first_hit_hops = Some(msg.query_hops + 1);
@@ -539,6 +693,46 @@ impl<P: ForwardingPolicy> Network<P> {
                     .insert(msg.key.file);
             }
         }
+    }
+
+    /// A query's deadline fired: give the policy failure feedback and
+    /// either reissue with an escalated TTL or expire the query.
+    fn handle_deadline(&mut self, qidx: usize, attempt: u32, now: SimTime) {
+        let rp = self
+            .cfg
+            .retry
+            .clone()
+            .expect("deadline without retry policy");
+        if self.queries[qidx].outcome.hits_delivered > 0 {
+            return; // answered in time
+        }
+        // The attempt produced nothing: every first-hop target looks
+        // unproductive (dead, silent, or on a lossy path) to the issuer.
+        let issuer = self.queries[qidx].node;
+        let targets = std::mem::take(&mut self.queries[qidx].first_hop);
+        for target in targets {
+            self.policy.on_failure(issuer, target);
+        }
+        let backoff = Backoff::new(rp.deadline, rp.backoff, rp.max_attempts);
+        let Some(delay) = backoff.delay_for(attempt) else {
+            self.queries[qidx].outcome.expired = true;
+            return; // retry budget exhausted
+        };
+        let ttl = self
+            .cfg
+            .ttl
+            .saturating_add(rp.ttl_step.saturating_mul(attempt))
+            .min(rp.max_ttl);
+        if self.issue_attempt(qidx, ttl, now) {
+            self.queries[qidx].outcome.retries += 1;
+        }
+        self.queue.schedule(
+            now.saturating_add(delay),
+            Event::QueryDeadline {
+                qidx,
+                attempt: attempt + 1,
+            },
+        );
     }
 
     /// Runs to completion, consuming the network.
@@ -586,6 +780,8 @@ impl<P: ForwardingPolicy> Network<P> {
                             answerable,
                             ..QueryOutcome::default()
                         },
+                        first_hop: Vec::new(),
+                        responders: Vec::new(),
                     });
                     if self.graph.is_alive(node) {
                         self.issue_attempt(qidx, first_ttl, now);
@@ -597,10 +793,27 @@ impl<P: ForwardingPolicy> Network<P> {
                                 );
                             }
                         }
+                        if let Some(rp) = &self.cfg.retry {
+                            self.queue.schedule(
+                                now.saturating_add(rp.deadline),
+                                Event::QueryDeadline { qidx, attempt: 1 },
+                            );
+                        }
                     }
                 }
                 Event::Query { to, from, msg } => self.handle_query(to, from, msg, now),
                 Event::Hit { to, from, msg } => self.handle_hit(to, from, msg, now),
+                Event::QueryDeadline { qidx, attempt } => self.handle_deadline(qidx, attempt, now),
+                Event::Crash { node } => {
+                    if self.graph.is_alive(node) {
+                        self.graph.depart(node);
+                        self.states[node.index()].reset();
+                        self.policy.on_topology_change(&self.graph);
+                    }
+                    // Whether it was up or mid-downtime, the node never
+                    // returns: later churn events for it are ignored.
+                    self.crashed[node.index()] = true;
+                }
                 Event::RingTimeout { qidx, stage } => {
                     let ring = self
                         .cfg
@@ -626,13 +839,19 @@ impl<P: ForwardingPolicy> Network<P> {
 
         let end_time = self.queue.now();
         let mut builder = MetricsBuilder::new();
+        let mut total_attempts = 0u64;
         for q in &self.queries {
             builder.record(&q.outcome);
+            total_attempts += u64::from(q.outcome.attempts);
         }
+        let mut metrics = builder.finish(self.policy.name());
+        metrics.lost_messages = self.faults.as_ref().map_or(0, FaultState::lost);
         let result = SimResult {
-            metrics: builder.finish(self.policy.name()),
+            metrics,
             trace: self.collector.map(Collector::into_db),
             end_time,
+            distinct_query_guids: self.guid_to_query.len(),
+            total_attempts,
         };
         (result, self.policy, self.graph)
     }
@@ -818,6 +1037,205 @@ mod tests {
         heavy_cfg.loss_rate = 0.90;
         let heavy = Network::new(heavy_cfg, FloodPolicy).run().metrics;
         assert!(heavy.success_rate < lossy.success_rate);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_byte_identical_to_no_plan() {
+        let clean = Network::new(tiny_cfg(13), FloodPolicy).run();
+        let mut cfg = tiny_cfg(13);
+        cfg.faults = Some(FaultPlan::default());
+        let noop = Network::new(cfg, FloodPolicy).run();
+        assert_eq!(clean.metrics.query_messages, noop.metrics.query_messages);
+        assert_eq!(clean.metrics.hit_messages, noop.metrics.hit_messages);
+        assert_eq!(clean.metrics.bytes, noop.metrics.bytes);
+        assert_eq!(clean.metrics.answered, noop.metrics.answered);
+        assert_eq!(clean.metrics.answerable, noop.metrics.answerable);
+        assert_eq!(clean.end_time, noop.end_time);
+        assert_eq!(clean.total_attempts, noop.total_attempts);
+        assert_eq!(noop.metrics.lost_messages, 0);
+    }
+
+    #[test]
+    fn fault_loss_degrades_and_is_counted() {
+        let clean = Network::new(tiny_cfg(23), FloodPolicy).run().metrics;
+        let mut cfg = tiny_cfg(23);
+        cfg.faults = Some(FaultPlan {
+            loss: 0.30,
+            ..Default::default()
+        });
+        let lossy = Network::new(cfg, FloodPolicy).run().metrics;
+        assert!(lossy.lost_messages > 0, "loss plan dropped nothing");
+        assert!(lossy.success_rate < clean.success_rate);
+        assert!(
+            lossy.success_rate > clean.success_rate * 0.3,
+            "flooding redundancy should absorb moderate fault loss"
+        );
+    }
+
+    #[test]
+    fn crashed_nodes_never_rejoin() {
+        let mut cfg = tiny_cfg(17);
+        cfg.queries = 400;
+        cfg.churn = Some(ChurnConfig {
+            mean_session: Duration::from_ticks(100_000),
+            mean_downtime: Duration::from_ticks(20_000),
+            pinned: vec![],
+        });
+        cfg.faults = Some(FaultPlan {
+            crash: 0.4,
+            ..Default::default()
+        });
+        let (result, _policy, graph) = Network::new(cfg, FloodPolicy).run_full();
+        // With short downtimes every churned node would be back quickly;
+        // a large dead population at the end means crashes stuck.
+        let dead = (0..50).filter(|&i| !graph.is_alive(NodeId(i))).count();
+        assert!(dead >= 5, "only {dead} nodes dead after crash plan");
+        assert_eq!(result.metrics.queries, 400);
+    }
+
+    #[test]
+    fn silent_nodes_shrink_traffic_and_reach() {
+        let clean = Network::new(tiny_cfg(29), FloodPolicy).run().metrics;
+        let mut cfg = tiny_cfg(29);
+        cfg.faults = Some(FaultPlan {
+            silent: 0.5,
+            ..Default::default()
+        });
+        let muted = Network::new(cfg, FloodPolicy).run().metrics;
+        assert!(
+            muted.messages_per_query < clean.messages_per_query,
+            "free riders did not reduce forwarding: {} vs {}",
+            muted.messages_per_query,
+            clean.messages_per_query
+        );
+        assert!(muted.success_rate <= clean.success_rate + 1e-9);
+    }
+
+    #[test]
+    fn jitter_changes_timing_but_not_reach() {
+        let clean = Network::new(tiny_cfg(37), FloodPolicy).run();
+        let mut cfg = tiny_cfg(37);
+        cfg.faults = Some(FaultPlan {
+            jitter: 500,
+            ..Default::default()
+        });
+        let jittered = Network::new(cfg, FloodPolicy).run();
+        // Jitter delays messages but drops none: same reachability.
+        assert_eq!(jittered.metrics.lost_messages, 0);
+        assert!(
+            (jittered.metrics.success_rate - clean.metrics.success_rate).abs() < 0.05,
+            "jitter alone changed success: {} vs {}",
+            jittered.metrics.success_rate,
+            clean.metrics.success_rate
+        );
+        assert!(jittered.end_time > clean.end_time);
+    }
+
+    #[test]
+    fn retry_recovers_losses_within_attempt_budget() {
+        let mut cfg = tiny_cfg(43);
+        cfg.queries = 300;
+        cfg.faults = Some(FaultPlan {
+            loss: 0.30,
+            ..Default::default()
+        });
+        let lossy = Network::new(cfg.clone(), FloodPolicy).run();
+        cfg.retry = Some(RetryPolicy {
+            deadline: Duration::from_ticks(2_000),
+            max_attempts: 3,
+            backoff: 2.0,
+            ttl_step: 1,
+            max_ttl: 7,
+        });
+        let retried = Network::new(cfg, FloodPolicy).run();
+        assert!(retried.metrics.retried > 0, "no retries under 30% loss");
+        assert!(
+            retried.metrics.success_rate > lossy.metrics.success_rate,
+            "retries did not recover losses: {} vs {}",
+            retried.metrics.success_rate,
+            lossy.metrics.success_rate
+        );
+        // Attempts bounded: initial + at most (max_attempts-1) retries.
+        assert!(retried.total_attempts <= 300 * 3);
+        assert!(retried.metrics.retried <= 300 * 2);
+        // Proper GUID generators: every attempt drew a fresh GUID.
+        let mut proper_cfg = tiny_cfg(43);
+        proper_cfg.faulty_fraction = 0.0;
+        proper_cfg.faults = Some(FaultPlan {
+            loss: 0.30,
+            ..Default::default()
+        });
+        proper_cfg.retry = Some(RetryPolicy::default_with(Duration::from_ticks(2_000), 7));
+        let proper = Network::new(proper_cfg, FloodPolicy).run();
+        assert_eq!(proper.distinct_query_guids as u64, proper.total_attempts);
+    }
+
+    #[test]
+    fn exhausted_queries_are_marked_expired() {
+        let mut cfg = tiny_cfg(47);
+        cfg.queries = 200;
+        cfg.faults = Some(FaultPlan {
+            loss: 0.85,
+            ..Default::default()
+        });
+        cfg.retry = Some(RetryPolicy {
+            deadline: Duration::from_ticks(1_500),
+            max_attempts: 2,
+            backoff: 1.5,
+            ttl_step: 0,
+            max_ttl: 6,
+        });
+        let result = Network::new(cfg, FloodPolicy).run();
+        assert!(
+            result.metrics.expired > 0,
+            "85% loss with 2 attempts must expire some queries"
+        );
+        assert!(result.metrics.expired <= result.metrics.queries);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let cfg = || {
+            let mut c = tiny_cfg(51);
+            c.faults = Some(FaultPlan {
+                loss: 0.10,
+                jitter: 100,
+                crash: 0.05,
+                silent: 0.05,
+            });
+            c.retry = Some(RetryPolicy::default_with(Duration::from_ticks(2_000), 7));
+            c
+        };
+        let a = Network::new(cfg(), FloodPolicy).run();
+        let b = Network::new(cfg(), FloodPolicy).run();
+        assert_eq!(a.metrics.query_messages, b.metrics.query_messages);
+        assert_eq!(a.metrics.lost_messages, b.metrics.lost_messages);
+        assert_eq!(a.metrics.retried, b.metrics.retried);
+        assert_eq!(a.metrics.expired, b.metrics.expired);
+        assert_eq!(a.end_time, b.end_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn rejects_ring_plus_retry() {
+        let mut cfg = tiny_cfg(1);
+        cfg.ring = Some(RingSchedule {
+            ttls: vec![2, 5],
+            wait: Duration::from_ticks(1_000),
+        });
+        cfg.retry = Some(RetryPolicy::default_with(Duration::from_ticks(1_000), 7));
+        Network::new(cfg, FloodPolicy);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn rejects_bad_fault_plan() {
+        let mut cfg = tiny_cfg(1);
+        cfg.faults = Some(FaultPlan {
+            loss: 1.5,
+            ..Default::default()
+        });
+        Network::new(cfg, FloodPolicy);
     }
 
     #[test]

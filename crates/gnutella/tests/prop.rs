@@ -7,10 +7,11 @@
 use arq_content::{CatalogConfig, FileId, QueryKey, Topic};
 use arq_gnutella::guid::GuidGen;
 use arq_gnutella::node::{NodeState, Upstream};
-use arq_gnutella::sim::{Network, SimConfig, Topology};
-use arq_gnutella::{FloodPolicy, QueryMsg};
+use arq_gnutella::sim::{Network, RetryPolicy, SimConfig, Topology};
+use arq_gnutella::{FaultPlan, FloodPolicy, QueryMsg};
 use arq_overlay::NodeId;
-use arq_simkern::Rng64;
+use arq_simkern::time::Duration;
+use arq_simkern::{Rng64, SimTime};
 use arq_trace::record::Guid;
 use proptest::prelude::*;
 
@@ -47,7 +48,7 @@ proptest! {
         let mut state = NodeState::new(cap);
         let mut resident: std::collections::VecDeque<u128> = Default::default();
         for g in guids {
-            let accepted = state.record(Guid(g), Upstream::Origin);
+            let accepted = state.record(Guid(g), Upstream::Origin, SimTime::ZERO);
             let was_resident = resident.contains(&g);
             prop_assert_eq!(accepted, !was_resident, "guid {}", g);
             if accepted {
@@ -109,6 +110,64 @@ proptest! {
         if let Some(h) = &m.first_hit_hops {
             prop_assert!(h.max <= f64::from(ttl));
         }
+    }
+
+    /// An all-zero fault plan is behaviorally invisible: the run is
+    /// byte-identical to one with no plan at all, for any seed/shape.
+    #[test]
+    fn zero_fault_plan_is_identity(
+        seed in any::<u64>(),
+        nodes in 10usize..50,
+        queries in 10usize..80,
+    ) {
+        let mut cfg = SimConfig::default_with(nodes, queries, seed);
+        cfg.catalog = CatalogConfig {
+            topics: 4,
+            files_per_topic: 30,
+            ..Default::default()
+        };
+        let clean = Network::new(cfg.clone(), FloodPolicy).run();
+        cfg.faults = Some(FaultPlan::default());
+        let noop = Network::new(cfg, FloodPolicy).run();
+        prop_assert_eq!(clean.metrics.query_messages, noop.metrics.query_messages);
+        prop_assert_eq!(clean.metrics.hit_messages, noop.metrics.hit_messages);
+        prop_assert_eq!(clean.metrics.bytes, noop.metrics.bytes);
+        prop_assert_eq!(clean.metrics.answered, noop.metrics.answered);
+        prop_assert_eq!(clean.metrics.answerable, noop.metrics.answerable);
+        prop_assert_eq!(clean.end_time, noop.end_time);
+        prop_assert_eq!(clean.total_attempts, noop.total_attempts);
+        prop_assert_eq!(noop.metrics.lost_messages, 0);
+    }
+
+    /// The retry lifecycle never exceeds its attempt budget and every
+    /// attempt draws a fresh GUID (with proper generators).
+    #[test]
+    fn retry_bounds_attempts_and_redraws_guids(
+        seed in any::<u64>(),
+        max_attempts in 1u32..5,
+        loss_milli in 0u32..700,
+        deadline in 500u64..5_000,
+    ) {
+        let queries = 60usize;
+        let mut cfg = SimConfig::default_with(30, queries, seed);
+        cfg.faulty_fraction = 0.0; // proper generators: GUIDs never repeat
+        cfg.catalog = CatalogConfig {
+            topics: 4,
+            files_per_topic: 30,
+            ..Default::default()
+        };
+        cfg.faults = Some(FaultPlan { loss: f64::from(loss_milli) / 1000.0, ..Default::default() });
+        cfg.retry = Some(RetryPolicy {
+            deadline: Duration::from_ticks(deadline),
+            max_attempts,
+            backoff: 2.0,
+            ttl_step: 1,
+            max_ttl: 8,
+        });
+        let result = Network::new(cfg, FloodPolicy).run();
+        prop_assert!(result.total_attempts <= (queries as u64) * u64::from(max_attempts));
+        prop_assert!(result.metrics.retried <= (queries as u64) * u64::from(max_attempts - 1));
+        prop_assert_eq!(result.distinct_query_guids as u64, result.total_attempts);
     }
 
     /// Collector output always survives the clean/join pipeline with

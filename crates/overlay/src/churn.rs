@@ -22,6 +22,11 @@ pub enum ChurnKind {
     Leave,
     /// The node came (back) online.
     Join,
+    /// The node failed permanently: it departs and never rejoins. Session
+    /// churn never produces this kind — fault injection does — but it
+    /// lives here so every consumer of churn events handles the full
+    /// lifecycle of a peer.
+    Crash,
 }
 
 /// A single churn transition.
@@ -57,6 +62,46 @@ impl Default for ChurnConfig {
     }
 }
 
+/// A [`ChurnConfig`] that would break the exponential session sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnConfigError {
+    /// `mean_session` is zero: every session would collapse to the
+    /// sampler's 1-tick floor, which is never what a caller meant.
+    ZeroMeanSession,
+    /// `mean_downtime` is zero: nodes would rejoin instantly forever.
+    ZeroMeanDowntime,
+}
+
+impl std::fmt::Display for ChurnConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnConfigError::ZeroMeanSession => {
+                write!(f, "churn mean_session must be positive (got 0 ticks)")
+            }
+            ChurnConfigError::ZeroMeanDowntime => {
+                write!(f, "churn mean_downtime must be positive (got 0 ticks)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChurnConfigError {}
+
+impl ChurnConfig {
+    /// Checks that both mean durations are usable by the exponential
+    /// sampler. (Durations are unsigned, so "negative" inputs from user
+    /// flags surface here as zero after parsing.)
+    pub fn validate(&self) -> Result<(), ChurnConfigError> {
+        if self.mean_session.ticks() == 0 {
+            return Err(ChurnConfigError::ZeroMeanSession);
+        }
+        if self.mean_downtime.ticks() == 0 {
+            return Err(ChurnConfigError::ZeroMeanDowntime);
+        }
+        Ok(())
+    }
+}
+
 /// Generator of a merged, time-ordered churn-event stream for all nodes.
 pub struct ChurnProcess {
     queue: EventQueue<(NodeId, ChurnKind)>,
@@ -67,7 +112,23 @@ pub struct ChurnProcess {
 impl ChurnProcess {
     /// Creates a process for `n` nodes, all initially online, scheduling
     /// each unpinned node's first departure.
-    pub fn new(n: usize, cfg: ChurnConfig, mut rng: Rng64) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`ChurnConfig::validate`]; use
+    /// [`ChurnProcess::try_new`] to surface the typed error instead.
+    pub fn new(n: usize, cfg: ChurnConfig, rng: Rng64) -> Self {
+        match Self::try_new(n, cfg, rng) {
+            Ok(p) => p,
+            Err(e) => panic!("invalid churn config: {e}"),
+        }
+    }
+
+    /// Like [`ChurnProcess::new`], rejecting degenerate configurations
+    /// with a [`ChurnConfigError`] instead of letting the exponential
+    /// sampler silently degrade to 1-tick sessions.
+    pub fn try_new(n: usize, cfg: ChurnConfig, mut rng: Rng64) -> Result<Self, ChurnConfigError> {
+        cfg.validate()?;
         let mut queue = EventQueue::with_capacity(n);
         for i in 0..n {
             let node = NodeId(i as u32);
@@ -77,7 +138,7 @@ impl ChurnProcess {
             let dt = rng.exp(cfg.mean_session.ticks() as f64).max(1.0) as u64;
             queue.schedule(SimTime::from_ticks(dt), (node, ChurnKind::Leave));
         }
-        ChurnProcess { queue, cfg, rng }
+        Ok(ChurnProcess { queue, cfg, rng })
     }
 
     /// Returns the next churn event at or before `horizon`, if any,
@@ -88,13 +149,12 @@ impl ChurnProcess {
             return None;
         }
         let (at, (node, kind)) = self.queue.pop().expect("peeked entry vanished");
-        let mean = match kind {
-            ChurnKind::Leave => self.cfg.mean_downtime,
-            ChurnKind::Join => self.cfg.mean_session,
-        };
-        let next_kind = match kind {
-            ChurnKind::Leave => ChurnKind::Join,
-            ChurnKind::Join => ChurnKind::Leave,
+        let (mean, next_kind) = match kind {
+            ChurnKind::Leave => (self.cfg.mean_downtime, ChurnKind::Join),
+            ChurnKind::Join => (self.cfg.mean_session, ChurnKind::Leave),
+            // The session process never schedules crashes; a crashed node
+            // simply has no follow-up transition.
+            ChurnKind::Crash => return Some(ChurnEvent { at, node, kind }),
         };
         let dt = self.rng.exp(mean.ticks() as f64).max(1.0) as u64;
         self.queue.schedule(
@@ -175,6 +235,7 @@ mod tests {
                     assert!(!*up, "join while already online");
                     *up = true;
                 }
+                ChurnKind::Crash => panic!("alternating process never crashes"),
             }
         }
     }
@@ -202,6 +263,28 @@ mod tests {
     }
 
     #[test]
+    fn zero_means_are_rejected_with_typed_errors() {
+        assert_eq!(
+            cfg(0, 100).validate(),
+            Err(ChurnConfigError::ZeroMeanSession)
+        );
+        assert_eq!(
+            cfg(100, 0).validate(),
+            Err(ChurnConfigError::ZeroMeanDowntime)
+        );
+        assert_eq!(cfg(100, 100).validate(), Ok(()));
+        assert!(ChurnProcess::try_new(5, cfg(0, 100), Rng64::seed_from(1)).is_err());
+        let msg = ChurnConfigError::ZeroMeanDowntime.to_string();
+        assert!(msg.contains("mean_downtime"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid churn config")]
+    fn new_panics_on_degenerate_config() {
+        ChurnProcess::new(5, cfg(100, 0), Rng64::seed_from(1));
+    }
+
+    #[test]
     fn availability_formula() {
         assert!((expected_availability(&cfg(600, 300)) - 2.0 / 3.0).abs() < 1e-12);
         assert!((expected_availability(&cfg(100, 100)) - 0.5).abs() < 1e-12);
@@ -223,6 +306,7 @@ mod tests {
                 ChurnKind::Join => {
                     online_since = Some(ev.at);
                 }
+                ChurnKind::Crash => panic!("alternating process never crashes"),
             }
         }
         if let Some(s) = online_since {

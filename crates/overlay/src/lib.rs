@@ -24,5 +24,5 @@ pub mod churn;
 pub mod generate;
 pub mod graph;
 
-pub use churn::{ChurnConfig, ChurnEvent, ChurnProcess};
+pub use churn::{ChurnConfig, ChurnConfigError, ChurnEvent, ChurnProcess};
 pub use graph::{Graph, NodeId};

@@ -15,6 +15,8 @@
 //!   exact quantiles, EWMA);
 //! * [`series`] — time-series containers used for per-trial coverage and
 //!   success measurements;
+//! * [`timer`] — deterministic exponential [`timer::Backoff`] schedules
+//!   for retry/timeout lifecycles;
 //! * [`chart`] — ASCII line charts used to render the paper's figures into
 //!   `EXPERIMENTS.md`;
 //! * [`json`] — dependency-free JSON values and serialization with
@@ -34,6 +36,7 @@ pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
+pub mod timer;
 
 pub use json::{Json, ToJson};
 pub use queue::EventQueue;
@@ -41,3 +44,4 @@ pub use rng::{Rng64, SplitMix64, StreamFactory};
 pub use series::TimeSeries;
 pub use stats::{Ewma, Histogram, Summary, Welford};
 pub use time::SimTime;
+pub use timer::Backoff;

@@ -1,0 +1,125 @@
+//! Deterministic retry timers.
+//!
+//! Simulated protocols that re-send on timeout need two things from the
+//! kernel: a deadline for each attempt and a schedule of growing waits
+//! between attempts. [`Backoff`] captures both as a pure function of the
+//! attempt number, so a retry lifecycle stays reproducible — no wall
+//! clock, no randomness, and saturating arithmetic so extreme
+//! configurations degrade to "wait forever" instead of wrapping.
+
+use crate::time::Duration;
+
+/// An exponential backoff schedule: attempt `i` (1-based) waits
+/// `base * factor^(i-1)` ticks, capped at `max_attempts` attempts.
+///
+/// The schedule is a value, not a process: [`Backoff::delay_for`] is a
+/// pure function, so simulators can compute the wait for any attempt
+/// without tracking iterator state, and two replicas of a run agree on
+/// every deadline by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backoff {
+    /// Wait before the second attempt (the first fires immediately).
+    pub base: Duration,
+    /// Multiplier applied per additional attempt (≥ 1.0).
+    pub factor: f64,
+    /// Total attempts allowed, including the first.
+    pub max_attempts: u32,
+}
+
+impl Backoff {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero, `factor < 1.0`, or `max_attempts == 0` —
+    /// each describes a timer that never waits or never fires.
+    pub fn new(base: Duration, factor: f64, max_attempts: u32) -> Self {
+        assert!(base.ticks() > 0, "backoff base must be positive");
+        assert!(factor >= 1.0, "backoff factor must be at least 1.0");
+        assert!(max_attempts > 0, "backoff needs at least one attempt");
+        Backoff {
+            base,
+            factor,
+            max_attempts,
+        }
+    }
+
+    /// The wait after attempt number `attempt` (1-based), or `None` once
+    /// the attempt budget is exhausted — attempt `max_attempts` has no
+    /// follow-up.
+    pub fn delay_for(&self, attempt: u32) -> Option<Duration> {
+        if attempt == 0 || attempt >= self.max_attempts {
+            return None;
+        }
+        let scale = self.factor.powi(attempt as i32 - 1);
+        let ticks = (self.base.ticks() as f64 * scale).min(u64::MAX as f64);
+        Some(Duration::from_ticks(ticks as u64))
+    }
+
+    /// Whether another attempt is allowed after `attempt` attempts.
+    pub fn allows_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_attempts
+    }
+
+    /// Total simulated time spent if every attempt times out.
+    pub fn worst_case_wait(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        for attempt in 1..self.max_attempts {
+            if let Some(d) = self.delay_for(attempt) {
+                total = Duration::from_ticks(total.ticks().saturating_add(d.ticks()));
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_geometrically() {
+        let b = Backoff::new(Duration::from_ticks(100), 2.0, 4);
+        assert_eq!(b.delay_for(1), Some(Duration::from_ticks(100)));
+        assert_eq!(b.delay_for(2), Some(Duration::from_ticks(200)));
+        assert_eq!(b.delay_for(3), Some(Duration::from_ticks(400)));
+        assert_eq!(b.delay_for(4), None, "attempt budget exhausted");
+        assert_eq!(b.delay_for(0), None, "attempts are 1-based");
+    }
+
+    #[test]
+    fn flat_factor_keeps_constant_waits() {
+        let b = Backoff::new(Duration::from_ticks(50), 1.0, 3);
+        assert_eq!(b.delay_for(1), Some(Duration::from_ticks(50)));
+        assert_eq!(b.delay_for(2), Some(Duration::from_ticks(50)));
+        assert!(b.allows_retry(2));
+        assert!(!b.allows_retry(3));
+    }
+
+    #[test]
+    fn worst_case_wait_sums_every_delay() {
+        let b = Backoff::new(Duration::from_ticks(100), 2.0, 4);
+        assert_eq!(b.worst_case_wait(), Duration::from_ticks(700));
+        let single = Backoff::new(Duration::from_ticks(100), 2.0, 1);
+        assert_eq!(single.worst_case_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn extreme_schedules_saturate_instead_of_wrapping() {
+        let b = Backoff::new(Duration::from_ticks(u64::MAX / 2), 8.0, 10);
+        let d = b.delay_for(9).unwrap();
+        assert_eq!(d.ticks(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn rejects_shrinking_factor() {
+        Backoff::new(Duration::from_ticks(10), 0.5, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn rejects_zero_attempts() {
+        Backoff::new(Duration::from_ticks(10), 2.0, 0);
+    }
+}
