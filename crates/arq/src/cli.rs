@@ -13,14 +13,18 @@
 //! arq clean-join --raw capture.csv --out pairs.csv
 //! arq evaluate  --trace pairs.csv --strategy sliding --block 10000 --support 10 [--chart]
 //! arq simulate  --nodes 400 --queries 2000 --policy assoc --seed 1
+//! arq run       --exp e3 --trace-events events.jsonl --out artifacts.json
+//! arq report    --in artifacts.json --timeline
 //! ```
 
 use arq_assoc::mine_pairs;
 use arq_assoc::pairs::mine_pairs_with_confidence;
 use arq_core::engine;
+use arq_core::engine::{RunSpec, TraceSource};
 use arq_core::evaluate;
 use arq_gnutella::sim::SimConfig;
 use arq_simkern::chart::{render, ChartOptions};
+use arq_simkern::{Json, ToJson};
 use arq_trace::csvio;
 use arq_trace::stats::{pair_stats, raw_stats};
 use arq_trace::{SynthConfig, SynthTrace, TraceDb};
@@ -126,6 +130,20 @@ COMMANDS:
               --faults injects deterministic failures, e.g. 'loss=0.05'
               or 'faults(loss=0.05,crash=0.01,silent=0.02)'; --retry adds
               the bounded-retry lifecycle, e.g. 'deadline=2000,attempts=3'
+  run         execute instrumented engine runs and stream their traces
+              --exp e3 runs the E3 block-size sweep preset; otherwise
+              [--strategy SPEC] [--pairs N] [--block N] for a trace
+              evaluation, or --policy SPEC [--nodes N] [--queries N]
+              [--faults SPEC] [--retry SPEC] for a live simulation
+              [--seed S] [--obs SPEC] [--trace-events FILE] [--out FILE]
+              runs are instrumented with obs(events=1,series=1,fanout=16)
+              unless --obs overrides; --trace-events streams the event
+              log as JSONL; --out writes the artifact array as JSON
+  report      summarize persisted artifacts or experiment results
+              --in FILE [--timeline]
+              accepts an `arq run --out` artifact array or a
+              results/e*.json document; --timeline prints the per-block
+              series (α/ρ/traffic from obs, else coverage/success)
   help        print this text
 ";
 
@@ -141,6 +159,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "mine" => mine(rest),
         "evaluate" => cmd_evaluate(rest),
         "simulate" | "live" => simulate(rest),
+        "run" => cmd_run(rest),
+        "report" => cmd_report(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -385,6 +405,283 @@ fn simulate(args: &[String]) -> Result<String, CliError> {
     Ok(report)
 }
 
+/// Default seed for `arq run` — the bench harness's experiment seed, so
+/// the E3 preset reproduces the persisted results' configuration.
+const RUN_SEED: u64 = 20_060_814;
+
+/// Resolves the `--obs` flag into a registry obs spec. `arq run` always
+/// instruments (that is its purpose); bare `k=v` lists wrap into
+/// `obs(...)`.
+fn obs_spec_from(flags: &Flags) -> String {
+    match flags.get("obs") {
+        None => "obs".to_string(),
+        Some(s) if s == "obs" || s.contains('(') => s.to_string(),
+        Some(s) => format!("obs({s})"),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let seed: u64 = flags.parse_num("seed", RUN_SEED)?;
+    let obs = obs_spec_from(&flags);
+    engine::make_obs_plan(&obs).map_err(|e| err(e.to_string()))?;
+    let specs: Vec<RunSpec> = if let Some(exp) = flags.get("exp") {
+        match exp {
+            // E3 block-size sweep: one shared calibrated trace replayed
+            // through the Sliding Window at five block sizes — the same
+            // configuration the bench harness persists as results/e3.json
+            // at quick scale.
+            "e3" => {
+                let pairs: usize = flags.parse_num("pairs", 610_000)?;
+                let trace = TraceSource::Shared {
+                    label: "paper-default".into(),
+                    seed,
+                    pairs: std::sync::Arc::new(
+                        SynthTrace::new(SynthConfig::paper_default(pairs, seed)).pairs(),
+                    ),
+                };
+                [2_500usize, 5_000, 10_000, 20_000, 50_000]
+                    .iter()
+                    .map(|&bs| RunSpec::TraceEval {
+                        trace: trace.clone(),
+                        strategy: "sliding(s=10)".into(),
+                        block_size: bs,
+                        obs: Some(obs.clone()),
+                    })
+                    .collect()
+            }
+            other => {
+                return Err(err(format!(
+                    "unknown experiment preset `{other}` (valid: e3)"
+                )))
+            }
+        }
+    } else if let Some(policy) = flags.get("policy") {
+        let nodes: usize = flags.parse_num("nodes", 400)?;
+        let queries: usize = flags.parse_num("queries", 2_000)?;
+        let mut cfg = SimConfig::default_with(nodes, queries, seed);
+        if let Some(spec) = flags.get("faults") {
+            cfg.faults = Some(
+                engine::make_fault_plan(&wrap_spec("faults", spec))
+                    .map_err(|e| err(e.to_string()))?,
+            );
+        }
+        if let Some(spec) = flags.get("retry") {
+            cfg.retry = Some(
+                engine::make_retry_policy(&wrap_spec("retry", spec))
+                    .map_err(|e| err(e.to_string()))?,
+            );
+        }
+        vec![RunSpec::LiveSim {
+            cfg,
+            policy: policy.to_string(),
+            graph: None,
+            obs: Some(obs.clone()),
+        }]
+    } else {
+        let pairs: usize = flags.parse_num("pairs", 60_000)?;
+        let block: usize = flags.parse_num("block", 10_000)?;
+        let strategy = flags.get("strategy").unwrap_or("sliding(s=10)");
+        vec![RunSpec::TraceEval {
+            trace: TraceSource::PaperDefault { pairs, seed },
+            strategy: strategy.to_string(),
+            block_size: block,
+            obs: Some(obs.clone()),
+        }]
+    };
+    let artifacts = engine::execute(&specs).map_err(|e| err(e.to_string()))?;
+    if let Some(path) = flags.get("trace-events") {
+        let mut out = String::new();
+        for a in &artifacts {
+            if let Some(report) = &a.obs {
+                for ev in &report.events {
+                    // Prefix each event with its run index so a
+                    // multi-run sweep stays one self-describing stream.
+                    let mut fields = match ev.to_json() {
+                        Json::Obj(fields) => fields,
+                        other => vec![("event".to_string(), other)],
+                    };
+                    fields.insert(0, ("run".to_string(), Json::from(a.index)));
+                    out.push_str(&Json::Obj(fields).to_string());
+                    out.push('\n');
+                }
+            }
+        }
+        std::fs::write(path, &out).map_err(|e| err(format!("writing {path}: {e}")))?;
+    }
+    if let Some(path) = flags.get("out") {
+        let doc = Json::Arr(artifacts.iter().map(ToJson::to_json).collect());
+        std::fs::write(path, doc.to_string_pretty())
+            .map_err(|e| err(format!("writing {path}: {e}")))?;
+    }
+    let mut report = String::new();
+    for a in &artifacts {
+        let events = a.obs.as_ref().map_or(0, |o| o.events.len());
+        let _ = writeln!(
+            report,
+            "run {}: {}  seed {}  digest {:016x}  {events} events",
+            a.index, a.label, a.seed, a.digest
+        );
+        match (&a.obs, a.eval_run(), a.metrics()) {
+            (_, Some(run), _) => {
+                let _ = writeln!(
+                    report,
+                    "  trials {}  avg coverage {:.3}  avg success {:.3}  regenerations {}",
+                    run.trials, run.avg_coverage, run.avg_success, run.regenerations
+                );
+            }
+            (Some(o), _, Some(m)) => {
+                let _ = writeln!(
+                    report,
+                    "  success {:.3}  msgs/query {:.1}  forwards {}  metrics digest {:016x}",
+                    m.success_rate,
+                    m.messages_per_query,
+                    o.registry.counter_value("forwards").unwrap_or(0),
+                    m.digest()
+                );
+            }
+            (None, _, Some(m)) => {
+                let _ = writeln!(
+                    report,
+                    "  success {:.3}  msgs/query {:.1}  metrics digest {:016x}",
+                    m.success_rate,
+                    m.messages_per_query,
+                    m.digest()
+                );
+            }
+            _ => {}
+        }
+    }
+    Ok(report)
+}
+
+/// Renders one artifact's JSON object for `arq report`.
+fn report_artifact(a: &Json, timeline: bool, out: &mut String) {
+    let s = |key: &str| a.get(key).and_then(Json::as_str).unwrap_or("?");
+    let _ = writeln!(
+        out,
+        "{} {}  seed {}  digest {}",
+        s("kind"),
+        s("label"),
+        a.get("seed").and_then(Json::as_f64).unwrap_or(f64::NAN),
+        s("digest")
+    );
+    let run = a.get("run");
+    if let Some(metrics) = run.and_then(|r| r.get("metrics")) {
+        let num = |key: &str| metrics.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let _ = writeln!(
+            out,
+            "  success {:.3}  msgs/query {:.1}  retried {}  expired {}  duplicate {}  lost {}",
+            num("success_rate"),
+            num("messages_per_query"),
+            num("retried"),
+            num("expired"),
+            num("duplicate_hits"),
+            num("lost_messages")
+        );
+    } else if let Some(run) = run {
+        let num = |key: &str| run.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let _ = writeln!(
+            out,
+            "  trials {}  avg coverage {:.3}  avg success {:.3}",
+            num("trials"),
+            num("avg_coverage"),
+            num("avg_success")
+        );
+    }
+    if !timeline {
+        return;
+    }
+    // Prefer the instrumented per-block series; fall back to the eval
+    // run's coverage/success curves for uninstrumented artifacts.
+    let obs_series = a.get("obs").and_then(|o| o.get("series"));
+    let floats = |v: Option<&Json>| -> Vec<f64> {
+        v.and_then(Json::as_array)
+            .map(|xs| xs.iter().filter_map(Json::as_f64).collect())
+            .unwrap_or_default()
+    };
+    if let Some(series) = obs_series {
+        let alpha = floats(series.get("alpha"));
+        let rho = floats(series.get("rho"));
+        let traffic = floats(series.get("traffic"));
+        let blocks = floats(series.get("blocks"));
+        let _ = writeln!(out, "  block      α      ρ   traffic");
+        for (i, a) in alpha.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {:>5}  {:.3}  {:.3}  {:>8}",
+                blocks.get(i).copied().unwrap_or(i as f64) as u64,
+                a,
+                rho.get(i).copied().unwrap_or(f64::NAN),
+                traffic.get(i).copied().unwrap_or(f64::NAN) as u64
+            );
+        }
+    } else if let Some(run) = run {
+        let coverage = floats(run.get("coverage"));
+        let success = floats(run.get("success"));
+        if !coverage.is_empty() {
+            let _ = writeln!(out, "  block      α      ρ");
+            for (i, c) in coverage.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  {:>5}  {:.3}  {:.3}",
+                    i + 1,
+                    c,
+                    success.get(i).copied().unwrap_or(f64::NAN)
+                );
+            }
+        }
+    }
+}
+
+fn cmd_report(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["timeline"])?;
+    let path = flags.required("in")?;
+    let timeline = flags.has("timeline");
+    let text = std::fs::read_to_string(path).map_err(|e| err(format!("reading {path}: {e}")))?;
+    let doc = arq_simkern::json::parse(&text).map_err(|e| err(format!("parsing {path}: {e}")))?;
+    let mut out = String::new();
+    match &doc {
+        // An `arq run --out` artifact array.
+        Json::Arr(artifacts) => {
+            for a in artifacts {
+                report_artifact(a, timeline, &mut out);
+            }
+        }
+        // A bench results/e*.json document.
+        Json::Obj(_) if doc.get("rows").is_some() => {
+            let _ = writeln!(
+                out,
+                "{} — {}",
+                doc.get("id").and_then(Json::as_str).unwrap_or("?"),
+                doc.get("title").and_then(Json::as_str).unwrap_or("?")
+            );
+            if let Some(rows) = doc.get("rows").and_then(Json::as_array) {
+                for row in rows {
+                    let _ = writeln!(
+                        out,
+                        "  {}: {}",
+                        row.at(0).and_then(Json::as_str).unwrap_or("?"),
+                        row.at(1).and_then(Json::as_str).unwrap_or("?")
+                    );
+                }
+            }
+            if timeline {
+                if let Some(Json::Obj(series)) = doc.get("series") {
+                    for (name, values) in series {
+                        let n = values.as_array().map_or(0, <[Json]>::len);
+                        let _ = writeln!(out, "  series {name}: {n} points");
+                    }
+                }
+            }
+        }
+        // A single artifact object.
+        Json::Obj(_) => report_artifact(&doc, timeline, &mut out),
+        _ => return Err(err(format!("{path}: not an artifact array or report"))),
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,6 +846,70 @@ mod tests {
         assert!(e.0.contains("valid:"), "{e}");
         let e = run(&args("simulate --retry deadline=0")).unwrap_err();
         assert!(e.0.contains("deadline"), "{e}");
+    }
+
+    #[test]
+    fn run_and_report_roundtrip() {
+        let events = tmp("events.jsonl");
+        let arts = tmp("artifacts.json");
+        let out = run(&args(&format!(
+            "run --strategy sliding(s=10) --pairs 20000 --block 5000 --seed 3 \
+             --trace-events {events} --out {arts}"
+        )))
+        .unwrap();
+        assert!(out.contains("events"), "{out}");
+        assert!(out.contains("avg coverage"), "{out}");
+        let jsonl = std::fs::read_to_string(&events).unwrap();
+        assert!(jsonl.lines().count() > 0, "no events streamed");
+        assert!(
+            jsonl.lines().all(|l| l.starts_with("{\"run\":0,\"ev\":\"")),
+            "events missing run prefix"
+        );
+        let rep = run(&args(&format!("report --in {arts} --timeline"))).unwrap();
+        assert!(rep.contains("trace-eval sliding(s=10)"), "{rep}");
+        assert!(rep.contains("α"), "{rep}");
+        assert!(rep.contains("traffic"), "{rep}");
+    }
+
+    #[test]
+    fn run_rejects_bad_obs_and_presets() {
+        let e = run(&args("run --obs fanout=0 --pairs 20000")).unwrap_err();
+        assert!(e.0.contains("fanout"), "{e}");
+        let e = run(&args("run --exp e99")).unwrap_err();
+        assert!(e.0.contains("unknown experiment preset"), "{e}");
+    }
+
+    #[test]
+    fn run_live_world_emits_lifecycle_events() {
+        let events = tmp("live_events.jsonl");
+        let out = run(&args(&format!(
+            "run --policy flood --nodes 50 --queries 60 --seed 4 \
+             --faults loss=0.2 --retry attempts=2 --trace-events {events}"
+        )))
+        .unwrap();
+        assert!(out.contains("metrics digest"), "{out}");
+        let jsonl = std::fs::read_to_string(&events).unwrap();
+        assert!(jsonl.contains("\"ev\":\"forward\""), "{jsonl}");
+        assert!(
+            jsonl.contains("\"ev\":\"fault_drop\""),
+            "no drops at loss=0.2"
+        );
+    }
+
+    #[test]
+    fn report_reads_results_documents() {
+        let path = tmp("e0.json");
+        std::fs::write(
+            &path,
+            r#"{"id":"E0","title":"smoke","paper_claim":"n/a",
+               "rows":[["metric","1.0"]],"series":{"x":[1,2,3]}}"#,
+        )
+        .unwrap();
+        let rep = run(&args(&format!("report --in {path}"))).unwrap();
+        assert!(rep.contains("E0 — smoke"), "{rep}");
+        assert!(rep.contains("metric: 1.0"), "{rep}");
+        let rep = run(&args(&format!("report --in {path} --timeline"))).unwrap();
+        assert!(rep.contains("series x: 3 points"), "{rep}");
     }
 
     #[test]

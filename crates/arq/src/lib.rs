@@ -14,6 +14,7 @@
 //! | [`assoc`] | `arq-assoc` | Apriori/FP-Growth, rule measures, pair rules |
 //! | [`core`] | `arq-core` | the paper's strategies, evaluator, online policy |
 //! | [`baselines`] | `arq-baselines` | flooding, k-walks, ring, shortcuts, RI |
+//! | [`obs`] | `arq-obs` | structured event tracing, metrics registry, series |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use arq_baselines as baselines;
 pub use arq_content as content;
 pub use arq_core as core;
 pub use arq_gnutella as gnutella;
+pub use arq_obs as obs;
 pub use arq_overlay as overlay;
 pub use arq_simkern as simkern;
 pub use arq_trace as trace;

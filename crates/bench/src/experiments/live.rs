@@ -128,11 +128,13 @@ pub fn e11_topology(scale: Scale, seed: u64) -> ExperimentReport {
             cfg: cfg.clone(),
             policy: "flood".into(),
             graph: Some(Arc::new(graph)),
+            obs: None,
         },
         RunSpec::LiveSim {
             cfg,
             policy: "flood".into(),
             graph: Some(Arc::new(adapted)),
+            obs: None,
         },
     ]);
     let hops = |a: &arq::core::RunArtifact| {

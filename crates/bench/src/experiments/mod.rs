@@ -114,6 +114,7 @@ fn eval_spec(trace: &TraceSource, strategy: &str, block_size: usize) -> RunSpec 
         trace: trace.clone(),
         strategy: strategy.to_string(),
         block_size,
+        obs: None,
     }
 }
 
@@ -123,6 +124,7 @@ fn live_spec(cfg: &SimConfig, policy: &str) -> RunSpec {
         cfg: cfg.clone(),
         policy: policy.to_string(),
         graph: None,
+        obs: None,
     }
 }
 
@@ -168,16 +170,28 @@ fn live_cfg(scale: Scale, seed: u64) -> SimConfig {
 }
 
 fn metrics_row(m: &RunMetrics, extra: &str) -> (String, String) {
+    // Retry/fault lifecycle counters append only when something actually
+    // happened, so fault-free experiments keep their historical rows
+    // (and `results/` bytes) unchanged.
+    let lifecycle = if m.retried + m.expired + m.duplicate_hits + m.lost_messages > 0 {
+        format!(
+            ", {} retried / {} expired / {} dup / {} lost",
+            m.retried, m.expired, m.duplicate_hits, m.lost_messages
+        )
+    } else {
+        String::new()
+    };
     (
         m.policy.clone(),
         format!(
-            "{:.1} msg/query ({:.1} KiB), success {:.3}, first-hit hops {}{}",
+            "{:.1} msg/query ({:.1} KiB), success {:.3}, first-hit hops {}{}{}",
             m.messages_per_query,
             m.bytes_per_query / 1024.0,
             m.success_rate,
             m.first_hit_hops
                 .as_ref()
                 .map_or("n/a".into(), |h| format!("{:.2}", h.mean)),
+            lifecycle,
             extra
         ),
     )

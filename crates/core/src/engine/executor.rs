@@ -20,9 +20,10 @@
 
 use super::registry::{self, RegistryError};
 use super::spec::{RunArtifact, RunOutput, RunSpec};
-use crate::eval::evaluate;
+use crate::eval::evaluate_with_obs;
 use arq_gnutella::policy::ForwardingPolicy;
 use arq_gnutella::sim::Network;
+use arq_obs::{Obs, ObsReport};
 use arq_overlay::Graph;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -82,30 +83,62 @@ pub fn execute_with_threads(
         .collect())
 }
 
-/// Checks that a spec's strategy/policy string is constructible.
+/// Checks that a spec's strategy/policy string is constructible, along
+/// with its obs spec if one is attached.
 pub fn validate(spec: &RunSpec) -> Result<(), RegistryError> {
+    if let Some(obs) = spec.obs_spec() {
+        registry::make_obs_plan(obs)?;
+    }
     match spec {
         RunSpec::TraceEval { strategy, .. } => registry::make_strategy(strategy).map(|_| ()),
         RunSpec::LiveSim { policy, .. } => registry::make_policy(policy).map(|_| ()),
     }
 }
 
+/// The obs spec injected by the `ARQ_OBS` environment variable, if any.
+/// `ARQ_OBS=1` means full default instrumentation; any other non-empty,
+/// non-`0` value is taken as an `obs(...)` spec string. Env-injected
+/// instrumentation attaches at run time only — it never enters
+/// [`RunSpec::describe`], so config digests (and persisted artifacts'
+/// provenance) are unchanged by it.
+fn env_obs_spec() -> Option<String> {
+    match std::env::var("ARQ_OBS") {
+        Ok(v) if v.is_empty() || v == "0" => None,
+        Ok(v) if v == "1" => Some("obs".to_string()),
+        Ok(v) => Some(v),
+        Err(_) => None,
+    }
+}
+
 /// Runs one spec to completion on the current thread.
 pub fn run_one(index: usize, spec: &RunSpec) -> Result<RunArtifact, RegistryError> {
-    let (label, output) = match spec {
+    let obs_spec = spec.obs_spec().map(str::to_string).or_else(env_obs_spec);
+    let mut obs = match &obs_spec {
+        Some(s) => Obs::enabled(registry::make_obs_plan(s)?),
+        None => Obs::disabled(),
+    };
+    let (label, output, obs_report) = match spec {
         RunSpec::TraceEval {
             trace,
             strategy,
             block_size,
+            ..
         } => {
             let mut strategy = registry::make_strategy(strategy)?;
             let pairs = trace.materialize();
-            let run = evaluate(strategy.as_mut(), &pairs, *block_size);
-            (run.strategy.clone(), RunOutput::Trace(run))
+            let run = evaluate_with_obs(strategy.as_mut(), &pairs, *block_size, &mut obs);
+            (run.strategy.clone(), RunOutput::Trace(run), obs.report())
         }
-        RunSpec::LiveSim { cfg, policy, graph } => {
-            let (metrics, stats, _, _) = run_live(cfg.clone(), policy, graph.as_deref())?;
-            (metrics.policy.clone(), RunOutput::Live { metrics, stats })
+        RunSpec::LiveSim {
+            cfg, policy, graph, ..
+        } => {
+            let (metrics, stats, _, _, report) =
+                run_live_with_obs(cfg.clone(), policy, graph.as_deref(), obs)?;
+            (
+                metrics.policy.clone(),
+                RunOutput::Live { metrics, stats },
+                report,
+            )
         }
     };
     Ok(RunArtifact {
@@ -115,6 +148,7 @@ pub fn run_one(index: usize, spec: &RunSpec) -> Result<RunArtifact, RegistryErro
         spec: spec.describe(),
         digest: spec.digest(),
         output,
+        obs: obs_report,
     })
 }
 
@@ -129,24 +163,46 @@ pub type LiveRun = (
     Graph,
 );
 
+/// [`LiveRun`] plus the obs report an instrumented run produced.
+pub type LiveRunObs = (
+    arq_gnutella::metrics::RunMetrics,
+    Vec<(String, f64)>,
+    Box<dyn ForwardingPolicy + Send>,
+    Graph,
+    Option<ObsReport>,
+);
+
 /// Builds and runs one live simulation from a policy spec.
 pub fn run_live(
-    mut cfg: arq_gnutella::sim::SimConfig,
+    cfg: arq_gnutella::sim::SimConfig,
     policy_spec: &str,
     graph: Option<&Graph>,
 ) -> Result<LiveRun, RegistryError> {
+    let (metrics, stats, policy, graph, _) =
+        run_live_with_obs(cfg, policy_spec, graph, Obs::disabled())?;
+    Ok((metrics, stats, policy, graph))
+}
+
+/// [`run_live`] with an observability recorder attached to the network.
+pub fn run_live_with_obs(
+    mut cfg: arq_gnutella::sim::SimConfig,
+    policy_spec: &str,
+    graph: Option<&Graph>,
+    obs: Obs,
+) -> Result<LiveRunObs, RegistryError> {
     let built = registry::make_policy(policy_spec)?;
     built.apply_to(&mut cfg);
     let label = built.label;
     let network = match graph {
         Some(g) => Network::with_graph(cfg, built.policy, g.clone()),
         None => Network::new(cfg, built.policy),
-    };
+    }
+    .with_obs(obs);
     let (result, policy, graph) = network.run_full();
     let mut metrics = result.metrics;
     metrics.policy = label;
     let stats = policy.stats();
-    Ok((metrics, stats, policy, graph))
+    Ok((metrics, stats, policy, graph, result.obs))
 }
 
 #[cfg(test)]
@@ -167,6 +223,7 @@ mod tests {
                 trace: trace.clone(),
                 strategy: s.to_string(),
                 block_size: 1_000,
+                obs: None,
             })
             .collect()
     }
@@ -201,6 +258,7 @@ mod tests {
             },
             strategy: "bogus".into(),
             block_size: 10,
+            obs: None,
         });
         assert!(matches!(
             execute_with_threads(&specs, 2),
@@ -217,6 +275,7 @@ mod tests {
             cfg,
             policy: "expanding-ring(start=2,step=3,max=5,wait=1000)".into(),
             graph: None,
+            obs: None,
         };
         let artifacts = execute_with_threads(std::slice::from_ref(&spec), 1).unwrap();
         let m = artifacts[0].metrics().unwrap();

@@ -25,9 +25,12 @@ pub mod executor;
 pub mod registry;
 pub mod spec;
 
-pub use executor::{execute, execute_with_threads, run_live, run_one, thread_count, LiveRun};
+pub use executor::{
+    execute, execute_with_threads, run_live, run_live_with_obs, run_one, thread_count, validate,
+    LiveRun, LiveRunObs,
+};
 pub use registry::{
-    make_fault_plan, make_policy, make_retry_policy, make_strategy, parse_spec, BuiltPolicy,
-    ParsedSpec, RegistryError, POLICY_NAMES, STRATEGY_NAMES,
+    make_fault_plan, make_obs_plan, make_policy, make_retry_policy, make_strategy, parse_spec,
+    BuiltPolicy, ParsedSpec, RegistryError, POLICY_NAMES, STRATEGY_NAMES,
 };
 pub use spec::{RunArtifact, RunOutput, RunSpec, TraceSource};

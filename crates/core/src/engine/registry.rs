@@ -24,6 +24,7 @@ use arq_baselines::{
 use arq_gnutella::policy::ForwardingPolicy;
 use arq_gnutella::sim::{RetryPolicy, RingSchedule, SimConfig};
 use arq_gnutella::FaultPlan;
+use arq_obs::ObsConfig;
 use arq_simkern::time::Duration;
 
 /// Every registered strategy name, in registry order.
@@ -101,22 +102,25 @@ pub struct ParsedSpec {
 /// Does not check the name against a registry — [`make_strategy`] /
 /// [`make_policy`] do that.
 pub fn parse_spec(spec: &str) -> Result<ParsedSpec, RegistryError> {
-    let bad = |reason: &str| RegistryError::BadSpec {
-        spec: spec.to_string(),
-        reason: reason.to_string(),
-    };
     let spec = spec.trim();
+    // Structural errors carry the offending spec and the byte offset of
+    // the broken construct, so a truncated nested spec buried in a longer
+    // command line (`faults(loss=0.1,`) is locatable at a glance.
+    let bad = |reason: String| RegistryError::BadSpec {
+        spec: spec.to_string(),
+        reason,
+    };
     let (name, args) = match spec.find('(') {
         None => (spec, None),
         Some(open) => {
             let Some(inner) = spec[open + 1..].strip_suffix(')') else {
-                return Err(bad("missing closing `)`"));
+                return Err(bad(format!("missing closing `)` for `(` at byte {open}")));
             };
             (&spec[..open], Some(inner))
         }
     };
     if name.is_empty() {
-        return Err(bad("empty name"));
+        return Err(bad("empty name".to_string()));
     }
     let mut params = Vec::new();
     if let Some(args) = args {
@@ -125,13 +129,19 @@ pub fn parse_spec(spec: &str) -> Result<ParsedSpec, RegistryError> {
             if part.is_empty() {
                 continue;
             }
+            // `part` is a subslice of `spec`, so pointer distance is the
+            // parameter's byte offset within the spec string.
+            let at = part.as_ptr() as usize - spec.as_ptr() as usize;
             let Some((key, value)) = part.split_once('=') else {
-                return Err(bad(&format!("parameter `{part}` is not `key=value`")));
+                return Err(bad(format!(
+                    "parameter `{part}` at byte {at} is not `key=value`"
+                )));
             };
-            let value: f64 = value
-                .trim()
-                .parse()
-                .map_err(|_| bad(&format!("parameter `{part}` has a non-numeric value")))?;
+            let value: f64 = value.trim().parse().map_err(|_| {
+                bad(format!(
+                    "parameter `{part}` at byte {at} has a non-numeric value"
+                ))
+            })?;
             params.push((key.trim().to_string(), value));
         }
     }
@@ -478,6 +488,41 @@ pub fn make_fault_plan(spec: &str) -> Result<FaultPlan, RegistryError> {
     Ok(plan)
 }
 
+/// Constructs an [`ObsConfig`] from a spec string:
+/// `obs(events=1,series=1,fanout=16)`.
+///
+/// Bare `obs` enables full instrumentation with the defaults. `events`
+/// and `series` are 1/0 switches for the event log and the per-block
+/// α/ρ/traffic series; `fanout` sets the forward fan-out histogram's
+/// bucket count. Unknown keys are rejected with the valid keys listed.
+pub fn make_obs_plan(spec: &str) -> Result<ObsConfig, RegistryError> {
+    let parsed = parse_spec(spec)?;
+    if parsed.name != "obs" {
+        return Err(RegistryError::BadSpec {
+            spec: spec.to_string(),
+            reason: format!("obs spec must be `obs(...)`, got `{}`", parsed.name),
+        });
+    }
+    let p = ParamTable::resolve(
+        spec,
+        &parsed,
+        &[("events", 1.0), ("series", 1.0), ("fanout", 16.0)],
+        &[],
+    )?;
+    let fanout_buckets = p.usize("fanout")?;
+    if fanout_buckets == 0 {
+        return Err(RegistryError::BadSpec {
+            spec: spec.to_string(),
+            reason: "parameter `fanout` must be positive".to_string(),
+        });
+    }
+    Ok(ObsConfig {
+        events: p.f64("events") != 0.0,
+        series: p.f64("series") != 0.0,
+        fanout_buckets,
+    })
+}
+
 /// Constructs a [`RetryPolicy`] from a spec string:
 /// `retry(deadline=2000,attempts=3,backoff=2,step=1,maxttl=8)`.
 ///
@@ -600,6 +645,41 @@ mod tests {
         assert!(make_fault_plan("faults").unwrap().is_noop());
         assert!(make_fault_plan("faults(loss=1.5)").is_err());
         assert!(make_fault_plan("retry(loss=0.1)").is_err());
+    }
+
+    #[test]
+    fn structural_errors_carry_spec_and_position() {
+        // A truncated nested spec: the missing `)` is reported with the
+        // offset of the `(` that never closed.
+        let e = parse_spec("faults(loss=0.1,").unwrap_err().to_string();
+        assert!(e.contains("`faults(loss=0.1,`"), "{e}");
+        assert!(e.contains("missing closing `)` for `(` at byte 6"), "{e}");
+        // Malformed parameters are located by byte offset too.
+        let e = parse_spec("faults(loss=0.1,jitter)")
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("parameter `jitter` at byte 16"), "{e}");
+        let e = parse_spec("retry(deadline=soon)").unwrap_err().to_string();
+        assert!(
+            e.contains("parameter `deadline=soon` at byte 6 has a non-numeric value"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn obs_specs_round_trip() {
+        let cfg = make_obs_plan("obs").unwrap();
+        assert!(cfg.events && cfg.series);
+        assert_eq!(cfg.fanout_buckets, 16);
+        let cfg = make_obs_plan("obs(events=0,series=1,fanout=8)").unwrap();
+        assert!(!cfg.events);
+        assert!(cfg.series);
+        assert_eq!(cfg.fanout_buckets, 8);
+        assert!(make_obs_plan("obs(fanout=0)").is_err());
+        assert!(make_obs_plan("faults(loss=0.1)").is_err());
+        let e = make_obs_plan("obs(event=1)").unwrap_err().to_string();
+        assert!(e.contains("unknown parameter `event`"), "{e}");
+        assert!(e.contains("events"), "{e}");
     }
 
     #[test]

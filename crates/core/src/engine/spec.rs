@@ -109,6 +109,11 @@ pub enum RunSpec {
         strategy: String,
         /// Pairs per evaluation block.
         block_size: usize,
+        /// Observability spec, e.g. `"obs(events=1,series=1)"`. `None`
+        /// runs uninstrumented and keeps the config digest — and hence
+        /// every persisted artifact — byte-identical to before the obs
+        /// layer existed.
+        obs: Option<String>,
     },
     /// Run the live network simulator under a forwarding policy.
     LiveSim {
@@ -120,6 +125,8 @@ pub enum RunSpec {
         /// `cfg.topology` — how the topology-adaptation experiment
         /// replays one workload on rewired graphs.
         graph: Option<Arc<Graph>>,
+        /// Observability spec (see [`RunSpec::TraceEval::obs`]).
+        obs: Option<String>,
     },
 }
 
@@ -144,16 +151,30 @@ impl RunSpec {
     /// Two specs describing identical runs produce identical strings;
     /// any config change changes the string (and hence [`Self::digest`]).
     pub fn describe(&self) -> String {
+        // An absent obs spec appends nothing: pre-obs digests (and the
+        // persisted results keyed on them) must survive unchanged.
+        let obs_tag = |obs: &Option<String>| {
+            obs.as_ref()
+                .map(|o| format!("|obs={o}"))
+                .unwrap_or_default()
+        };
         match self {
             RunSpec::TraceEval {
                 trace,
                 strategy,
                 block_size,
+                obs,
             } => format!(
-                "trace-eval|trace={}|strategy={strategy}|block={block_size}",
-                trace.describe()
+                "trace-eval|trace={}|strategy={strategy}|block={block_size}{}",
+                trace.describe(),
+                obs_tag(obs)
             ),
-            RunSpec::LiveSim { cfg, policy, graph } => {
+            RunSpec::LiveSim {
+                cfg,
+                policy,
+                graph,
+                obs,
+            } => {
                 let graph_tag = match graph {
                     // `Graph` intentionally has no cheap canonical form;
                     // tag size + live + edge counts, which distinguishes
@@ -166,8 +187,18 @@ impl RunSpec {
                     ),
                     None => "generated".to_string(),
                 };
-                format!("live-sim|cfg={cfg:?}|policy={policy}|graph={graph_tag}")
+                format!(
+                    "live-sim|cfg={cfg:?}|policy={policy}|graph={graph_tag}{}",
+                    obs_tag(obs)
+                )
             }
+        }
+    }
+
+    /// The observability spec, when one is attached.
+    pub fn obs_spec(&self) -> Option<&str> {
+        match self {
+            RunSpec::TraceEval { obs, .. } | RunSpec::LiveSim { obs, .. } => obs.as_deref(),
         }
     }
 
@@ -209,6 +240,9 @@ pub struct RunArtifact {
     pub digest: u64,
     /// The measurements.
     pub output: RunOutput,
+    /// Structured event trace + metrics registry + per-block series,
+    /// present only when the run was instrumented.
+    pub obs: Option<arq_obs::ObsReport>,
 }
 
 impl RunArtifact {
@@ -257,15 +291,23 @@ impl ToJson for RunArtifact {
                 ]),
             ),
         };
-        Json::obj([
-            ("index", Json::from(self.index)),
-            ("kind", Json::from(kind)),
-            ("label", Json::from(&self.label)),
-            ("seed", Json::from(self.seed)),
-            ("digest", Json::from(format!("{:016x}", self.digest))),
-            ("spec", Json::from(&self.spec)),
-            ("run", run),
-        ])
+        let mut doc = vec![
+            ("index".to_string(), Json::from(self.index)),
+            ("kind".to_string(), Json::from(kind)),
+            ("label".to_string(), Json::from(&self.label)),
+            ("seed".to_string(), Json::from(self.seed)),
+            (
+                "digest".to_string(),
+                Json::from(format!("{:016x}", self.digest)),
+            ),
+            ("spec".to_string(), Json::from(&self.spec)),
+            ("run".to_string(), run),
+        ];
+        // Uninstrumented artifacts serialize exactly as they always did.
+        if let Some(obs) = &self.obs {
+            doc.push(("obs".to_string(), obs.to_json()));
+        }
+        Json::Obj(doc)
     }
 }
 
@@ -282,6 +324,7 @@ mod tests {
             },
             strategy: "sliding(s=10)".into(),
             block_size: 100,
+            obs: None,
         };
         let mut b = a.clone();
         assert_eq!(a.digest(), b.digest());
@@ -289,6 +332,27 @@ mod tests {
             *block_size = 200;
         }
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn obs_spec_changes_digest_only_when_present() {
+        let base = RunSpec::TraceEval {
+            trace: TraceSource::PaperDefault {
+                pairs: 1_000,
+                seed: 3,
+            },
+            strategy: "sliding(s=10)".into(),
+            block_size: 100,
+            obs: None,
+        };
+        assert!(!base.describe().contains("obs="));
+        let mut instrumented = base.clone();
+        if let RunSpec::TraceEval { obs, .. } = &mut instrumented {
+            *obs = Some("obs(events=1)".into());
+        }
+        assert!(instrumented.describe().ends_with("|obs=obs(events=1)"));
+        assert_ne!(base.digest(), instrumented.digest());
+        assert_eq!(instrumented.obs_spec(), Some("obs(events=1)"));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::strategy::Strategy;
 pub use crate::strategy::Trial;
+use arq_obs::{Event, Obs};
 use arq_simkern::time::Duration;
 use arq_simkern::TimeSeries;
 use arq_trace::record::PairRecord;
@@ -77,6 +78,20 @@ pub fn evaluate<S: Strategy + ?Sized>(
     pairs: &[PairRecord],
     block_size: usize,
 ) -> EvalRun {
+    evaluate_with_obs(strategy, pairs, block_size, &mut Obs::disabled())
+}
+
+/// [`evaluate`] with an observability recorder attached. Each trial
+/// emits a block boundary, the RULESET-TEST tallies (which also feed the
+/// per-block α/ρ/traffic series), and — when the strategy rebuilt its
+/// rule set — a re-mine event. A disabled recorder makes this identical
+/// to [`evaluate`], closure construction included.
+pub fn evaluate_with_obs<S: Strategy + ?Sized>(
+    strategy: &mut S,
+    pairs: &[PairRecord],
+    block_size: usize,
+    obs: &mut Obs,
+) -> EvalRun {
     let blocks = Blocks::new(pairs, block_size);
     assert!(
         blocks.len() >= 2,
@@ -89,11 +104,27 @@ pub fn evaluate<S: Strategy + ?Sized>(
     let mut rule_counts = Vec::with_capacity(blocks.len() - 1);
     let mut regenerations = 0usize;
     for i in 1..blocks.len() {
-        let trial = strategy.test_and_update(blocks.get(i));
+        let block = blocks.get(i);
+        obs.record(|| Event::BlockStart {
+            block: i,
+            pairs: block.len(),
+        });
+        let trial = strategy.test_and_update(block);
+        obs.record(|| Event::RuleTally {
+            block: i,
+            total: trial.measures.total,
+            covered: trial.measures.covered,
+            successes: trial.measures.successes,
+        });
         coverage.push(i as f64, trial.measures.coverage());
         success.push(i as f64, trial.measures.success());
         rule_counts.push(trial.rule_count);
         if trial.regenerated {
+            obs.record(|| Event::ReMine {
+                block: i,
+                rules_before: trial.rule_count,
+                rules_after: trial.rules_after,
+            });
             regenerations += 1;
         }
     }

@@ -43,7 +43,7 @@ pub mod threshold;
 pub mod topology;
 
 pub use engine::{RunArtifact, RunSpec, TraceSource};
-pub use eval::{evaluate, evaluate_timed, EvalRun, Trial};
+pub use eval::{evaluate, evaluate_timed, evaluate_with_obs, EvalRun, Trial};
 pub use hybrid::HybridPolicy;
 pub use policy::{AssocPolicy, AssocPolicyConfig};
 pub use strategy::{

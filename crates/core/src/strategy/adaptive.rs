@@ -100,6 +100,7 @@ impl Strategy for AdaptiveSlidingWindow {
             measures,
             regenerated,
             rule_count,
+            rules_after: self.rules.rule_count(),
         }
     }
 }

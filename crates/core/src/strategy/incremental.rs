@@ -96,6 +96,7 @@ impl Strategy for IncrementalStream {
             // set is continuously regenerated.
             regenerated: true,
             rule_count: self.counts.len(),
+            rules_after: self.counts.len(),
         }
     }
 }

@@ -65,6 +65,7 @@ impl Strategy for LazySlidingWindow {
             measures,
             regenerated,
             rule_count,
+            rules_after: self.rules.rule_count(),
         }
     }
 }

@@ -84,6 +84,7 @@ impl Strategy for LossyStream {
             measures,
             regenerated: true,
             rule_count: self.counts.len(),
+            rules_after: self.counts.len(),
         }
     }
 }

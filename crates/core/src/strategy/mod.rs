@@ -36,6 +36,10 @@ pub struct Trial {
     pub regenerated: bool,
     /// Rules held while testing this block.
     pub rule_count: usize,
+    /// Rules held after the update step — differs from `rule_count`
+    /// exactly when `regenerated` is set. Observability layers report
+    /// this as the re-mined rule-set size.
+    pub rules_after: usize,
 }
 
 /// A rule-set maintenance strategy under trace-driven evaluation.

@@ -91,6 +91,7 @@ impl Strategy for SlidingWindow {
             measures,
             regenerated: true,
             rule_count,
+            rules_after: self.rules.rule_count(),
         }
     }
 }

@@ -53,6 +53,7 @@ impl Strategy for StaticRuleset {
             measures: ruleset_test(&self.rules, block),
             regenerated: false,
             rule_count: self.rules.rule_count(),
+            rules_after: self.rules.rule_count(),
         }
     }
 }

@@ -52,6 +52,7 @@ impl Strategy for TopicSlidingWindow {
             measures,
             regenerated: true,
             rule_count,
+            rules_after: self.rules.rule_count(),
         }
     }
 }

@@ -77,6 +77,18 @@ pub struct RunMetrics {
     pub first_hit_latency: Option<Summary>,
 }
 
+impl RunMetrics {
+    /// FNV-1a digest over the canonical JSON serialization — a stable
+    /// fingerprint of every measured value, including the retry/fault
+    /// lifecycle counters (`retried`, `expired`, `duplicate_hits`,
+    /// `lost_messages`). Report tooling surfaces this next to the config
+    /// digest so two runs can be compared at a glance.
+    pub fn digest(&self) -> u64 {
+        use arq_simkern::ToJson;
+        arq_simkern::rng::fnv1a(self.to_json().to_string().as_bytes())
+    }
+}
+
 impl arq_simkern::ToJson for RunMetrics {
     fn to_json(&self) -> arq_simkern::Json {
         use arq_simkern::Json;

@@ -24,6 +24,7 @@ use crate::metrics::{MetricsBuilder, QueryOutcome, RunMetrics};
 use crate::node::{NodeState, Upstream};
 use crate::policy::{ForwardCtx, ForwardingPolicy};
 use arq_content::{Catalog, CatalogConfig, QueryKey, WorkloadConfig, WorkloadGen};
+use arq_obs::{DropKind, Event as ObsEvent, Obs, ObsReport};
 use arq_overlay::churn::{rewire_join, ChurnKind};
 use arq_overlay::{generate, ChurnConfig, ChurnProcess, Graph, NodeId};
 use arq_simkern::time::Duration;
@@ -234,6 +235,9 @@ pub struct SimResult {
     pub distinct_query_guids: usize,
     /// Query attempts issued across all queries (initial + reissues).
     pub total_attempts: u64,
+    /// Structured event trace and metrics, when an enabled [`Obs`] was
+    /// attached via [`Network::with_obs`]. `None` otherwise.
+    pub obs: Option<ObsReport>,
 }
 
 struct LiveQuery {
@@ -270,6 +274,7 @@ pub struct Network<P: ForwardingPolicy> {
     faults: Option<FaultState>,
     /// Nodes that crashed permanently; their churn events are ignored.
     crashed: Vec<bool>,
+    obs: Obs,
 }
 
 impl<P: ForwardingPolicy> Network<P> {
@@ -406,6 +411,7 @@ impl<P: ForwardingPolicy> Network<P> {
             policy_rng: streams.stream("policy"),
             faults,
             crashed: vec![false; cfg.nodes],
+            obs: Obs::disabled(),
             graph,
             catalog,
             workload,
@@ -417,6 +423,15 @@ impl<P: ForwardingPolicy> Network<P> {
     /// Immutable access to the overlay (tests and baselines use it).
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// Attaches an observability recorder. Instrumentation reads only
+    /// simulated time and deterministic counters, so the resulting trace
+    /// is byte-identical across thread counts and (with a disabled
+    /// recorder) the run itself is unchanged.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     fn hop_latency(&mut self) -> Duration {
@@ -529,6 +544,12 @@ impl<P: ForwardingPolicy> Network<P> {
             candidates: &candidates,
         };
         let selected = self.policy.select(&ctx, &mut self.policy_rng);
+        self.obs.record(|| ObsEvent::Forward {
+            at: now,
+            node: node.0,
+            candidates: candidates.len(),
+            selected: selected.len(),
+        });
         for &target in &selected {
             assert!(
                 candidates.contains(&target),
@@ -581,6 +602,10 @@ impl<P: ForwardingPolicy> Network<P> {
             return; // lost in flight
         }
         if self.fault_dropped() {
+            self.obs.record(|| ObsEvent::FaultDrop {
+                at: now,
+                kind: DropKind::Query,
+            });
             return; // lost in flight (fault layer)
         }
         if !self.graph.is_alive(to) {
@@ -638,6 +663,10 @@ impl<P: ForwardingPolicy> Network<P> {
             return; // lost in flight
         }
         if self.fault_dropped() {
+            self.obs.record(|| ObsEvent::FaultDrop {
+                at: now,
+                kind: DropKind::Hit,
+            });
             return; // lost in flight (fault layer)
         }
         if !self.graph.is_alive(to) {
@@ -716,6 +745,11 @@ impl<P: ForwardingPolicy> Network<P> {
         let backoff = Backoff::new(rp.deadline, rp.backoff, rp.max_attempts);
         let Some(delay) = backoff.delay_for(attempt) else {
             self.queries[qidx].outcome.expired = true;
+            self.obs.record(|| ObsEvent::Expire {
+                at: now,
+                query: qidx,
+                attempts: attempt,
+            });
             return; // retry budget exhausted
         };
         let ttl = self
@@ -725,6 +759,12 @@ impl<P: ForwardingPolicy> Network<P> {
             .min(rp.max_ttl);
         if self.issue_attempt(qidx, ttl, now) {
             self.queries[qidx].outcome.retries += 1;
+            self.obs.record(|| ObsEvent::Retry {
+                at: now,
+                query: qidx,
+                attempt,
+                ttl,
+            });
         }
         self.queue.schedule(
             now.saturating_add(delay),
@@ -852,6 +892,7 @@ impl<P: ForwardingPolicy> Network<P> {
             end_time,
             distinct_query_guids: self.guid_to_query.len(),
             total_attempts,
+            obs: self.obs.report(),
         };
         (result, self.policy, self.graph)
     }

@@ -1,0 +1,315 @@
+//! # arq-obs — structured event tracing and metrics for deterministic runs
+//!
+//! A zero-overhead-when-disabled observability layer for the `arq`
+//! workspace. Instrumented code holds an [`Obs`] handle and calls
+//! [`Obs::record`] with a closure; when the handle is disabled (the
+//! default everywhere) the closure is never evaluated and the cost is a
+//! single branch on a niche-optimized `Option`. When enabled, every
+//! event:
+//!
+//! * is appended to the structured **event log** (unless
+//!   [`ObsConfig::events`] is off),
+//! * bumps its per-kind **counter** in the [`Registry`], plus
+//!   kind-specific instruments (the forward fan-out histogram, the
+//!   rule-set size gauge),
+//! * and, for block-level events, extends the per-block α/ρ/traffic
+//!   [`BlockSeries`].
+//!
+//! ## Determinism contract
+//!
+//! Events carry simulated coordinates only — block indices and
+//! [`arq_simkern::SimTime`] ticks, never a wall clock — and are recorded
+//! from the single-threaded run loop in execution order. A finished
+//! [`ObsReport`] therefore serializes to byte-identical JSON/JSONL for
+//! identical run configurations, at any worker-thread count. That makes
+//! the event stream itself a testable artifact: golden-trace tests diff
+//! it against checked-in snapshots.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod registry;
+pub mod series;
+
+pub use event::{DropKind, Event};
+pub use registry::{CounterId, GaugeId, HistogramId, Registry};
+pub use series::BlockSeries;
+
+use arq_simkern::{Json, ToJson};
+
+/// What an enabled [`Obs`] collects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsConfig {
+    /// Keep the full structured event log (counters/series are always
+    /// kept). Turn off for long live runs where per-relay events would
+    /// dominate memory.
+    pub events: bool,
+    /// Record the per-block α/ρ/traffic series.
+    pub series: bool,
+    /// Buckets of the forward fan-out histogram (fixed range `[0, 64)`).
+    pub fanout_buckets: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            events: true,
+            series: true,
+            fanout_buckets: 16,
+        }
+    }
+}
+
+/// Pre-registered instrument handles, resolved once at enable time so
+/// the record path never searches by name.
+#[derive(Debug, Clone)]
+struct Instruments {
+    blocks: CounterId,
+    rule_hits: CounterId,
+    rule_misses: CounterId,
+    rule_successes: CounterId,
+    remines: CounterId,
+    forwards: CounterId,
+    messages: CounterId,
+    retries: CounterId,
+    expired: CounterId,
+    fault_drops: CounterId,
+    rules: GaugeId,
+    fanout: HistogramId,
+}
+
+#[derive(Debug, Clone)]
+struct Inner {
+    cfg: ObsConfig,
+    events: Vec<Event>,
+    registry: Registry,
+    ids: Instruments,
+    series: BlockSeries,
+    /// Traffic of the block announced by the last `BlockStart`, consumed
+    /// by the matching `RuleTally`.
+    pending_traffic: u64,
+}
+
+/// The recorder handle instrumented code holds.
+///
+/// Construct with [`Obs::disabled`] (free) or [`Obs::enabled`]; consume
+/// with [`Obs::report`].
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Box<Inner>>,
+}
+
+impl Obs {
+    /// A no-op recorder: [`Obs::record`] never evaluates its closure.
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// A live recorder collecting per `cfg`.
+    pub fn enabled(cfg: ObsConfig) -> Self {
+        let mut registry = Registry::new();
+        let ids = Instruments {
+            blocks: registry.counter("blocks"),
+            rule_hits: registry.counter("rule_hits"),
+            rule_misses: registry.counter("rule_misses"),
+            rule_successes: registry.counter("rule_successes"),
+            remines: registry.counter("remines"),
+            forwards: registry.counter("forwards"),
+            messages: registry.counter("messages"),
+            retries: registry.counter("retries"),
+            expired: registry.counter("expired"),
+            fault_drops: registry.counter("fault_drops"),
+            rules: registry.gauge("rules"),
+            fanout: registry.histogram("fanout", 0.0, 64.0, cfg.fanout_buckets.max(1)),
+        };
+        Obs {
+            inner: Some(Box::new(Inner {
+                cfg,
+                events: Vec::new(),
+                registry,
+                ids,
+                series: BlockSeries::new(),
+                pending_traffic: 0,
+            })),
+        }
+    }
+
+    /// Whether this handle collects anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one event. The closure runs only when enabled, so the
+    /// disabled path costs one branch and constructs nothing.
+    #[inline]
+    pub fn record(&mut self, make: impl FnOnce() -> Event) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.record(make());
+        }
+    }
+
+    /// Finishes collection. `None` when disabled.
+    pub fn report(self) -> Option<ObsReport> {
+        self.inner.map(|inner| ObsReport {
+            events: inner.events,
+            registry: inner.registry,
+            series: inner.series,
+        })
+    }
+}
+
+impl Inner {
+    fn record(&mut self, ev: Event) {
+        match &ev {
+            Event::BlockStart { pairs, .. } => {
+                self.registry.inc(self.ids.blocks, 1);
+                self.pending_traffic = *pairs as u64;
+            }
+            Event::RuleTally {
+                block,
+                total,
+                covered,
+                successes,
+            } => {
+                self.registry.inc(self.ids.rule_hits, *covered);
+                self.registry.inc(self.ids.rule_misses, total - covered);
+                self.registry.inc(self.ids.rule_successes, *successes);
+                if self.cfg.series {
+                    self.series
+                        .push(*block, *total, *covered, *successes, self.pending_traffic);
+                }
+            }
+            Event::ReMine { rules_after, .. } => {
+                self.registry.inc(self.ids.remines, 1);
+                self.registry.set(self.ids.rules, *rules_after as f64);
+            }
+            Event::Forward { selected, .. } => {
+                self.registry.inc(self.ids.forwards, 1);
+                self.registry.inc(self.ids.messages, *selected as u64);
+                self.registry.observe(self.ids.fanout, *selected as f64);
+            }
+            Event::Retry { .. } => self.registry.inc(self.ids.retries, 1),
+            Event::Expire { .. } => self.registry.inc(self.ids.expired, 1),
+            Event::FaultDrop { .. } => self.registry.inc(self.ids.fault_drops, 1),
+        }
+        if self.cfg.events {
+            self.events.push(ev);
+        }
+    }
+}
+
+/// Everything an enabled run collected, ready for attachment to a run
+/// artifact.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// The structured event log (empty when `ObsConfig::events` is off).
+    pub events: Vec<Event>,
+    /// Final counter/gauge/histogram values.
+    pub registry: Registry,
+    /// Per-block α/ρ/traffic series (empty in the live world and when
+    /// `ObsConfig::series` is off).
+    pub series: BlockSeries,
+}
+
+impl ObsReport {
+    /// The event stream as JSON Lines: one compact object per event, in
+    /// record order, byte-deterministic.
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl ToJson for ObsReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "events",
+                Json::Arr(self.events.iter().map(ToJson::to_json).collect()),
+            ),
+            ("metrics", self.registry.to_json()),
+            ("series", self.series.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arq_simkern::SimTime;
+
+    #[test]
+    fn disabled_recorder_never_evaluates_the_closure() {
+        let mut obs = Obs::disabled();
+        obs.record(|| panic!("closure must not run when disabled"));
+        assert!(!obs.is_enabled());
+        assert!(obs.report().is_none());
+    }
+
+    #[test]
+    fn events_feed_counters_series_and_log() {
+        let mut obs = Obs::enabled(ObsConfig::default());
+        obs.record(|| Event::BlockStart {
+            block: 1,
+            pairs: 100,
+        });
+        obs.record(|| Event::RuleTally {
+            block: 1,
+            total: 50,
+            covered: 40,
+            successes: 30,
+        });
+        obs.record(|| Event::ReMine {
+            block: 1,
+            rules_before: 7,
+            rules_after: 9,
+        });
+        obs.record(|| Event::Forward {
+            at: SimTime::from_ticks(5),
+            node: 2,
+            candidates: 4,
+            selected: 3,
+        });
+        let report = obs.report().expect("enabled");
+        assert_eq!(report.events.len(), 4);
+        assert_eq!(report.registry.counter_value("blocks"), Some(1));
+        assert_eq!(report.registry.counter_value("rule_hits"), Some(40));
+        assert_eq!(report.registry.counter_value("rule_misses"), Some(10));
+        assert_eq!(report.registry.counter_value("remines"), Some(1));
+        assert_eq!(report.registry.counter_value("messages"), Some(3));
+        assert_eq!(report.registry.gauge_value("rules"), Some(9.0));
+        assert_eq!(report.series.alpha(), &[0.8]);
+        assert_eq!(report.series.rho(), &[0.75]);
+        assert_eq!(report.series.traffic(), &[100]);
+        assert_eq!(report.events_jsonl().lines().count(), 4);
+    }
+
+    #[test]
+    fn event_log_and_series_can_be_turned_off() {
+        let mut obs = Obs::enabled(ObsConfig {
+            events: false,
+            series: false,
+            ..Default::default()
+        });
+        obs.record(|| Event::BlockStart {
+            block: 1,
+            pairs: 10,
+        });
+        obs.record(|| Event::RuleTally {
+            block: 1,
+            total: 5,
+            covered: 5,
+            successes: 5,
+        });
+        let report = obs.report().unwrap();
+        assert!(report.events.is_empty());
+        assert!(report.series.is_empty());
+        // Counters are always kept.
+        assert_eq!(report.registry.counter_value("rule_hits"), Some(5));
+    }
+}

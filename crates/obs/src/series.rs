@@ -1,0 +1,112 @@
+//! Per-block α/ρ/traffic time series.
+//!
+//! The instrumented counterpart of the evaluator's coverage/success
+//! series: one entry per test block, with α and ρ recomputed here from
+//! the raw RULESET-TEST counts (Eq. 1 / Eq. 2, including the paper's
+//! zero-denominator conventions). Keeping the computation independent of
+//! `core::eval` is the point — the test suite asserts both agree
+//! exactly.
+
+use arq_simkern::{Json, ToJson};
+
+/// Per-block instrumented series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BlockSeries {
+    blocks: Vec<usize>,
+    alpha: Vec<f64>,
+    rho: Vec<f64>,
+    traffic: Vec<u64>,
+}
+
+impl BlockSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        BlockSeries::default()
+    }
+
+    /// Appends one block's raw counts: `total`/`covered`/`successes` are
+    /// the RULESET-TEST tallies, `traffic` the pairs the block carried.
+    ///
+    /// α = covered/total (0 for an empty block) and ρ =
+    /// successes/covered (0 when nothing is covered) — exactly Eq. 1 and
+    /// Eq. 2.
+    pub fn push(&mut self, block: usize, total: u64, covered: u64, successes: u64, traffic: u64) {
+        self.blocks.push(block);
+        self.alpha.push(if total == 0 {
+            0.0
+        } else {
+            covered as f64 / total as f64
+        });
+        self.rho.push(if covered == 0 {
+            0.0
+        } else {
+            successes as f64 / covered as f64
+        });
+        self.traffic.push(traffic);
+    }
+
+    /// Number of recorded blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Block indices.
+    pub fn blocks(&self) -> &[usize] {
+        &self.blocks
+    }
+
+    /// Coverage α per block.
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// Success ρ per block.
+    pub fn rho(&self) -> &[f64] {
+        &self.rho
+    }
+
+    /// Pairs per block.
+    pub fn traffic(&self) -> &[u64] {
+        &self.traffic
+    }
+}
+
+impl ToJson for BlockSeries {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "blocks",
+                Json::Arr(self.blocks.iter().map(|&b| Json::from(b)).collect()),
+            ),
+            ("alpha", Json::from(self.alpha.as_slice())),
+            ("rho", Json::from(self.rho.as_slice())),
+            (
+                "traffic",
+                Json::Arr(self.traffic.iter().map(|&t| Json::from(t)).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_follow_the_paper_conventions() {
+        let mut s = BlockSeries::new();
+        s.push(1, 100, 80, 60, 1_000);
+        s.push(2, 0, 0, 0, 0); // empty block
+        s.push(3, 10, 0, 0, 50); // nothing covered
+        assert_eq!(s.alpha(), &[0.8, 0.0, 0.0]);
+        assert_eq!(s.rho(), &[0.75, 0.0, 0.0]);
+        assert_eq!(s.traffic(), &[1_000, 0, 50]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+}

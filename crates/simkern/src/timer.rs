@@ -111,6 +111,40 @@ mod tests {
         assert_eq!(d.ticks(), u64::MAX);
     }
 
+    /// Property test over random schedules: delays are monotone
+    /// non-decreasing in the attempt number, saturate at `u64::MAX`
+    /// instead of wrapping, and the budget boundaries are exact —
+    /// `None` at attempt 0 and at every attempt ≥ `max_attempts`.
+    #[test]
+    fn random_schedules_are_monotone_and_capped() {
+        let mut rng = crate::Rng64::seed_from(0xbac0ff);
+        for _ in 0..500 {
+            let base = Duration::from_ticks(1 + rng.below(1 << 40));
+            let factor = 1.0 + rng.below(1_000) as f64 / 100.0;
+            let max_attempts = 1 + rng.below(20) as u32;
+            let b = Backoff::new(base, factor, max_attempts);
+
+            assert_eq!(b.delay_for(0), None, "attempts are 1-based");
+            let mut prev = Duration::ZERO;
+            let mut worst = Duration::ZERO;
+            for attempt in 1..max_attempts {
+                let d = b.delay_for(attempt).expect("within the budget");
+                assert!(d >= prev, "delay shrank at attempt {attempt}: {b:?}");
+                assert!(d >= base, "delay below base at attempt {attempt}: {b:?}");
+                prev = d;
+                worst = Duration::from_ticks(worst.ticks().saturating_add(d.ticks()));
+                assert!(b.allows_retry(attempt));
+            }
+            for attempt in max_attempts..max_attempts + 3 {
+                assert_eq!(b.delay_for(attempt), None, "budget exhausted: {b:?}");
+                assert!(!b.allows_retry(attempt));
+            }
+            assert_eq!(b.worst_case_wait(), worst);
+            // Purity: the same attempt always yields the same delay.
+            assert_eq!(b.delay_for(1), b.delay_for(1));
+        }
+    }
+
     #[test]
     #[should_panic(expected = "factor")]
     fn rejects_shrinking_factor() {

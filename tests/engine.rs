@@ -28,6 +28,7 @@ fn mixed_specs() -> Vec<RunSpec> {
             trace: trace(),
             strategy: s.to_string(),
             block_size: 1_000,
+            obs: None,
         })
         .collect();
     let mut cfg = SimConfig::default_with(60, 120, 23);
@@ -38,6 +39,7 @@ fn mixed_specs() -> Vec<RunSpec> {
             cfg: cfg.clone(),
             policy: policy.into(),
             graph: None,
+            obs: None,
         });
     }
     specs
@@ -128,6 +130,7 @@ fn artifacts_carry_provenance() {
         },
         strategy: "static".into(),
         block_size: 100,
+        obs: None,
     };
     let artifact = run_one(3, &spec).unwrap();
     assert_eq!(artifact.index, 3);

@@ -1,0 +1,215 @@
+//! Golden-trace harness for the observability layer.
+//!
+//! The event stream is part of the determinism contract (DESIGN.md §8):
+//! instrumentation reads only simulated coordinates, so the full JSONL
+//! trace of a fixed spec set must be byte-identical across thread counts
+//! *and* across commits. The snapshot in `tests/golden/obs_trace.jsonl`
+//! pins the latter; after an intentional instrumentation change,
+//! regenerate it with
+//!
+//! ```text
+//! ARQ_UPDATE_GOLDEN=1 cargo test -p arq --test obs_golden
+//! ```
+
+use arq::core::engine::{self, execute_with_threads, run_one, RunSpec, TraceSource};
+use arq::core::RunArtifact;
+use arq::gnutella::sim::SimConfig;
+use arq::obs::Obs;
+use arq::simkern::{Json, Rng64, ToJson};
+use arq::trace::{SynthConfig, SynthTrace};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/obs_trace.jsonl")
+}
+
+/// The fixed spec set the snapshot covers: one trace evaluation that
+/// re-mines (block boundaries, rule tallies, re-mine events) and one
+/// faulted, retrying live simulation (forwards, fault drops, retries,
+/// expiries).
+fn golden_specs() -> Vec<RunSpec> {
+    let eval = RunSpec::TraceEval {
+        trace: TraceSource::PaperDefault {
+            pairs: 6_000,
+            seed: 42,
+        },
+        strategy: "adaptive(s=10)".into(),
+        block_size: 1_000,
+        obs: Some("obs".into()),
+    };
+    let mut cfg = SimConfig::default_with(50, 25, 11);
+    cfg.catalog.topics = 5;
+    cfg.catalog.files_per_topic = 40;
+    cfg.faults = Some(engine::make_fault_plan("faults(loss=0.1)").expect("valid plan"));
+    cfg.retry =
+        Some(engine::make_retry_policy("retry(attempts=2,maxttl=24)").expect("valid policy"));
+    let live = RunSpec::LiveSim {
+        cfg,
+        policy: "k-walk(k=2,ttl=24)".into(),
+        graph: None,
+        obs: Some("obs".into()),
+    };
+    vec![eval, live]
+}
+
+/// Renders artifacts' event logs the way `arq run --trace-events` does:
+/// one compact object per event, prefixed with its run index.
+fn events_jsonl(artifacts: &[RunArtifact]) -> String {
+    let mut out = String::new();
+    for a in artifacts {
+        let report = a.obs.as_ref().expect("golden specs are instrumented");
+        for ev in &report.events {
+            let Json::Obj(mut fields) = ev.to_json() else {
+                panic!("events serialize as objects");
+            };
+            fields.insert(0, ("run".to_string(), Json::from(a.index)));
+            out.push_str(&Json::Obj(fields).to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn golden_trace_matches_snapshot() {
+    let artifacts = execute_with_threads(&golden_specs(), 2).expect("specs are valid");
+    let jsonl = events_jsonl(&artifacts);
+    assert!(jsonl.lines().count() > 50, "suspiciously small trace");
+    let path = golden_path();
+    if std::env::var("ARQ_UPDATE_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &jsonl).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {}: {e}", path.display()));
+    if golden != jsonl {
+        let diff = golden
+            .lines()
+            .zip(jsonl.lines())
+            .position(|(g, a)| g != a)
+            .map_or_else(
+                || {
+                    format!(
+                        "line counts differ: {} golden vs {} actual",
+                        golden.lines().count(),
+                        jsonl.lines().count()
+                    )
+                },
+                |i| {
+                    format!(
+                        "first difference at line {}:\n  golden: {}\n  actual: {}",
+                        i + 1,
+                        golden.lines().nth(i).unwrap_or(""),
+                        jsonl.lines().nth(i).unwrap_or("")
+                    )
+                },
+            );
+        panic!(
+            "event trace diverged from snapshot ({diff})\n\
+             If the change is intentional, regenerate with \
+             `ARQ_UPDATE_GOLDEN=1 cargo test -p arq --test obs_golden`"
+        );
+    }
+}
+
+#[test]
+fn event_stream_is_thread_count_invariant() {
+    let specs = golden_specs();
+    let one = execute_with_threads(&specs, 1).unwrap();
+    let many = execute_with_threads(&specs, 4).unwrap();
+    assert_eq!(events_jsonl(&one), events_jsonl(&many));
+    for (a, b) in one.iter().zip(&many) {
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+    }
+}
+
+/// The zero-config identity: a spec without an obs layer produces
+/// measurements byte-identical to an instrumented one, and its artifact
+/// JSON carries no `obs` key at all.
+#[test]
+fn zero_config_obs_is_byte_identical() {
+    // The CI obs job exports ARQ_OBS=1; this test is specifically about
+    // the un-instrumented path, so clear the ambient attachment.
+    std::env::remove_var("ARQ_OBS");
+    let bare = RunSpec::TraceEval {
+        trace: TraceSource::PaperDefault {
+            pairs: 8_000,
+            seed: 7,
+        },
+        strategy: "sliding(s=10)".into(),
+        block_size: 1_000,
+        obs: None,
+    };
+    let mut instrumented = bare.clone();
+    if let RunSpec::TraceEval { obs, .. } = &mut instrumented {
+        *obs = Some("obs".into());
+    }
+    let a = run_one(0, &bare).unwrap();
+    let b = run_one(0, &instrumented).unwrap();
+    // The measurements agree exactly; only provenance (the |obs= tag in
+    // the spec description) and the obs attachment differ.
+    let run_json = |artifact: &RunArtifact| {
+        artifact
+            .to_json()
+            .get("run")
+            .expect("artifact has a run section")
+            .to_string()
+    };
+    assert_eq!(run_json(&a), run_json(&b));
+    assert_eq!(a.seed, b.seed);
+    assert!(a.obs.is_none());
+    assert!(b.obs.is_some());
+    assert!(!a.to_json().to_string().contains("\"obs\""));
+}
+
+/// Property test: the instrumented per-block α/ρ series agree *exactly*
+/// with `core::eval`'s Eq. 1 (coverage) and Eq. 2 (success) measurements
+/// on random synthetic blocks — same divisions, same zero-denominator
+/// guards, no drift. The two computations are independent by design
+/// (`BlockSeries::push` re-derives the ratios from raw tallies).
+#[test]
+fn series_matches_eval_measures_on_random_traces() {
+    let mut rng = Rng64::seed_from(0xb50b5);
+    for round in 0..10 {
+        let seed = rng.next_u64();
+        let block_size = 500 + rng.below(1_500) as usize;
+        let blocks = 3 + rng.below(6) as usize;
+        let pairs = SynthTrace::new(SynthConfig::paper_default(blocks * block_size, seed)).pairs();
+        let mut strategy = engine::make_strategy("sliding(s=5)").unwrap();
+        let mut obs = Obs::enabled(engine::make_obs_plan("obs").unwrap());
+        let run = arq::core::evaluate_with_obs(strategy.as_mut(), &pairs, block_size, &mut obs);
+        let report = obs.report().expect("enabled obs yields a report");
+        let series = &report.series;
+        assert_eq!(series.len(), run.trials, "round {round}");
+        assert_eq!(
+            series.alpha(),
+            run.coverage.ys(),
+            "round {round}: α != Eq. 1"
+        );
+        assert_eq!(series.rho(), run.success.ys(), "round {round}: ρ != Eq. 2");
+        assert!(
+            series.traffic().iter().all(|&t| t == block_size as u64),
+            "round {round}: complete blocks must carry block_size traffic"
+        );
+        // Registry tallies stay consistent with the series: hits + misses
+        // counts unique responded queries, which cannot exceed the pairs
+        // the blocks carried.
+        let hits = report.registry.counter_value("rule_hits").unwrap();
+        let misses = report.registry.counter_value("rule_misses").unwrap();
+        let traffic: u64 = series.traffic().iter().sum();
+        assert!(
+            hits + misses <= traffic,
+            "round {round}: more queries than pairs"
+        );
+        assert!(
+            hits + misses > 0,
+            "round {round}: synthetic blocks must respond"
+        );
+        assert_eq!(
+            report.registry.counter_value("blocks"),
+            Some(run.trials as u64),
+            "round {round}"
+        );
+    }
+}
