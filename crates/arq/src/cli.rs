@@ -18,9 +18,9 @@
 //! ```
 
 use arq_assoc::mine_pairs;
-use arq_assoc::pairs::mine_pairs_with_confidence;
+use arq_assoc::pairs::{mine_pairs_with_confidence, PairMiner, RuleSet};
 use arq_core::engine;
-use arq_core::engine::{RunSpec, TraceSource};
+use arq_core::engine::{RunArtifact, RunSpec, TraceSource};
 use arq_core::evaluate;
 use arq_gnutella::sim::SimConfig;
 use arq_simkern::chart::{render, ChartOptions};
@@ -31,6 +31,8 @@ use arq_trace::{SynthConfig, SynthTrace, TraceDb};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A CLI failure with a user-facing message.
 #[derive(Debug)]
@@ -144,6 +146,14 @@ COMMANDS:
               accepts an `arq run --out` artifact array or a
               results/e*.json document; --timeline prints the per-block
               series (α/ρ/traffic from obs, else coverage/success)
+  bench       measure the hot-path speedups and write a perf baseline
+              [--quick] [--threads N] [--iters N] [--seed S] [--out FILE]
+              [--pairs N] [--block N] [--nodes N] [--queries N]
+              times block mining (reference vs sharded) on an E3-shaped
+              trace, a full evaluation (sequential vs pipelined), and an
+              E16-shaped live-sim sweep (1 vs N workers); every parallel
+              artifact is checked byte-identical to the serial one; the
+              JSON lands in BENCH_5.json unless --out overrides
   help        print this text
 ";
 
@@ -161,6 +171,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "simulate" | "live" => simulate(rest),
         "run" => cmd_run(rest),
         "report" => cmd_report(rest),
+        "bench" => cmd_bench(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -682,6 +693,236 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Best-of-`iters` wall clock for `f`, in seconds.
+fn best_secs(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Rule rows in a canonical order, for before/after equality checks.
+fn sorted_rules(rules: &RuleSet) -> Vec<(u32, u32, u64)> {
+    let mut rows: Vec<_> = rules.iter().map(|(s, v, c)| (s.0, v.0, c)).collect();
+    rows.sort_unstable();
+    rows
+}
+
+fn ratio(before: f64, after: f64) -> f64 {
+    if after > 0.0 {
+        before / after
+    } else {
+        0.0
+    }
+}
+
+/// `arq bench` — the perf-baseline harness behind `BENCH_5.json`.
+///
+/// Three before/after measurements of the sharded/pipelined hot path:
+///
+/// 1. **mining** (E3-shaped): per-block rule mining over the calibrated
+///    drifting trace — reference `mine_pairs` (HashMap tally) vs the
+///    columnar sharded [`PairMiner`], with the mined rule sets compared
+///    row-for-row;
+/// 2. **pipeline**: one full trace evaluation through the engine —
+///    sequential vs intra-run pipelined mining, artifact JSON compared
+///    byte-for-byte (the `ARQ_THREADS`-independence contract);
+/// 3. **sim** (E16-shaped): a live-simulation spec sweep (policies ×
+///    loss rates) through the executor at 1 worker vs N, artifacts
+///    compared byte-for-byte.
+fn cmd_bench(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["quick"])?;
+    let quick = flags.has("quick");
+    let seed: u64 = flags.parse_num("seed", RUN_SEED)?;
+    let threads: usize = flags.parse_num("threads", engine::thread_count())?;
+    let threads = threads.max(1);
+    let out = flags.get("out").unwrap_or("BENCH_5.json").to_string();
+    let iters: usize = flags.parse_num("iters", if quick { 1 } else { 3 })?;
+    let total_pairs: usize = flags.parse_num("pairs", if quick { 200_000 } else { 600_000 })?;
+    let block_size: usize = flags.parse_num("block", 50_000)?;
+    let nodes: usize = flags.parse_num("nodes", if quick { 120 } else { 250 })?;
+    let queries: usize = flags.parse_num("queries", if quick { 400 } else { 1_200 })?;
+    if total_pairs / block_size < 2 {
+        return Err(err(format!(
+            "--pairs {total_pairs}: need at least two blocks of {block_size}"
+        )));
+    }
+    let support = 10u64;
+    let blocks = total_pairs / block_size;
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "arq bench  threads {threads}  seed {seed}  iters {iters}"
+    );
+
+    // 1. Block mining over the E3-shaped drifting trace.
+    let pairs = SynthTrace::new(SynthConfig::paper_default(total_pairs, seed)).pairs();
+    let baseline_secs = best_secs(iters, || {
+        for block in pairs.chunks(block_size) {
+            std::hint::black_box(mine_pairs(block, support).rule_count());
+        }
+    });
+    let mut miner = PairMiner::sharded(threads);
+    let sharded_secs = best_secs(iters, || {
+        for block in pairs.chunks(block_size) {
+            std::hint::black_box(miner.mine(block, support).rule_count());
+        }
+    });
+    let rules_identical = pairs
+        .chunks(block_size)
+        .all(|b| sorted_rules(&mine_pairs(b, support)) == sorted_rules(&miner.mine(b, support)));
+    let mining_speedup = ratio(baseline_secs, sharded_secs);
+    let _ = writeln!(
+        report,
+        "mining   E3-shaped, {blocks} blocks x {block_size}: \
+         reference {baseline_secs:.3}s, sharded {sharded_secs:.3}s \
+         ({mining_speedup:.2}x, rules identical: {rules_identical})"
+    );
+
+    // 2. Full evaluation, sequential vs pipelined, artifact bytes compared.
+    let spec = RunSpec::TraceEval {
+        trace: TraceSource::Shared {
+            label: "paper-default".into(),
+            seed,
+            pairs: Arc::new(pairs),
+        },
+        strategy: "sliding(s=10)".into(),
+        block_size,
+        obs: None,
+    };
+    let run_at = |threads: usize| -> Result<String, CliError> {
+        Ok(engine::run_one_with_threads(0, &spec, threads)
+            .map_err(|e| err(e.to_string()))?
+            .to_json()
+            .to_string())
+    };
+    let sequential_json = run_at(1)?;
+    let sequential_secs = best_secs(iters, || {
+        std::hint::black_box(engine::run_one_with_threads(0, &spec, 1).expect("validated spec"));
+    });
+    let pipelined_json = run_at(threads)?;
+    let pipelined_secs = best_secs(iters, || {
+        std::hint::black_box(
+            engine::run_one_with_threads(0, &spec, threads).expect("validated spec"),
+        );
+    });
+    let eval_identical = sequential_json == pipelined_json;
+    let eval_speedup = ratio(sequential_secs, pipelined_secs);
+    let _ = writeln!(
+        report,
+        "pipeline sliding(s=10), {blocks} blocks x {block_size}: \
+         sequential {sequential_secs:.3}s, pipelined {pipelined_secs:.3}s \
+         ({eval_speedup:.2}x, artifacts identical: {eval_identical})"
+    );
+
+    // 3. E16-shaped live-sim sweep through the parallel executor.
+    let mut sim_specs = Vec::new();
+    for policy in ["flood", "assoc", "k-walk(k=4)"] {
+        for loss in [0.0, 0.05] {
+            let mut cfg = SimConfig::default_with(nodes, queries, seed);
+            if loss > 0.0 {
+                cfg.faults = Some(
+                    engine::make_fault_plan(&format!("faults(loss={loss})"))
+                        .map_err(|e| err(e.to_string()))?,
+                );
+            }
+            sim_specs.push(RunSpec::LiveSim {
+                cfg,
+                policy: policy.to_string(),
+                graph: None,
+                obs: None,
+            });
+        }
+    }
+    let arts_json =
+        |arts: &[RunArtifact]| Json::Arr(arts.iter().map(ToJson::to_json).collect()).to_string();
+    let serial_json =
+        arts_json(&engine::execute_with_threads(&sim_specs, 1).map_err(|e| err(e.to_string()))?);
+    let serial_secs = best_secs(iters, || {
+        std::hint::black_box(engine::execute_with_threads(&sim_specs, 1).expect("validated specs"));
+    });
+    let parallel_json = arts_json(
+        &engine::execute_with_threads(&sim_specs, threads).map_err(|e| err(e.to_string()))?,
+    );
+    let parallel_secs = best_secs(iters, || {
+        std::hint::black_box(
+            engine::execute_with_threads(&sim_specs, threads).expect("validated specs"),
+        );
+    });
+    let sim_identical = serial_json == parallel_json;
+    let sim_speedup = ratio(serial_secs, parallel_secs);
+    let _ = writeln!(
+        report,
+        "sim      E16-shaped, {} specs, {nodes} nodes x {queries} queries: \
+         1 worker {serial_secs:.3}s, {threads} workers {parallel_secs:.3}s \
+         ({sim_speedup:.2}x, artifacts identical: {sim_identical})",
+        sim_specs.len()
+    );
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::from("BENCH_5")),
+        ("quick".into(), Json::from(quick)),
+        ("threads".into(), Json::from(threads)),
+        ("seed".into(), Json::from(seed)),
+        ("iters".into(), Json::from(iters)),
+        (
+            "mining".into(),
+            Json::Obj(vec![
+                ("workload".into(), Json::from("e3-shaped paper-default")),
+                ("blocks".into(), Json::from(blocks)),
+                ("block_size".into(), Json::from(block_size)),
+                ("support".into(), Json::from(support)),
+                ("baseline_secs".into(), Json::from(baseline_secs)),
+                ("sharded_secs".into(), Json::from(sharded_secs)),
+                (
+                    "baseline_pairs_per_sec".into(),
+                    Json::from(ratio(total_pairs as f64, baseline_secs)),
+                ),
+                (
+                    "sharded_pairs_per_sec".into(),
+                    Json::from(ratio(total_pairs as f64, sharded_secs)),
+                ),
+                ("speedup".into(), Json::from(mining_speedup)),
+                ("rules_identical".into(), Json::from(rules_identical)),
+            ]),
+        ),
+        (
+            "pipeline".into(),
+            Json::Obj(vec![
+                ("strategy".into(), Json::from("sliding(s=10)")),
+                ("blocks".into(), Json::from(blocks)),
+                ("block_size".into(), Json::from(block_size)),
+                ("sequential_secs".into(), Json::from(sequential_secs)),
+                ("pipelined_secs".into(), Json::from(pipelined_secs)),
+                ("speedup".into(), Json::from(eval_speedup)),
+                ("artifacts_identical".into(), Json::from(eval_identical)),
+            ]),
+        ),
+        (
+            "sim".into(),
+            Json::Obj(vec![
+                (
+                    "workload".into(),
+                    Json::from("e16-shaped policy/loss sweep"),
+                ),
+                ("specs".into(), Json::from(sim_specs.len())),
+                ("nodes".into(), Json::from(nodes)),
+                ("queries".into(), Json::from(queries)),
+                ("serial_secs".into(), Json::from(serial_secs)),
+                ("parallel_secs".into(), Json::from(parallel_secs)),
+                ("speedup".into(), Json::from(sim_speedup)),
+                ("artifacts_identical".into(), Json::from(sim_identical)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out, doc.to_string_pretty()).map_err(|e| err(format!("writing {out}: {e}")))?;
+    let _ = writeln!(report, "wrote {out}");
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -910,6 +1151,37 @@ mod tests {
         assert!(rep.contains("metric: 1.0"), "{rep}");
         let rep = run(&args(&format!("report --in {path} --timeline"))).unwrap();
         assert!(rep.contains("series x: 3 points"), "{rep}");
+    }
+
+    #[test]
+    fn bench_writes_baseline_json() {
+        let out = tmp("bench5.json");
+        let report = run(&args(&format!(
+            "bench --quick --pairs 40000 --block 20000 --nodes 60 --queries 120 \
+             --threads 4 --seed 11 --out {out}"
+        )))
+        .unwrap();
+        assert!(report.contains("rules identical: true"), "{report}");
+        assert!(report.contains("artifacts identical: true"), "{report}");
+        let doc = arq_simkern::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("BENCH_5"));
+        for section in ["mining", "pipeline", "sim"] {
+            let s = doc
+                .get(section)
+                .unwrap_or_else(|| panic!("missing {section}"));
+            assert!(
+                s.get("speedup").and_then(Json::as_f64).is_some(),
+                "{section} lacks a speedup"
+            );
+        }
+        assert_eq!(
+            doc.get("pipeline")
+                .and_then(|p| p.get("artifacts_identical")),
+            Some(&Json::Bool(true))
+        );
+        // Too-short traces are rejected before any work happens.
+        let e = run(&args("bench --quick --pairs 1000 --block 20000")).unwrap_err();
+        assert!(e.0.contains("at least two blocks"), "{e}");
     }
 
     #[test]

@@ -39,8 +39,8 @@ pub mod rules;
 pub mod transaction;
 
 pub use incremental::DecayedPairCounts;
-pub use keyed::{keyed_ruleset_test, mine_keyed, KeyedRuleSet};
+pub use keyed::{keyed_ruleset_test, mine_keyed, mine_keyed_sharded, KeyedRuleSet};
 pub use lossy::LossyPairCounts;
 pub use measures::{ruleset_test, BlockMeasures};
-pub use pairs::{mine_pairs, RuleSet};
+pub use pairs::{mine_pairs, mine_pairs_sharded, PairMiner, RuleSet};
 pub use transaction::{ItemId, TransactionDb};

@@ -41,12 +41,22 @@ impl BlockMeasures {
     }
 
     /// Success ρ = s / n (0 when nothing is covered).
+    ///
+    /// Eq. 2 is undefined at n = 0; this workspace's convention is to
+    /// *report* ρ as 0.0 there (so series, report rows, and JSON never
+    /// carry NaN), and to treat the measurement as missing wherever ρ
+    /// feeds a decision — see [`success_opt`](Self::success_opt), which
+    /// adaptive thresholds consume so an all-uncovered block cannot
+    /// masquerade as a genuine ρ = 0 observation.
     pub fn success(&self) -> f64 {
-        if self.covered == 0 {
-            0.0
-        } else {
-            self.successes as f64 / self.covered as f64
-        }
+        self.success_opt().unwrap_or(0.0)
+    }
+
+    /// Success ρ = s / n, or `None` when it is undefined because no
+    /// query was covered (n = 0). The value, when present, is always a
+    /// finite number in `[0, 1]`.
+    pub fn success_opt(&self) -> Option<f64> {
+        (self.covered > 0).then(|| self.successes as f64 / self.covered as f64)
     }
 
     /// Accumulates another block's counts (used for whole-run totals).
@@ -168,6 +178,28 @@ mod tests {
         let m = ruleset_test(&rs, &block);
         assert_eq!(m.coverage(), 1.0);
         assert_eq!(m.success(), 1.0);
+    }
+
+    #[test]
+    fn undefined_success_is_none_and_reports_zero() {
+        // Regression: an all-uncovered block (n = 0, N > 0) makes Eq. 2
+        // undefined. The reported value must be exactly 0.0 — never NaN
+        // (which would poison threshold means and serialize as null) —
+        // while `success_opt` exposes the undefinedness to consumers
+        // that must not treat it as a real measurement.
+        let rs = rules();
+        let block: Vec<PairRecord> = (0..10).map(|i| pair(300 + i, 77, 10)).collect();
+        let m = ruleset_test(&rs, &block);
+        assert_eq!(m.total, 10);
+        assert_eq!(m.covered, 0);
+        assert_eq!(m.success_opt(), None);
+        assert_eq!(m.success(), 0.0);
+        assert!(!m.success().is_nan());
+        // Covered blocks report the same value through both accessors.
+        let covered = vec![pair(400, 1, 10), pair(401, 1, 99)];
+        let mc = ruleset_test(&rs, &covered);
+        assert_eq!(mc.success_opt(), Some(0.5));
+        assert_eq!(mc.success(), 0.5);
     }
 
     #[test]

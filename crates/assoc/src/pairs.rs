@@ -14,6 +14,7 @@
 //! > messages in response to queries sent from the node that forwarded
 //! > the query."
 
+use arq_trace::columns::{pack_pair, unpack_pair, PairColumns};
 use arq_trace::record::{HostId, PairRecord};
 use std::collections::HashMap;
 
@@ -50,14 +51,63 @@ impl RuleSet {
         min_support: u64,
         source_pairs: usize,
     ) -> Self {
+        Self::from_count_rows(
+            counts.into_iter().map(|((s, v), c)| (s, v, c)),
+            min_support,
+            source_pairs,
+        )
+    }
+
+    /// The shared build step behind every counting backend: support
+    /// pruning, grouping by antecedent, and the deterministic
+    /// (descending support, ascending host id) consequent ranking. The
+    /// ranking is a total order, so the resulting rule set is identical
+    /// no matter which order the rows arrive in — this is what makes
+    /// shard-merge order irrelevant.
+    fn from_count_rows(
+        rows: impl Iterator<Item = (HostId, HostId, u64)>,
+        min_support: u64,
+        source_pairs: usize,
+    ) -> Self {
         let mut rules: HashMap<HostId, Vec<(HostId, u64)>> = HashMap::new();
-        for ((src, via), count) in counts {
+        for (src, via, count) in rows {
             if count >= min_support {
                 rules.entry(src).or_default().push((via, count));
             }
         }
         for conseq in rules.values_mut() {
             conseq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        }
+        RuleSet {
+            rules,
+            min_support,
+            source_pairs,
+        }
+    }
+
+    /// [`Self::from_count_rows`] specialized to packed keys: `rows` is a
+    /// pre-pruned scratch buffer that gets sorted in place. Sorting by
+    /// the packed key groups each antecedent contiguously (it owns the
+    /// high 32 bits), so the map gets one insert per antecedent instead
+    /// of one lookup per rule — and the buffer's allocation survives in
+    /// the caller for the next block.
+    fn from_packed_rows(rows: &mut [(u64, u64)], min_support: u64, source_pairs: usize) -> Self {
+        rows.sort_unstable_by_key(|&(key, _)| key);
+        let mut rules: HashMap<HostId, Vec<(HostId, u64)>> = HashMap::new();
+        let mut i = 0;
+        while i < rows.len() {
+            let src = rows[i].0 >> 32;
+            let mut j = i + 1;
+            while j < rows.len() && rows[j].0 >> 32 == src {
+                j += 1;
+            }
+            let mut conseq: Vec<(HostId, u64)> = rows[i..j]
+                .iter()
+                .map(|&(key, c)| (unpack_pair(key).1, c))
+                .collect();
+            conseq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            rules.insert(HostId(src as u32), conseq);
+            i = j;
         }
         RuleSet {
             rules,
@@ -152,6 +202,203 @@ pub fn mine_pairs_with_confidence(
     }
     counts.retain(|(src, _), count| *count as f64 / src_totals[src] as f64 >= min_confidence);
     RuleSet::from_counts(counts, min_support, block.len())
+}
+
+/// Fibonacci multiplicative mix of the packed pair key: one xor-fold so
+/// both host ids reach the low word, one golden-ratio multiply. The
+/// mixing lands in the high bits, so [`PackedCounts`] indexes from bit
+/// 32 down. A single multiply beats SipHash-on-a-tuple by an order of
+/// magnitude on this workload, and the table only needs uniformity, not
+/// keyed DoS resistance.
+#[inline]
+fn mix(key: u64) -> u64 {
+    (key ^ (key >> 33)).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Open-addressed `(packed pair key → count)` table: the scratch arena
+/// behind the fast miners. Linear probing over power-of-two storage,
+/// with key and count interleaved in one slot so each probe touches a
+/// single cache line; a slot is empty iff its count is zero (counts are
+/// always ≥ 1 once a key is inserted, so the zero key needs no
+/// sentinel). `clear` resets the slots in place — re-mining a new block
+/// reuses the allocation.
+#[derive(Debug, Clone)]
+struct PackedCounts {
+    /// `(key, count)` slots; `count == 0` marks an empty slot.
+    slots: Vec<(u64, u64)>,
+    len: usize,
+}
+
+impl PackedCounts {
+    const MIN_CAPACITY: usize = 64;
+
+    fn new() -> Self {
+        PackedCounts {
+            slots: vec![(0, 0); Self::MIN_CAPACITY],
+            len: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.slots.fill((0, 0));
+        self.len = 0;
+    }
+
+    /// Adds `amount` to `key`'s count, growing at 50% load so probe
+    /// chains stay short.
+    #[inline]
+    fn add(&mut self, key: u64, amount: u64) {
+        if self.len * 2 >= self.slots.len() {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        // Index from bit 32 down: that is where the multiplicative mix
+        // concentrates its avalanche (tables stay far below 2^32 slots).
+        let mut i = ((mix(key) >> 32) as usize) & mask;
+        loop {
+            let slot = &mut self.slots[i];
+            if slot.1 == 0 {
+                *slot = (key, amount);
+                self.len += 1;
+                return;
+            }
+            if slot.0 == key {
+                slot.1 += amount;
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(Self::MIN_CAPACITY);
+        let old = std::mem::replace(&mut self.slots, vec![(0, 0); new_cap]);
+        self.len = 0;
+        for (key, count) in old {
+            if count > 0 {
+                self.add(key, count);
+            }
+        }
+    }
+
+    /// Occupied `(key, count)` slots, in table order.
+    fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.slots.iter().filter(|&&(_, c)| c > 0).copied()
+    }
+}
+
+/// A reusable sharded pair miner.
+///
+/// Produces exactly the rule set [`mine_pairs`] would — same support
+/// pruning, same consequent ranking — but counts over a columnar view
+/// with open-addressed scratch tables that persist across calls, split
+/// over `shards` worker threads for large blocks. Determinism does not
+/// depend on the shard count: the input is partitioned into contiguous
+/// chunks, each shard produces exact per-key subtotals, and addition is
+/// commutative, so the merged per-key totals (and therefore the ranked
+/// rule set) are identical for any partitioning.
+///
+/// Keep one of these alive across re-mines to avoid reallocating the
+/// count tables and columns every block — the allocation-lean path the
+/// block strategies use.
+#[derive(Debug, Clone)]
+pub struct PairMiner {
+    shards: usize,
+    columns: PairColumns,
+    tables: Vec<PackedCounts>,
+    rows: Vec<(u64, u64)>,
+}
+
+impl Default for PairMiner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PairMiner {
+    /// Each shard must see enough pairs to amortize its thread spawn.
+    const MIN_PAIRS_PER_SHARD: usize = 8_192;
+
+    /// A single-threaded miner (still columnar + open-addressed).
+    pub fn new() -> Self {
+        Self::sharded(1)
+    }
+
+    /// A miner that fans counting out over up to `shards` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn sharded(shards: usize) -> Self {
+        assert!(shards >= 1, "shard count must be at least 1");
+        PairMiner {
+            shards,
+            columns: PairColumns::new(),
+            tables: (0..shards).map(|_| PackedCounts::new()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The configured shard ceiling.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Mines `block` with support pruning at `min_support`; equivalent
+    /// to [`mine_pairs`] on the same input.
+    pub fn mine(&mut self, block: &[PairRecord], min_support: u64) -> RuleSet {
+        assert!(min_support >= 1, "support threshold must be at least 1");
+        // Small blocks are counted inline: shard fan-out only pays for
+        // itself once each worker has thousands of pairs to chew.
+        let shards = self
+            .shards
+            .min((block.len() / Self::MIN_PAIRS_PER_SHARD).max(1));
+        let n = block.len();
+        if shards <= 1 {
+            // Single shard: pack keys straight off the records — the
+            // column transpose would be a pure extra pass here.
+            let table = &mut self.tables[0];
+            table.clear();
+            for p in block {
+                table.add(pack_pair(p.src, p.via), 1);
+            }
+        } else {
+            self.columns.fill(block);
+            let columns = &self.columns;
+            let chunk = n.div_ceil(shards);
+            std::thread::scope(|scope| {
+                for (s, table) in self.tables.iter_mut().take(shards).enumerate() {
+                    let range = (s * chunk).min(n)..((s + 1) * chunk).min(n);
+                    scope.spawn(move || {
+                        table.clear();
+                        for key in columns.packed_range(range) {
+                            table.add(key, 1);
+                        }
+                    });
+                }
+            });
+            // Merge shard subtotals into shard 0's table. Sum-merge is
+            // commutative and exact, so the totals — and the ranked
+            // rule set built from them — match the single-shard run.
+            let (head, rest) = self.tables.split_at_mut(1);
+            for table in rest.iter().take(shards - 1) {
+                for (key, count) in table.iter() {
+                    head[0].add(key, count);
+                }
+            }
+        }
+        self.rows.clear();
+        self.rows
+            .extend(self.tables[0].iter().filter(|&(_, c)| c >= min_support));
+        RuleSet::from_packed_rows(&mut self.rows, min_support, block.len())
+    }
+}
+
+/// One-shot sharded mining; equivalent to [`mine_pairs`] at any shard
+/// count. Re-miners that run block after block should hold a
+/// [`PairMiner`] instead to reuse its scratch tables.
+pub fn mine_pairs_sharded(block: &[PairRecord], min_support: u64, shards: usize) -> RuleSet {
+    PairMiner::sharded(shards).mine(block, min_support)
 }
 
 #[cfg(test)]
@@ -292,5 +539,93 @@ mod tests {
         rows.sort_unstable();
         assert_eq!(rows.len(), 4);
         assert_eq!(rows[0], (HostId(1), HostId(10), 5));
+    }
+
+    fn sorted_rows(rs: &RuleSet) -> Vec<(HostId, HostId, u64)> {
+        let mut rows: Vec<_> = rs.iter().collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    #[test]
+    fn sharded_miner_matches_reference_on_small_blocks() {
+        for threshold in 1..=5 {
+            for shards in [1, 2, 3, 8] {
+                let reference = mine_pairs(&block(), threshold);
+                let sharded = mine_pairs_sharded(&block(), threshold, shards);
+                assert_eq!(
+                    sorted_rows(&reference),
+                    sorted_rows(&sharded),
+                    "threshold {threshold}, {shards} shards"
+                );
+                assert_eq!(sharded.min_support(), reference.min_support());
+                assert_eq!(sharded.source_pairs(), reference.source_pairs());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_miner_matches_reference_above_fanout_cutoff() {
+        // Big enough that a multi-shard run actually spawns workers.
+        let big: Vec<PairRecord> = (0..40_000u64)
+            .map(|i| pair(i, (i % 37) as u32, (i % 11) as u32 + 100))
+            .collect();
+        let reference = mine_pairs(&big, 30);
+        for shards in [1, 2, 4] {
+            let sharded = mine_pairs_sharded(&big, 30, shards);
+            assert_eq!(
+                sorted_rows(&reference),
+                sorted_rows(&sharded),
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn miner_scratch_reuse_is_stateless_across_blocks() {
+        let mut miner = PairMiner::sharded(4);
+        // Mine a large block, then a small one, then re-mine the first:
+        // residue from earlier blocks must never leak into later ones.
+        let a: Vec<PairRecord> = (0..20_000u64)
+            .map(|i| pair(i, (i % 13) as u32, (i % 7) as u32 + 50))
+            .collect();
+        let b = block();
+        let first = miner.mine(&a, 3);
+        assert_eq!(
+            sorted_rows(&miner.mine(&b, 2)),
+            sorted_rows(&mine_pairs(&b, 2))
+        );
+        assert_eq!(sorted_rows(&miner.mine(&a, 3)), sorted_rows(&first));
+        assert_eq!(sorted_rows(&first), sorted_rows(&mine_pairs(&a, 3)));
+    }
+
+    #[test]
+    fn sharded_miner_handles_empty_block() {
+        let mut miner = PairMiner::sharded(4);
+        let rs = miner.mine(&[], 1);
+        assert!(rs.is_empty());
+        assert_eq!(rs.source_pairs(), 0);
+    }
+
+    #[test]
+    fn zero_host_ids_are_real_keys() {
+        // (0, 0) packs to key 0 — the table must not confuse it with an
+        // empty slot.
+        let zeros: Vec<PairRecord> = (0..10).map(|i| pair(i, 0, 0)).collect();
+        let rs = PairMiner::new().mine(&zeros, 1);
+        assert!(rs.matches(HostId(0), HostId(0)));
+        assert_eq!(rs.consequents(HostId(0)), &[(HostId(0), 10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_shards_rejected() {
+        PairMiner::sharded(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn sharded_rejects_zero_support() {
+        PairMiner::new().mine(&block(), 0);
     }
 }

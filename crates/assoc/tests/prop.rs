@@ -194,6 +194,43 @@ proptest! {
         }
     }
 
+    /// Sharded, column-interned counting is exactly the single-threaded
+    /// reference for arbitrary blocks (including empty ones), support
+    /// thresholds, and shard counts — the determinism contract behind
+    /// the pipelined evaluator.
+    #[test]
+    fn sharded_mining_equals_reference(
+        pairs in arb_pairs(),
+        t in 1u64..6,
+        shards in 1usize..9,
+    ) {
+        let reference = mine_pairs(&pairs, t);
+        let mut miner = arq_assoc::PairMiner::sharded(shards);
+        // Mine twice through the same miner: the scratch arena must be
+        // stateless across blocks.
+        let _ = miner.mine(&pairs, t);
+        let sharded = miner.mine(&pairs, t);
+        let mut ra: Vec<_> = reference.iter().collect();
+        let mut rb: Vec<_> = sharded.iter().collect();
+        ra.sort_unstable();
+        rb.sort_unstable();
+        prop_assert_eq!(ra, rb);
+        prop_assert_eq!(reference.rule_count(), sharded.rule_count());
+        prop_assert_eq!(reference.antecedent_count(), sharded.antecedent_count());
+        // The ranked consequent lists (what routing actually consults)
+        // agree per antecedent, order included.
+        for src in pairs.iter().map(|p| p.src).collect::<std::collections::HashSet<_>>() {
+            prop_assert_eq!(reference.consequents(src), sharded.consequents(src));
+        }
+        // Free-function form agrees too.
+        let free = arq_assoc::mine_pairs_sharded(&pairs, t, shards);
+        let mut rc: Vec<_> = free.iter().collect();
+        rc.sort_unstable();
+        let mut rd: Vec<_> = sharded.iter().collect();
+        rd.sort_unstable();
+        prop_assert_eq!(rc, rd);
+    }
+
     /// Keyed mining with the plain `src` key is exactly `mine_pairs`.
     #[test]
     fn keyed_src_equals_plain(pairs in arb_pairs(), t in 1u64..6) {

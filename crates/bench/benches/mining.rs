@@ -1,4 +1,6 @@
-//! Apriori vs FP-Growth on synthetic transaction databases.
+//! Apriori vs FP-Growth on synthetic transaction databases, plus the
+//! block-mining hot path (reference `mine_pairs` vs the sharded
+//! `PairMiner`) that `arq bench` baselines in `BENCH_5.json`.
 
 // Criterion lives on crates.io; the `criterion` feature is default-off
 // so the workspace builds offline. Without it this target is a stub.
@@ -6,7 +8,9 @@
 #[cfg(feature = "criterion")]
 mod real {
     use arq::assoc::{apriori::apriori, eclat::eclat, fpgrowth::fpgrowth, ItemId, TransactionDb};
+    use arq::assoc::{mine_pairs, PairMiner};
     use arq::simkern::Rng64;
+    use arq::trace::{SynthConfig, SynthTrace};
     use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
     fn random_db(items: u64, transactions: usize, len: usize, seed: u64) -> TransactionDb {
@@ -39,7 +43,24 @@ mod real {
         group.finish();
     }
 
-    criterion_group!(benches, bench_mining);
+    fn bench_block_mining(c: &mut Criterion) {
+        // One E3-sized block of the calibrated drifting trace — the unit
+        // of work every sliding-window strategy repeats per trial.
+        let block = SynthTrace::new(SynthConfig::paper_default(50_000, 20_060_814)).pairs();
+        let mut group = c.benchmark_group("block_mining");
+        group.bench_function("mine_pairs", |b| {
+            b.iter(|| mine_pairs(&block, 10).rule_count());
+        });
+        for shards in [1usize, 2, 4, 8] {
+            let mut miner = PairMiner::sharded(shards);
+            group.bench_with_input(BenchmarkId::new("pair_miner", shards), &shards, |b, _| {
+                b.iter(|| miner.mine(&block, 10).rule_count());
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_mining, bench_block_mining);
     pub fn main() {
         benches();
     }

@@ -20,7 +20,7 @@
 
 use super::registry::{self, RegistryError};
 use super::spec::{RunArtifact, RunOutput, RunSpec};
-use crate::eval::evaluate_with_obs;
+use crate::eval::evaluate_pipelined;
 use arq_gnutella::policy::ForwardingPolicy;
 use arq_gnutella::sim::Network;
 use arq_obs::{Obs, ObsReport};
@@ -28,18 +28,43 @@ use arq_overlay::Graph;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Worker count: `ARQ_THREADS` if set to a positive integer, else the
-/// machine's available parallelism.
+/// Worker count: `ARQ_THREADS` if set, else the machine's available
+/// parallelism. `ARQ_THREADS=0` is clamped to 1 (a run always needs one
+/// worker); anything unparsable is a hard error — a typo like
+/// `ARQ_THREADS=fuor` silently falling back to full parallelism would
+/// defeat the pinning the variable exists for.
+///
+/// # Panics
+///
+/// Panics with a message naming `ARQ_THREADS` when the variable is set
+/// to something that is not a non-negative integer.
 pub fn thread_count() -> usize {
-    std::env::var("ARQ_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    match parse_thread_count(std::env::var("ARQ_THREADS").ok().as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Err(msg) => panic!("{msg}"),
+    }
+}
+
+/// Parses an `ARQ_THREADS` value: `None`/empty means "unset" (use the
+/// machine default), `0` clamps to 1, garbage is an error naming the
+/// variable. Pure so the rejection paths are testable without racing
+/// the process environment.
+fn parse_thread_count(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) => Ok(Some(n.max(1))),
+        Err(_) => Err(format!(
+            "ARQ_THREADS: cannot parse `{raw}` as a worker count \
+             (expected a non-negative integer; 0 is treated as 1)"
+        )),
+    }
 }
 
 /// Runs every spec, in parallel, returning artifacts in spec order.
@@ -51,6 +76,15 @@ pub fn execute(specs: &[RunSpec]) -> Result<Vec<RunArtifact>, RegistryError> {
 }
 
 /// [`execute`] with an explicit worker count.
+///
+/// The budget splits two ways: up to `specs.len()` outer workers pull
+/// whole runs, and any surplus (`threads / outer workers`) becomes
+/// *intra-run* parallelism — each trace evaluation pipelines block
+/// mining over that many threads (see
+/// [`evaluate_pipelined`]). A single spec at `threads = 8` therefore
+/// runs its own mining pipeline 8 wide, while 8 specs at `threads = 8`
+/// run sequentially side by side. Both layers preserve byte-identical
+/// artifacts at any thread count.
 pub fn execute_with_threads(
     specs: &[RunSpec],
     threads: usize,
@@ -58,17 +92,20 @@ pub fn execute_with_threads(
     for spec in specs {
         validate(spec)?;
     }
-    let threads = threads.clamp(1, specs.len().max(1));
+    let threads = threads.max(1);
+    let outer = threads.clamp(1, specs.len().max(1));
+    let intra = (threads / outer).max(1);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<RunArtifact>>> = specs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for _ in 0..outer {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= specs.len() {
                     break;
                 }
-                let artifact = run_one(i, &specs[i]).expect("spec was validated before dispatch");
+                let artifact = run_one_with_threads(i, &specs[i], intra)
+                    .expect("spec was validated before dispatch");
                 *slots[i].lock().expect("result slot poisoned") = Some(artifact);
             });
         }
@@ -110,8 +147,20 @@ fn env_obs_spec() -> Option<String> {
     }
 }
 
-/// Runs one spec to completion on the current thread.
+/// Runs one spec to completion on the current thread (no intra-run
+/// parallelism).
 pub fn run_one(index: usize, spec: &RunSpec) -> Result<RunArtifact, RegistryError> {
+    run_one_with_threads(index, spec, 1)
+}
+
+/// [`run_one`] with `threads` of intra-run block-mining parallelism for
+/// trace evaluations (live simulations are inherently sequential and
+/// ignore the budget). Artifacts are byte-identical at any `threads`.
+pub fn run_one_with_threads(
+    index: usize,
+    spec: &RunSpec,
+    threads: usize,
+) -> Result<RunArtifact, RegistryError> {
     let obs_spec = spec.obs_spec().map(str::to_string).or_else(env_obs_spec);
     let mut obs = match &obs_spec {
         Some(s) => Obs::enabled(registry::make_obs_plan(s)?),
@@ -126,7 +175,7 @@ pub fn run_one(index: usize, spec: &RunSpec) -> Result<RunArtifact, RegistryErro
         } => {
             let mut strategy = registry::make_strategy(strategy)?;
             let pairs = trace.materialize();
-            let run = evaluate_with_obs(strategy.as_mut(), &pairs, *block_size, &mut obs);
+            let run = evaluate_pipelined(strategy.as_mut(), &pairs, *block_size, threads, &mut obs);
             (run.strategy.clone(), RunOutput::Trace(run), obs.report())
         }
         RunSpec::LiveSim {
@@ -233,6 +282,9 @@ mod tests {
         let specs = trace_specs();
         let one = execute_with_threads(&specs, 1).unwrap();
         let four = execute_with_threads(&specs, 4).unwrap();
+        // More threads than specs: the surplus becomes intra-run
+        // block-mining parallelism, which must not move a byte either.
+        let sixteen = execute_with_threads(&specs, 16).unwrap();
         let labels: Vec<&str> = one.iter().map(|a| a.label.as_str()).collect();
         assert_eq!(
             labels,
@@ -243,8 +295,36 @@ mod tests {
                 "adaptive(s=10)"
             ]
         );
-        for (a, b) in one.iter().zip(&four) {
+        for ((a, b), c) in one.iter().zip(&four).zip(&sixteen) {
             assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+            assert_eq!(a.to_json().to_string(), c.to_json().to_string());
+        }
+    }
+
+    #[test]
+    fn single_spec_pipelines_identically() {
+        let spec = &trace_specs()[3]; // adaptive: premine-capable
+        let serial = run_one_with_threads(0, spec, 1).unwrap();
+        let piped = run_one_with_threads(0, spec, 8).unwrap();
+        assert_eq!(serial.to_json().to_string(), piped.to_json().to_string());
+    }
+
+    #[test]
+    fn thread_count_parsing() {
+        // Unset or blank: fall through to the machine default.
+        assert_eq!(parse_thread_count(None), Ok(None));
+        assert_eq!(parse_thread_count(Some("")), Ok(None));
+        assert_eq!(parse_thread_count(Some("   ")), Ok(None));
+        // Plain values parse; surrounding whitespace is tolerated.
+        assert_eq!(parse_thread_count(Some("4")), Ok(Some(4)));
+        assert_eq!(parse_thread_count(Some(" 12 ")), Ok(Some(12)));
+        // Zero is clamped to one worker, not silently ignored.
+        assert_eq!(parse_thread_count(Some("0")), Ok(Some(1)));
+        // Garbage is rejected with a message naming the variable.
+        for bad in ["fuor", "-1", "3.5", "1e3", "0x10"] {
+            let err = parse_thread_count(Some(bad)).unwrap_err();
+            assert!(err.contains("ARQ_THREADS"), "{err}");
+            assert!(err.contains(bad), "{err}");
         }
     }
 

@@ -43,11 +43,11 @@ pub mod threshold;
 pub mod topology;
 
 pub use engine::{RunArtifact, RunSpec, TraceSource};
-pub use eval::{evaluate, evaluate_timed, evaluate_with_obs, EvalRun, Trial};
+pub use eval::{evaluate, evaluate_pipelined, evaluate_timed, evaluate_with_obs, EvalRun, Trial};
 pub use hybrid::HybridPolicy;
 pub use policy::{AssocPolicy, AssocPolicyConfig};
 pub use strategy::{
-    AdaptiveSlidingWindow, IncrementalStream, LazySlidingWindow, LossyStream, SlidingWindow,
-    StaticRuleset, Strategy, TopicSlidingWindow,
+    AdaptiveSlidingWindow, BlockMiner, IncrementalStream, LazySlidingWindow, LossyStream,
+    SlidingWindow, StaticRuleset, Strategy, TopicSlidingWindow,
 };
 pub use threshold::ThresholdCalc;

@@ -17,9 +17,9 @@
 //! about half as many generations as Sliding Window at nearly the same
 //! coverage/success — experiment E5).
 
-use super::{Strategy, Trial};
+use super::{BlockMiner, Strategy, Trial};
 use crate::threshold::ThresholdCalc;
-use arq_assoc::pairs::{mine_pairs, RuleSet};
+use arq_assoc::pairs::{PairMiner, RuleSet};
 use arq_assoc::ruleset_test;
 use arq_trace::record::PairRecord;
 
@@ -28,6 +28,7 @@ use arq_trace::record::PairRecord;
 pub struct AdaptiveSlidingWindow {
     min_support: u64,
     rules: RuleSet,
+    miner: PairMiner,
     coverage_threshold: ThresholdCalc,
     success_threshold: ThresholdCalc,
     regenerations: u64,
@@ -54,6 +55,7 @@ impl AdaptiveSlidingWindow {
         AdaptiveSlidingWindow {
             min_support,
             rules: RuleSet::empty(),
+            miner: PairMiner::new(),
             coverage_threshold,
             success_threshold,
             regenerations: 0,
@@ -71,6 +73,45 @@ impl AdaptiveSlidingWindow {
     pub fn blocks_per_regen(&self) -> Option<f64> {
         (self.regenerations > 0).then(|| self.trials as f64 / self.regenerations as f64)
     }
+
+    /// The decide/install/learn tail shared by the sequential and
+    /// premined paths. `next` is produced lazily so the sequential path
+    /// only mines when a threshold actually trips.
+    ///
+    /// ρ (Eq. 2) is undefined on a block with zero covered queries
+    /// (n = 0): such a block neither trips the success threshold nor
+    /// feeds the success history — an absent measurement is not a
+    /// ρ = 0 observation, and letting it in would drag the threshold
+    /// mean toward zero and stall later regenerations. (The block still
+    /// regenerates through the *coverage* test, since α = 0 there.)
+    fn decide_and_learn(
+        &mut self,
+        block: &[PairRecord],
+        next: impl FnOnce(&mut Self) -> RuleSet,
+    ) -> Trial {
+        self.trials += 1;
+        let ct = self.coverage_threshold.value();
+        let st = self.success_threshold.value();
+        let measures = ruleset_test(&self.rules, block);
+        let rule_count = self.rules.rule_count();
+        let regenerated =
+            measures.coverage() < ct || measures.success_opt().is_some_and(|rho| rho < st);
+        if regenerated {
+            self.rules = next(self);
+            self.regenerations += 1;
+        }
+        // Thresholds learn from this trial only after deciding on it.
+        self.coverage_threshold.push(measures.coverage());
+        if let Some(rho) = measures.success_opt() {
+            self.success_threshold.push(rho);
+        }
+        Trial {
+            measures,
+            regenerated,
+            rule_count,
+            rules_after: self.rules.rule_count(),
+        }
+    }
 }
 
 impl Strategy for AdaptiveSlidingWindow {
@@ -79,29 +120,29 @@ impl Strategy for AdaptiveSlidingWindow {
     }
 
     fn warm_up(&mut self, block: &[PairRecord]) {
-        self.rules = mine_pairs(block, self.min_support);
+        self.rules = self.miner.mine(block, self.min_support);
     }
 
     fn test_and_update(&mut self, block: &[PairRecord]) -> Trial {
-        self.trials += 1;
-        let ct = self.coverage_threshold.value();
-        let st = self.success_threshold.value();
-        let measures = ruleset_test(&self.rules, block);
-        let rule_count = self.rules.rule_count();
-        let regenerated = measures.coverage() < ct || measures.success() < st;
-        if regenerated {
-            self.rules = mine_pairs(block, self.min_support);
-            self.regenerations += 1;
-        }
-        // Thresholds learn from this trial only after deciding on it.
-        self.coverage_threshold.push(measures.coverage());
-        self.success_threshold.push(measures.success());
-        Trial {
-            measures,
-            regenerated,
-            rule_count,
-            rules_after: self.rules.rule_count(),
-        }
+        let support = self.min_support;
+        self.decide_and_learn(block, |s| s.miner.mine(block, support))
+    }
+
+    fn block_miner(&self) -> Option<BlockMiner> {
+        let support = self.min_support;
+        let mut miner = PairMiner::new();
+        Some(Box::new(move |block: &[PairRecord]| {
+            miner.mine(block, support)
+        }))
+    }
+
+    fn warm_up_with(&mut self, _block: &[PairRecord], premined: RuleSet) {
+        self.rules = premined;
+    }
+
+    fn test_and_update_with(&mut self, block: &[PairRecord], premined: RuleSet) -> Trial {
+        // Quiet trials (no threshold trip) drop the speculative set.
+        self.decide_and_learn(block, |_| premined)
     }
 }
 
@@ -175,6 +216,55 @@ mod tests {
         // once the window fills with ~0.5 measurements they become rare.
         assert!(regen_count < 20, "thresholds never adapted");
         assert_eq!(regen_count, s.regenerations());
+    }
+
+    #[test]
+    fn undefined_success_does_not_feed_the_threshold() {
+        // Regression for the ρ-undefined edge case: a block with zero
+        // covered queries has no defined success value. It must still
+        // regenerate (via the coverage test), but it must NOT push a
+        // phantom ρ = 0 into the success history — under the old
+        // behavior the success threshold became mean([0.0]) = 0, and a
+        // following mediocre block could never trip it again.
+        let mut s = AdaptiveSlidingWindow::new(2, 10, 0.7);
+        s.warm_up(&routed_block(0, 100, 5, 100));
+
+        // Trial 1: every source is unknown — coverage 0, ρ undefined.
+        let moved: Vec<PairRecord> = routed_block(1_000, 100, 5, 200)
+            .into_iter()
+            .map(|mut p| {
+                p.src = arq_trace::record::HostId(p.src.0 + 50);
+                p
+            })
+            .collect();
+        let t1 = s.test_and_update(&moved);
+        assert!(t1.regenerated, "coverage 0 must regenerate");
+        assert_eq!(t1.measures.covered, 0);
+        assert_eq!(t1.measures.success_opt(), None);
+
+        // Trial 2: same (now learned) sources, but half the replies
+        // come via the wrong neighbor — coverage 1.0, success 0.5.
+        let mut half_wrong: Vec<PairRecord> = routed_block(2_000, 100, 5, 200)
+            .into_iter()
+            .map(|mut p| {
+                p.src = arq_trace::record::HostId(p.src.0 + 50);
+                p
+            })
+            .collect();
+        for p in half_wrong.iter_mut().take(50) {
+            p.via = arq_trace::record::HostId(9_999);
+        }
+        let t2 = s.test_and_update(&half_wrong);
+        assert_eq!(t2.measures.coverage(), 1.0);
+        assert_eq!(t2.measures.success_opt(), Some(0.5));
+        // The success threshold is still the pristine initial 0.7 (the
+        // undefined trial contributed nothing), so 0.5 trips it. Had
+        // the phantom 0.0 been pushed, the threshold would be 0.0 and
+        // this trial would NOT regenerate.
+        assert!(
+            t2.regenerated,
+            "success threshold was poisoned by an undefined ρ"
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! decay until the next scheduled regeneration, averaging ≈0.59 for both
 //! coverage and success (experiment E4).
 
-use super::{Strategy, Trial};
-use arq_assoc::pairs::{mine_pairs, RuleSet};
+use super::{BlockMiner, Strategy, Trial};
+use arq_assoc::pairs::{PairMiner, RuleSet};
 use arq_assoc::ruleset_test;
 use arq_trace::record::PairRecord;
 
@@ -18,6 +18,7 @@ pub struct LazySlidingWindow {
     min_support: u64,
     period: usize,
     rules: RuleSet,
+    miner: PairMiner,
     used_for: usize,
     regenerations: u64,
 }
@@ -30,6 +31,7 @@ impl LazySlidingWindow {
             min_support,
             period,
             rules: RuleSet::empty(),
+            miner: PairMiner::new(),
             used_for: 0,
             regenerations: 0,
         }
@@ -39,25 +41,18 @@ impl LazySlidingWindow {
     pub fn regenerations(&self) -> u64 {
         self.regenerations
     }
-}
 
-impl Strategy for LazySlidingWindow {
-    fn name(&self) -> String {
-        format!("lazy(s={},p={})", self.min_support, self.period)
-    }
-
-    fn warm_up(&mut self, block: &[PairRecord]) {
-        self.rules = mine_pairs(block, self.min_support);
-        self.used_for = 0;
-    }
-
-    fn test_and_update(&mut self, block: &[PairRecord]) -> Trial {
+    /// Measures against `block`, then installs `next` if the period is
+    /// up (discarding it otherwise) — shared by the sequential and
+    /// premined paths. `next` is lazily produced so the sequential path
+    /// only mines on regeneration trials.
+    fn apply(&mut self, block: &[PairRecord], next: impl FnOnce(&mut Self) -> RuleSet) -> Trial {
         let measures = ruleset_test(&self.rules, block);
         let rule_count = self.rules.rule_count();
         self.used_for += 1;
         let regenerated = self.used_for >= self.period;
         if regenerated {
-            self.rules = mine_pairs(block, self.min_support);
+            self.rules = next(self);
             self.used_for = 0;
             self.regenerations += 1;
         }
@@ -67,6 +62,40 @@ impl Strategy for LazySlidingWindow {
             rule_count,
             rules_after: self.rules.rule_count(),
         }
+    }
+}
+
+impl Strategy for LazySlidingWindow {
+    fn name(&self) -> String {
+        format!("lazy(s={},p={})", self.min_support, self.period)
+    }
+
+    fn warm_up(&mut self, block: &[PairRecord]) {
+        self.rules = self.miner.mine(block, self.min_support);
+        self.used_for = 0;
+    }
+
+    fn test_and_update(&mut self, block: &[PairRecord]) -> Trial {
+        let support = self.min_support;
+        self.apply(block, |s| s.miner.mine(block, support))
+    }
+
+    fn block_miner(&self) -> Option<BlockMiner> {
+        let support = self.min_support;
+        let mut miner = PairMiner::new();
+        Some(Box::new(move |block: &[PairRecord]| {
+            miner.mine(block, support)
+        }))
+    }
+
+    fn warm_up_with(&mut self, _block: &[PairRecord], premined: RuleSet) {
+        self.rules = premined;
+        self.used_for = 0;
+    }
+
+    fn test_and_update_with(&mut self, block: &[PairRecord], premined: RuleSet) -> Trial {
+        // Off-schedule trials simply drop the speculative rule set.
+        self.apply(block, |_| premined)
     }
 }
 

@@ -12,8 +12,8 @@
 //! success just under 0.79 (Figure 1 / experiment E2). Its cost is one
 //! rule-set generation per block, whether needed or not.
 
-use super::{Strategy, Trial};
-use arq_assoc::pairs::{mine_pairs, mine_pairs_with_confidence, RuleSet};
+use super::{BlockMiner, Strategy, Trial};
+use arq_assoc::pairs::{mine_pairs_with_confidence, PairMiner, RuleSet};
 use arq_assoc::ruleset_test;
 use arq_trace::record::PairRecord;
 
@@ -23,6 +23,7 @@ pub struct SlidingWindow {
     min_support: u64,
     min_confidence: f64,
     rules: RuleSet,
+    miner: PairMiner,
     regenerations: u64,
 }
 
@@ -44,6 +45,7 @@ impl SlidingWindow {
             min_support,
             min_confidence,
             rules: RuleSet::empty(),
+            miner: PairMiner::new(),
             regenerations: 0,
         }
     }
@@ -58,11 +60,30 @@ impl SlidingWindow {
         self.rules.rule_count()
     }
 
-    fn mine(&self, block: &[PairRecord]) -> RuleSet {
+    fn mine(&mut self, block: &[PairRecord]) -> RuleSet {
         if self.min_confidence > 0.0 {
             mine_pairs_with_confidence(block, self.min_support, self.min_confidence)
         } else {
-            mine_pairs(block, self.min_support)
+            // Scratch-table miner: same rule set, no per-block
+            // reallocation.
+            self.miner.mine(block, self.min_support)
+        }
+    }
+
+    /// Installs `next` after measuring the current set against `block`
+    /// — the shared tail of the sequential and premined paths.
+    fn apply(&mut self, block: &[PairRecord], next: RuleSet) -> Trial {
+        let measures = ruleset_test(&self.rules, block);
+        let rule_count = self.rules.rule_count();
+        // Next trial always uses rules mined from this (now previous)
+        // block.
+        self.rules = next;
+        self.regenerations += 1;
+        Trial {
+            measures,
+            regenerated: true,
+            rule_count,
+            rules_after: self.rules.rule_count(),
         }
     }
 }
@@ -81,18 +102,31 @@ impl Strategy for SlidingWindow {
     }
 
     fn test_and_update(&mut self, block: &[PairRecord]) -> Trial {
-        let measures = ruleset_test(&self.rules, block);
-        let rule_count = self.rules.rule_count();
-        // Next trial always uses rules mined from this (now previous)
-        // block.
-        self.rules = self.mine(block);
-        self.regenerations += 1;
-        Trial {
-            measures,
-            regenerated: true,
-            rule_count,
-            rules_after: self.rules.rule_count(),
+        let next = self.mine(block);
+        self.apply(block, next)
+    }
+
+    fn block_miner(&self) -> Option<BlockMiner> {
+        let support = self.min_support;
+        let confidence = self.min_confidence;
+        if confidence > 0.0 {
+            Some(Box::new(move |block: &[PairRecord]| {
+                mine_pairs_with_confidence(block, support, confidence)
+            }))
+        } else {
+            let mut miner = PairMiner::new();
+            Some(Box::new(move |block: &[PairRecord]| {
+                miner.mine(block, support)
+            }))
         }
+    }
+
+    fn warm_up_with(&mut self, _block: &[PairRecord], premined: RuleSet) {
+        self.rules = premined;
+    }
+
+    fn test_and_update_with(&mut self, block: &[PairRecord], premined: RuleSet) -> Trial {
+        self.apply(block, premined)
     }
 }
 

@@ -54,6 +54,14 @@ impl ThresholdCalc {
     }
 
     /// The current threshold (before seeing the next measurement).
+    ///
+    /// Partial-window semantics, pinned: the paper specifies "the mean
+    /// of the previous N values" with 0.7 used *before history exists*.
+    /// Accordingly the initial value is returned **only** while the
+    /// window is empty; from the first observation onward the threshold
+    /// is the mean of however many values have arrived (1, 2, …, up to
+    /// N). The initial is a stand-in for missing history, not a phantom
+    /// N-th observation — it is never averaged in.
     pub fn value(&self) -> f64 {
         match self {
             ThresholdCalc::MeanOfLast {
@@ -107,6 +115,45 @@ mod tests {
         assert!((t.value() - 0.7).abs() < 1e-12);
         t.push(0.3); // evicts 0.9
         assert!((t.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_window_of_size_one() {
+        // N = 1 is the smallest legal window: the threshold is simply
+        // the last observation, and the initial matters only before the
+        // first push.
+        let mut t = ThresholdCalc::mean_of_last(1, 0.7);
+        assert_eq!(t.value(), 0.7);
+        t.push(0.2);
+        assert!(
+            (t.value() - 0.2).abs() < 1e-12,
+            "initial must not be averaged in"
+        );
+        t.push(0.9);
+        assert!((t.value() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_window_of_n_minus_one() {
+        // N − 1 observations in an N-window: the mean is over the 9
+        // actual values — neither the initial nor a zero pads the
+        // denominator to N.
+        let n = 10;
+        let mut t = ThresholdCalc::mean_of_last(n, 0.7);
+        for _ in 0..(n - 1) {
+            t.push(0.5);
+        }
+        assert!(
+            (t.value() - 0.5).abs() < 1e-12,
+            "mean over 9 values of 0.5 must be 0.5, got {}",
+            t.value()
+        );
+        // The N-th push completes the window without changing the
+        // all-equal mean; the N+1-th starts evicting.
+        t.push(0.5);
+        assert!((t.value() - 0.5).abs() < 1e-12);
+        t.push(1.0);
+        assert!((t.value() - (0.5 * 9.0 + 1.0) / 10.0).abs() < 1e-12);
     }
 
     #[test]

@@ -275,6 +275,9 @@ pub struct Network<P: ForwardingPolicy> {
     /// Nodes that crashed permanently; their churn events are ignored.
     crashed: Vec<bool>,
     obs: Obs,
+    /// Reused candidate buffer for [`Network::relay`] — the hottest call
+    /// in a flood, so it must not allocate per hop.
+    candidate_scratch: Vec<NodeId>,
 }
 
 impl<P: ForwardingPolicy> Network<P> {
@@ -412,6 +415,7 @@ impl<P: ForwardingPolicy> Network<P> {
             faults,
             crashed: vec![false; cfg.nodes],
             obs: Obs::disabled(),
+            candidate_scratch: Vec::new(),
             graph,
             catalog,
             workload,
@@ -529,12 +533,14 @@ impl<P: ForwardingPolicy> Network<P> {
         let Some(next) = msg.hop() else {
             return Vec::new();
         };
-        let candidates: Vec<NodeId> = self
-            .graph
-            .live_neighbors(node)
-            .filter(|&n| Some(n) != from)
-            .collect();
+        // Fill the reusable scratch buffer instead of collecting a fresh
+        // Vec per relay; it is taken out for the duration of the policy
+        // call and put back (capacity intact) before returning.
+        let mut candidates = std::mem::take(&mut self.candidate_scratch);
+        candidates.clear();
+        candidates.extend(self.graph.live_neighbors(node).filter(|&n| Some(n) != from));
         if candidates.is_empty() {
+            self.candidate_scratch = candidates;
             return Vec::new();
         }
         let ctx = ForwardCtx {
@@ -557,6 +563,7 @@ impl<P: ForwardingPolicy> Network<P> {
                 self.policy.name()
             );
         }
+        self.candidate_scratch = candidates;
         for &target in &selected {
             if let Some(qidx) = self.guid_to_query.get(&msg.guid) {
                 let outcome = &mut self.queries[*qidx].outcome;

@@ -16,6 +16,8 @@
 //!   relational database: ingest, GUID-dedup cleaning, query↔reply join
 //!   producing [`record::PairRecord`]s;
 //! * [`blocks`] — fixed-size block partitioning of the pair stream;
+//! * [`columns`] — columnar `(src, via)` views of a block for the
+//!   mining hot path (dense host-id columns, packed `u64` pair keys);
 //! * [`csvio`] — flat-file import/export so traces can be stored and
 //!   exchanged;
 //! * [`synth`] — the calibrated synthetic trace generator standing in for
@@ -28,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod blocks;
+pub mod columns;
 pub mod csvio;
 pub mod db;
 pub mod record;
@@ -35,6 +38,7 @@ pub mod stats;
 pub mod synth;
 
 pub use blocks::{Blocks, TimeBlocks};
+pub use columns::{pack_pair, unpack_pair, PairColumns};
 pub use db::TraceDb;
 pub use record::{Guid, HostId, PairRecord, QueryId, QueryRecord, ReplyRecord};
 pub use synth::{SynthConfig, SynthTrace};
