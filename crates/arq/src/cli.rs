@@ -124,7 +124,10 @@ COMMANDS:
   simulate    run a live overlay simulation with a forwarding policy
               (alias: live)
               [--nodes N] [--queries N] [--policy SPEC] [--seed S]
-              [--faults SPEC] [--retry SPEC]
+              [--faults SPEC] [--retry SPEC] [--sharded]
+              --sharded runs the windowed sharded scale engine with
+              ARQ_THREADS workers (byte-identical at any worker count)
+              instead of the exact serial engine
               policies: flood | expanding-ring | k-walk | shortcuts |
                         routing-index | superpeer | assoc | assoc-adaptive |
                         hybrid
@@ -149,11 +152,14 @@ COMMANDS:
   bench       measure the hot-path speedups and write a perf baseline
               [--quick] [--threads N] [--iters N] [--seed S] [--out FILE]
               [--pairs N] [--block N] [--nodes N] [--queries N]
+              [--scale-nodes N,N,...] [--scale-queries N] [--scale-policy SPEC]
               times block mining (reference vs sharded) on an E3-shaped
-              trace, a full evaluation (sequential vs pipelined), and an
-              E16-shaped live-sim sweep (1 vs N workers); every parallel
+              trace, a full evaluation (sequential vs pipelined), an
+              E16-shaped live-sim sweep (1 vs N workers), and the
+              windowed sharded sim engine at --scale-nodes scale
+              (nodes x queries/sec, serial vs sharded); every parallel
               artifact is checked byte-identical to the serial one; the
-              JSON lands in BENCH_5.json unless --out overrides
+              JSON lands in BENCH_6.json unless --out overrides
   help        print this text
 ";
 
@@ -369,7 +375,7 @@ fn wrap_spec(name: &str, spec: &str) -> String {
 }
 
 fn simulate(args: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(args, &[])?;
+    let flags = Flags::parse(args, &["sharded"])?;
     let nodes: usize = flags.parse_num("nodes", 400)?;
     let queries: usize = flags.parse_num("queries", 2_000)?;
     let seed: u64 = flags.parse_num("seed", 1)?;
@@ -386,8 +392,12 @@ fn simulate(args: &[String]) -> Result<String, CliError> {
         );
     }
     let faulted = cfg.faults.is_some() || cfg.retry.is_some();
-    let (metrics, stats, _, _) =
-        engine::run_live(cfg, policy, None).map_err(|e| err(e.to_string()))?;
+    let (metrics, stats, _, _) = if flags.has("sharded") {
+        engine::run_live_sharded(cfg, policy, engine::thread_count())
+            .map_err(|e| err(e.to_string()))?
+    } else {
+        engine::run_live(cfg, policy, None).map_err(|e| err(e.to_string()))?
+    };
     let mut report = String::new();
     for (key, value) in &stats {
         let _ = writeln!(
@@ -719,9 +729,16 @@ fn ratio(before: f64, after: f64) -> f64 {
     }
 }
 
-/// `arq bench` — the perf-baseline harness behind `BENCH_5.json`.
+/// The serial wall clock of the E16-shaped sim sweep as recorded by the
+/// previous baseline (`BENCH_5.json`, full scale: 6 specs, 250 nodes ×
+/// 1200 queries, iters 3). The sweep's configuration is unchanged, so a
+/// full-scale `arq bench` can report the architectural speedup of the
+/// rebuilt engine (calendar queue + SoA node state) against it.
+const BENCH_5_SIM_SERIAL_SECS: f64 = 0.883298658;
+
+/// `arq bench` — the perf-baseline harness behind `BENCH_6.json`.
 ///
-/// Three before/after measurements of the sharded/pipelined hot path:
+/// Four before/after measurements of the sharded/pipelined hot path:
 ///
 /// 1. **mining** (E3-shaped): per-block rule mining over the calibrated
 ///    drifting trace — reference `mine_pairs` (HashMap tally) vs the
@@ -732,14 +749,19 @@ fn ratio(before: f64, after: f64) -> f64 {
 ///    byte-for-byte (the `ARQ_THREADS`-independence contract);
 /// 3. **sim** (E16-shaped): a live-simulation spec sweep (policies ×
 ///    loss rates) through the executor at 1 worker vs N, artifacts
-///    compared byte-for-byte.
+///    compared byte-for-byte; the executor's thread-budget split is
+///    recorded as obs gauges so the numbers can be attributed;
+/// 4. **sim_scale**: the windowed sharded engine
+///    (`Network::run_sharded`) at `--scale-nodes` scale — whole-run
+///    nodes × queries/sec, with the N-thread run's results compared
+///    against the single-threaded run's.
 fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args, &["quick"])?;
     let quick = flags.has("quick");
     let seed: u64 = flags.parse_num("seed", RUN_SEED)?;
     let threads: usize = flags.parse_num("threads", engine::thread_count())?;
     let threads = threads.max(1);
-    let out = flags.get("out").unwrap_or("BENCH_5.json").to_string();
+    let out = flags.get("out").unwrap_or("BENCH_6.json").to_string();
     let iters: usize = flags.parse_num("iters", if quick { 1 } else { 3 })?;
     let total_pairs: usize = flags.parse_num("pairs", if quick { 200_000 } else { 600_000 })?;
     let block_size: usize = flags.parse_num("block", 50_000)?;
@@ -854,16 +876,138 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     });
     let sim_identical = serial_json == parallel_json;
     let sim_speedup = ratio(serial_secs, parallel_secs);
+    // Attribute the sweep's numbers: record the executor's chosen
+    // thread-budget split as obs gauges on a bench-local registry. Run
+    // artifacts themselves stay thread-count-invariant, so this is the
+    // one place the split is visible.
+    let (outer, intra) = engine::budget_split(&sim_specs, threads);
+    let mut budget = arq_obs::Registry::new();
+    let outer_id = budget.gauge("outer_threads");
+    let intra_id = budget.gauge("intra_threads");
+    budget.set(outer_id, outer as f64);
+    budget.set(intra_id, intra as f64);
     let _ = writeln!(
         report,
         "sim      E16-shaped, {} specs, {nodes} nodes x {queries} queries: \
          1 worker {serial_secs:.3}s, {threads} workers {parallel_secs:.3}s \
-         ({sim_speedup:.2}x, artifacts identical: {sim_identical})",
+         ({sim_speedup:.2}x, split {outer}x{intra}, artifacts identical: {sim_identical})",
         sim_specs.len()
     );
+    // The sweep's shape is unchanged since BENCH_5, so a full-scale run
+    // can report this PR's architectural speedup against the previous
+    // baseline's serial wall clock.
+    let bench5_comparable = !quick && nodes == 250 && queries == 1_200 && iters == 3;
+    if bench5_comparable {
+        let _ = writeln!(
+            report,
+            "         vs BENCH_5 serial {BENCH_5_SIM_SERIAL_SECS:.3}s: {:.2}x",
+            ratio(BENCH_5_SIM_SERIAL_SECS, serial_secs)
+        );
+    }
 
+    // 4. The windowed sharded engine at scale.
+    let scale_spec = flags
+        .get("scale-nodes")
+        .map(str::to_string)
+        .unwrap_or_else(|| {
+            if quick {
+                "20000".to_string()
+            } else {
+                "100000,1000000".to_string()
+            }
+        });
+    let scale_queries: usize = flags.parse_num("scale-queries", if quick { 500 } else { 5_000 })?;
+    let scale_policy = flags
+        .get("scale-policy")
+        .unwrap_or("k-walk(k=4)")
+        .to_string();
+    // On a single-core box `--threads` resolves to 1; still exercise the
+    // sharded path so the cross-thread identity check is meaningful.
+    let scale_threads = if threads > 1 { threads } else { 4 };
+    let mut scale_points = Vec::new();
+    for part in scale_spec.split(',') {
+        let scale_nodes: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| err(format!("--scale-nodes: cannot parse `{part}`")))?;
+        let cfg = SimConfig::default_with(scale_nodes, scale_queries, seed);
+        let fingerprint =
+            |m: &arq_gnutella::metrics::RunMetrics, s: &[(String, f64)]| format!("{m:?}|{s:?}");
+        // Correctness first — these runs double as warmup so the timed
+        // runs below don't charge first-touch page faults to whichever
+        // variant happens to go first.
+        let (m1, s1, _, _) = engine::run_live_sharded(cfg.clone(), &scale_policy, 1)
+            .map_err(|e| err(e.to_string()))?;
+        let (mn, sn, _, _) = engine::run_live_sharded(cfg.clone(), &scale_policy, scale_threads)
+            .map_err(|e| err(e.to_string()))?;
+        let scale_identical = fingerprint(&m1, &s1) == fingerprint(&mn, &sn);
+        let scale_iters = iters.clamp(1, 2); // whole runs are seconds-long
+        let scale_serial_secs = best_secs(scale_iters, || {
+            std::hint::black_box(
+                engine::run_live_sharded(cfg.clone(), &scale_policy, 1).expect("validated spec"),
+            );
+        });
+        let scale_sharded_secs = best_secs(scale_iters, || {
+            std::hint::black_box(
+                engine::run_live_sharded(cfg.clone(), &scale_policy, scale_threads)
+                    .expect("validated spec"),
+            );
+        });
+        let scale_speedup = ratio(scale_serial_secs, scale_sharded_secs);
+        let qps = ratio(
+            scale_queries as f64,
+            scale_sharded_secs.min(scale_serial_secs),
+        );
+        let _ = writeln!(
+            report,
+            "scale    {scale_policy}, {scale_nodes} nodes x {scale_queries} queries: \
+             1 thread {scale_serial_secs:.3}s, {scale_threads} threads {scale_sharded_secs:.3}s \
+             ({scale_speedup:.2}x, {qps:.0} queries/s, success {:.3}, \
+             artifacts identical: {scale_identical})",
+            m1.success_rate
+        );
+        scale_points.push(Json::Obj(vec![
+            ("nodes".into(), Json::from(scale_nodes)),
+            ("queries".into(), Json::from(scale_queries)),
+            ("serial_secs".into(), Json::from(scale_serial_secs)),
+            ("sharded_secs".into(), Json::from(scale_sharded_secs)),
+            ("speedup".into(), Json::from(scale_speedup)),
+            ("queries_per_sec".into(), Json::from(qps)),
+            (
+                "node_queries_per_sec".into(),
+                Json::from(scale_nodes as f64 * qps),
+            ),
+            ("success_rate".into(), Json::from(m1.success_rate)),
+            ("artifacts_identical".into(), Json::from(scale_identical)),
+        ]));
+    }
+
+    let mut sim_section = vec![
+        (
+            "workload".to_string(),
+            Json::from("e16-shaped policy/loss sweep"),
+        ),
+        ("specs".to_string(), Json::from(sim_specs.len())),
+        ("nodes".to_string(), Json::from(nodes)),
+        ("queries".to_string(), Json::from(queries)),
+        ("serial_secs".to_string(), Json::from(serial_secs)),
+        ("parallel_secs".to_string(), Json::from(parallel_secs)),
+        ("speedup".to_string(), Json::from(sim_speedup)),
+        ("artifacts_identical".to_string(), Json::from(sim_identical)),
+        ("budget".to_string(), budget.to_json()),
+    ];
+    if bench5_comparable {
+        sim_section.push((
+            "bench5_serial_secs".to_string(),
+            Json::from(BENCH_5_SIM_SERIAL_SECS),
+        ));
+        sim_section.push((
+            "speedup_vs_bench5".to_string(),
+            Json::from(ratio(BENCH_5_SIM_SERIAL_SECS, serial_secs)),
+        ));
+    }
     let doc = Json::Obj(vec![
-        ("bench".into(), Json::from("BENCH_5")),
+        ("bench".into(), Json::from("BENCH_6")),
         ("quick".into(), Json::from(quick)),
         ("threads".into(), Json::from(threads)),
         ("seed".into(), Json::from(seed)),
@@ -901,20 +1045,17 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
                 ("artifacts_identical".into(), Json::from(eval_identical)),
             ]),
         ),
+        ("sim".into(), Json::Obj(sim_section)),
         (
-            "sim".into(),
+            "sim_scale".into(),
             Json::Obj(vec![
                 (
-                    "workload".into(),
-                    Json::from("e16-shaped policy/loss sweep"),
+                    "engine".into(),
+                    Json::from("windowed sharded (run_sharded)"),
                 ),
-                ("specs".into(), Json::from(sim_specs.len())),
-                ("nodes".into(), Json::from(nodes)),
-                ("queries".into(), Json::from(queries)),
-                ("serial_secs".into(), Json::from(serial_secs)),
-                ("parallel_secs".into(), Json::from(parallel_secs)),
-                ("speedup".into(), Json::from(sim_speedup)),
-                ("artifacts_identical".into(), Json::from(sim_identical)),
+                ("policy".into(), Json::from(scale_policy.as_str())),
+                ("threads".into(), Json::from(scale_threads)),
+                ("points".into(), Json::Arr(scale_points)),
             ]),
         ),
     ]);
@@ -1090,6 +1231,19 @@ mod tests {
     }
 
     #[test]
+    fn simulate_sharded_engine() {
+        // The windowed sharded engine behind --sharded is deterministic
+        // under faults, churn-free retries and any worker count.
+        let cmd = "simulate --sharded --nodes 80 --queries 200 --seed 3 \
+                   --policy flood --faults loss=0.1 --retry attempts=2";
+        let a = run(&args(cmd)).unwrap();
+        let b = run(&args(cmd)).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("messages/query"), "{a}");
+        assert!(a.contains("lost messages:"), "{a}");
+    }
+
+    #[test]
     fn run_and_report_roundtrip() {
         let events = tmp("events.jsonl");
         let arts = tmp("artifacts.json");
@@ -1155,16 +1309,16 @@ mod tests {
 
     #[test]
     fn bench_writes_baseline_json() {
-        let out = tmp("bench5.json");
+        let out = tmp("bench6.json");
         let report = run(&args(&format!(
             "bench --quick --pairs 40000 --block 20000 --nodes 60 --queries 120 \
-             --threads 4 --seed 11 --out {out}"
+             --scale-nodes 2000 --scale-queries 200 --threads 4 --seed 11 --out {out}"
         )))
         .unwrap();
         assert!(report.contains("rules identical: true"), "{report}");
         assert!(report.contains("artifacts identical: true"), "{report}");
         let doc = arq_simkern::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
-        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("BENCH_5"));
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("BENCH_6"));
         for section in ["mining", "pipeline", "sim"] {
             let s = doc
                 .get(section)
@@ -1177,6 +1331,37 @@ mod tests {
         assert_eq!(
             doc.get("pipeline")
                 .and_then(|p| p.get("artifacts_identical")),
+            Some(&Json::Bool(true))
+        );
+        // The executor's budget split is attributed on the sim section:
+        // a sim-only sweep never reserves an intra budget.
+        let budget = doc
+            .get("sim")
+            .and_then(|s| s.get("budget"))
+            .expect("budget");
+        let gauge = |name: &str| {
+            budget
+                .get("gauges")
+                .and_then(|g| g.get(name))
+                .and_then(Json::as_f64)
+        };
+        assert_eq!(gauge("intra_threads"), Some(1.0));
+        assert_eq!(gauge("outer_threads"), Some(4.0));
+        // The scale section reports throughput per point and the
+        // sharded run's results match the single-threaded run's.
+        let points = doc
+            .get("sim_scale")
+            .and_then(|s| s.get("points"))
+            .and_then(Json::as_array)
+            .expect("sim_scale points");
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].get("nodes").and_then(Json::as_f64), Some(2000.0));
+        assert!(points[0]
+            .get("queries_per_sec")
+            .and_then(Json::as_f64)
+            .is_some_and(|q| q > 0.0));
+        assert_eq!(
+            points[0].get("artifacts_identical"),
             Some(&Json::Bool(true))
         );
         // Too-short traces are rejected before any work happens.

@@ -85,6 +85,17 @@ pub fn execute(specs: &[RunSpec]) -> Result<Vec<RunArtifact>, RegistryError> {
 /// runs its own mining pipeline 8 wide, while 8 specs at `threads = 8`
 /// run sequentially side by side. Both layers preserve byte-identical
 /// artifacts at any thread count.
+///
+/// Only trace evaluations can spend an intra-run budget — live
+/// simulations run their exact (serial) engine regardless. A
+/// sim-dominated batch therefore degrades to across-spec parallelism
+/// only, instead of reserving surplus workers no run will claim and
+/// oversubscribing the machine against the sims. The chosen split is
+/// computable up front via [`budget_split`]; bench harnesses record it
+/// (as `outer_threads`/`intra_threads` gauges) so reports can attribute
+/// wins. It is deliberately *not* written into run artifacts — those
+/// are byte-identical at any thread count, and a thread-derived field
+/// would break that contract.
 pub fn execute_with_threads(
     specs: &[RunSpec],
     threads: usize,
@@ -92,9 +103,7 @@ pub fn execute_with_threads(
     for spec in specs {
         validate(spec)?;
     }
-    let threads = threads.max(1);
-    let outer = threads.clamp(1, specs.len().max(1));
-    let intra = (threads / outer).max(1);
+    let (outer, intra) = budget_split(specs, threads);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<RunArtifact>>> = specs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
@@ -118,6 +127,24 @@ pub fn execute_with_threads(
                 .expect("worker exited without filling its slot")
         })
         .collect())
+}
+
+/// How [`execute_with_threads`] splits a worker budget over a batch:
+/// `(outer, intra)` — across-spec workers, and per-run intra-run
+/// parallelism for the runs that can spend it. Batches with no trace
+/// evaluation get `intra = 1` (live sims run the exact serial engine),
+/// so a sim-dominated sweep parallelizes across specs only instead of
+/// oversubscribing `outer × intra` workers.
+pub fn budget_split(specs: &[RunSpec], threads: usize) -> (usize, usize) {
+    let threads = threads.max(1);
+    let outer = threads.clamp(1, specs.len().max(1));
+    let has_trace_eval = specs.iter().any(|s| matches!(s, RunSpec::TraceEval { .. }));
+    let intra = if has_trace_eval {
+        (threads / outer).max(1)
+    } else {
+        1
+    };
+    (outer, intra)
 }
 
 /// Checks that a spec's strategy/policy string is constructible, along
@@ -229,6 +256,28 @@ pub fn run_live(
 ) -> Result<LiveRun, RegistryError> {
     let (metrics, stats, policy, graph, _) =
         run_live_with_obs(cfg, policy_spec, graph, Obs::disabled())?;
+    Ok((metrics, stats, policy, graph))
+}
+
+/// Builds and runs one live simulation on the **windowed sharded
+/// engine** (`Network::run_sharded`) with `threads` workers. Results
+/// are byte-identical for any `threads >= 1` but follow the windowed
+/// engine's documented semantics, not the exact engine's — use this for
+/// scale benchmarking and capacity runs, [`run_live`] for anything
+/// golden-pinned.
+pub fn run_live_sharded(
+    mut cfg: arq_gnutella::sim::SimConfig,
+    policy_spec: &str,
+    threads: usize,
+) -> Result<LiveRun, RegistryError> {
+    let built = registry::make_policy(policy_spec)?;
+    built.apply_to(&mut cfg);
+    let label = built.label;
+    let network = Network::new(cfg, built.policy);
+    let (result, policy, graph) = network.run_sharded_full(threads);
+    let mut metrics = result.metrics;
+    metrics.policy = label;
+    let stats = policy.stats();
     Ok((metrics, stats, policy, graph))
 }
 
@@ -344,6 +393,51 @@ mod tests {
             execute_with_threads(&specs, 2),
             Err(RegistryError::UnknownStrategy(_))
         ));
+    }
+
+    #[test]
+    fn intra_budget_is_withheld_from_sim_batches() {
+        // A single trace spec with surplus workers spends it intra-run.
+        let mut specs = trace_specs();
+        specs.truncate(1);
+        assert_eq!(budget_split(&specs, 8), (1, 8));
+        assert_eq!(budget_split(&specs, 1), (1, 1));
+        // A sim-only batch degrades to across-spec parallelism: no run
+        // can spend an intra budget, so none is reserved.
+        let mut cfg = SimConfig::default_with(50, 60, 3);
+        cfg.catalog.topics = 5;
+        cfg.catalog.files_per_topic = 40;
+        let sim = RunSpec::LiveSim {
+            cfg,
+            policy: "flood".into(),
+            graph: None,
+            obs: None,
+        };
+        let sims: Vec<RunSpec> = vec![sim.clone(), sim.clone(), sim];
+        assert_eq!(budget_split(&sims, 8), (3, 1));
+        // A mixed batch keeps the trace evals' intra budget.
+        let mut mixed = sims.clone();
+        mixed.push(trace_specs().remove(0));
+        assert_eq!(budget_split(&mixed, 8), (4, 2));
+        // Artifacts of obs-enabled runs carry no thread-derived fields:
+        // the budget split never enters byte-compared reports.
+        if let RunSpec::TraceEval { obs, .. } = &mut specs[0] {
+            *obs = Some("obs".to_string());
+        }
+        let arts = execute_with_threads(&specs, 8).unwrap();
+        let report = arts[0].obs.as_ref().expect("obs was requested");
+        assert_eq!(report.registry.gauge_value("intra_threads"), None);
+    }
+
+    #[test]
+    fn sharded_live_runs_match_across_thread_counts() {
+        let mut cfg = SimConfig::default_with(60, 120, 17);
+        cfg.catalog.topics = 5;
+        cfg.catalog.files_per_topic = 40;
+        let (m1, s1, _, _) = run_live_sharded(cfg.clone(), "flood", 1).unwrap();
+        let (m4, s4, _, _) = run_live_sharded(cfg, "flood", 4).unwrap();
+        assert_eq!(format!("{m1:?}"), format!("{m4:?}"));
+        assert_eq!(s1, s4);
     }
 
     #[test]

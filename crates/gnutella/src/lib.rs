@@ -35,6 +35,7 @@ pub mod metrics;
 pub mod node;
 pub mod policy;
 pub mod sim;
+pub mod store;
 
 pub use collector::Collector;
 pub use discovery::{ping_crawl, rewire_via_discovery, Discovery};
@@ -43,3 +44,4 @@ pub use message::QueryMsg;
 pub use metrics::{QueryOutcome, RunMetrics};
 pub use policy::{FloodPolicy, ForwardingPolicy};
 pub use sim::{Network, RetryPolicy, SimConfig};
+pub use store::GuidStore;

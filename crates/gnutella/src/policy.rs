@@ -46,6 +46,17 @@ pub trait ForwardingPolicy {
     /// candidates not in the slice is a bug and the simulator will panic.
     fn select(&mut self, ctx: &ForwardCtx<'_>, rng: &mut Rng64) -> Vec<NodeId>;
 
+    /// Allocation-free variant of [`ForwardingPolicy::select`]: appends
+    /// the selected targets to `out` (already cleared by the caller)
+    /// instead of returning a fresh `Vec`. The simulator calls this on
+    /// its relay hot path with a pooled buffer. The default delegates to
+    /// `select`, so implementing it is an optimization, never a
+    /// behavioral change — overrides must select exactly the targets
+    /// `select` would and consume RNG draws identically.
+    fn select_into(&mut self, ctx: &ForwardCtx<'_>, rng: &mut Rng64, out: &mut Vec<NodeId>) {
+        out.extend(self.select(ctx, rng));
+    }
+
     /// Feedback: a hit travelled back through `node`, arriving from
     /// neighbor `via`, answering a query that had reached `node` from
     /// `upstream` (`None` when `node` issued it). `(upstream, via)` is
@@ -106,6 +117,10 @@ impl<P: ForwardingPolicy + ?Sized> ForwardingPolicy for Box<P> {
         (**self).select(ctx, rng)
     }
 
+    fn select_into(&mut self, ctx: &ForwardCtx<'_>, rng: &mut Rng64, out: &mut Vec<NodeId>) {
+        (**self).select_into(ctx, rng, out);
+    }
+
     fn on_reply(
         &mut self,
         node: NodeId,
@@ -140,6 +155,10 @@ impl ForwardingPolicy for FloodPolicy {
 
     fn select(&mut self, ctx: &ForwardCtx<'_>, _rng: &mut Rng64) -> Vec<NodeId> {
         ctx.candidates.to_vec()
+    }
+
+    fn select_into(&mut self, ctx: &ForwardCtx<'_>, _rng: &mut Rng64, out: &mut Vec<NodeId>) {
+        out.extend_from_slice(ctx.candidates);
     }
 }
 

@@ -21,8 +21,9 @@ use crate::faults::{FaultPlan, FaultState};
 use crate::guid::GuidGen;
 use crate::message::{HitMsg, QueryMsg};
 use crate::metrics::{MetricsBuilder, QueryOutcome, RunMetrics};
-use crate::node::{NodeState, Upstream};
+use crate::node::Upstream;
 use crate::policy::{ForwardCtx, ForwardingPolicy};
+use crate::store::GuidStore;
 use arq_content::{Catalog, CatalogConfig, QueryKey, WorkloadConfig, WorkloadGen};
 use arq_obs::{DropKind, Event as ObsEvent, Obs, ObsReport};
 use arq_overlay::churn::{rewire_join, ChurnKind};
@@ -32,6 +33,8 @@ use arq_simkern::{Backoff, EventQueue, Rng64, SimTime, StreamFactory};
 use arq_trace::record::Guid;
 use arq_trace::TraceDb;
 use std::collections::HashMap;
+
+pub mod sharded;
 
 /// Which random topology to build.
 #[derive(Debug, Clone)]
@@ -202,11 +205,16 @@ enum Event {
         to: NodeId,
         from: NodeId,
         msg: QueryMsg,
+        /// Index of the query this message is accounted to (resolved
+        /// once at issue time from the GUID, so deliveries never touch
+        /// a GUID→query map).
+        qidx: usize,
     },
     Hit {
         to: NodeId,
         from: NodeId,
         msg: HitMsg,
+        qidx: usize,
     },
     RingTimeout {
         qidx: usize,
@@ -261,12 +269,17 @@ pub struct Network<P: ForwardingPolicy> {
     catalog: Catalog,
     workload: WorkloadGen,
     policy: P,
-    states: Vec<NodeState>,
+    /// Network-wide GUID dedup + reverse-path memory in struct-of-arrays
+    /// layout (one open-addressed table instead of a HashMap per node).
+    store: GuidStore,
     guid_gens: Vec<GuidGen>,
     churn: Option<ChurnProcess>,
     collector: Option<Collector>,
     queue: EventQueue<Event>,
     queries: Vec<LiveQuery>,
+    /// First query to use each GUID. Written once per issued attempt
+    /// (cold path); per-message accounting rides on the `qidx` embedded
+    /// in the events instead of hitting this map.
     guid_to_query: HashMap<Guid, usize>,
     issue_rng: Rng64,
     net_rng: Rng64,
@@ -278,6 +291,9 @@ pub struct Network<P: ForwardingPolicy> {
     /// Reused candidate buffer for [`Network::relay`] — the hottest call
     /// in a flood, so it must not allocate per hop.
     candidate_scratch: Vec<NodeId>,
+    /// Reused selection buffer, filled by
+    /// [`ForwardingPolicy::select_into`] on every relay.
+    selected_scratch: Vec<NodeId>,
 }
 
 impl<P: ForwardingPolicy> Network<P> {
@@ -401,9 +417,7 @@ impl<P: ForwardingPolicy> Network<P> {
 
         Network {
             collector: cfg.collector.map(Collector::new),
-            states: (0..cfg.nodes)
-                .map(|_| NodeState::with_expiry(cfg.guid_cache, cfg.guid_expiry))
-                .collect(),
+            store: GuidStore::new(cfg.nodes, cfg.guid_cache, cfg.guid_expiry),
             guid_gens,
             churn,
             queue,
@@ -416,6 +430,7 @@ impl<P: ForwardingPolicy> Network<P> {
             crashed: vec![false; cfg.nodes],
             obs: Obs::disabled(),
             candidate_scratch: Vec::new(),
+            selected_scratch: Vec::new(),
             graph,
             catalog,
             workload,
@@ -455,11 +470,11 @@ impl<P: ForwardingPolicy> Network<P> {
             match ev.kind {
                 ChurnKind::Leave => {
                     self.graph.depart(ev.node);
-                    self.states[ev.node.index()].reset();
+                    self.store.reset(ev.node);
                 }
                 ChurnKind::Crash => {
                     self.graph.depart(ev.node);
-                    self.states[ev.node.index()].reset();
+                    self.store.reset(ev.node);
                     self.crashed[ev.node.index()] = true;
                 }
                 ChurnKind::Join => {
@@ -507,7 +522,10 @@ impl<P: ForwardingPolicy> Network<P> {
         }
         let key = self.queries[qidx].key;
         let guid = self.guid_gens[node.index()].next(&mut self.net_rng);
-        self.guid_to_query.entry(guid).or_insert(qidx);
+        // Accounting follows the GUID's *first* query: a faulty generator
+        // re-using a GUID charges traffic to the original query, exactly
+        // as a lookup through the map on every message would.
+        let owner = *self.guid_to_query.entry(guid).or_insert(qidx);
         self.queries[qidx].outcome.attempts += 1;
         let msg = QueryMsg {
             guid,
@@ -515,33 +533,42 @@ impl<P: ForwardingPolicy> Network<P> {
             ttl,
             hops: 0,
         };
-        self.states[node.index()].record(guid, Upstream::Origin, now);
-        let first_hop = self.relay(node, None, msg, now);
+        self.store.record(node, guid, Upstream::Origin, now);
+        self.relay(node, None, msg, owner, now);
+        let first_hop = std::mem::take(&mut self.queries[qidx].first_hop);
+        let mut first_hop = first_hop;
+        first_hop.clear();
+        first_hop.extend_from_slice(&self.selected_scratch);
         self.queries[qidx].first_hop = first_hop;
         true
     }
 
-    /// Runs the policy at `node` and transmits the query onward.
-    /// Returns the targets the policy selected.
+    /// Runs the policy at `node` and transmits the query onward, leaving
+    /// the selected targets in `self.selected_scratch`.
     fn relay(
         &mut self,
         node: NodeId,
         from: Option<NodeId>,
         msg: QueryMsg,
+        qidx: usize,
         now: SimTime,
-    ) -> Vec<NodeId> {
+    ) {
+        let mut selected = std::mem::take(&mut self.selected_scratch);
+        selected.clear();
         let Some(next) = msg.hop() else {
-            return Vec::new();
+            self.selected_scratch = selected;
+            return;
         };
-        // Fill the reusable scratch buffer instead of collecting a fresh
-        // Vec per relay; it is taken out for the duration of the policy
-        // call and put back (capacity intact) before returning.
+        // Fill the reusable scratch buffers instead of collecting fresh
+        // Vecs per relay; they are taken out for the duration of the
+        // policy call and put back (capacity intact) before returning.
         let mut candidates = std::mem::take(&mut self.candidate_scratch);
         candidates.clear();
         candidates.extend(self.graph.live_neighbors(node).filter(|&n| Some(n) != from));
         if candidates.is_empty() {
             self.candidate_scratch = candidates;
-            return Vec::new();
+            self.selected_scratch = selected;
+            return;
         }
         let ctx = ForwardCtx {
             node,
@@ -549,7 +576,8 @@ impl<P: ForwardingPolicy> Network<P> {
             query: &next,
             candidates: &candidates,
         };
-        let selected = self.policy.select(&ctx, &mut self.policy_rng);
+        self.policy
+            .select_into(&ctx, &mut self.policy_rng, &mut selected);
         self.obs.record(|| ObsEvent::Forward {
             at: now,
             node: node.0,
@@ -565,11 +593,9 @@ impl<P: ForwardingPolicy> Network<P> {
         }
         self.candidate_scratch = candidates;
         for &target in &selected {
-            if let Some(qidx) = self.guid_to_query.get(&msg.guid) {
-                let outcome = &mut self.queries[*qidx].outcome;
-                outcome.query_messages += 1;
-                outcome.bytes += next.wire_size();
-            }
+            let outcome = &mut self.queries[qidx].outcome;
+            outcome.query_messages += 1;
+            outcome.bytes += next.wire_size();
             let mut at = now.saturating_add(self.hop_latency());
             if let Some(f) = self.faults.as_mut() {
                 at = at.saturating_add(f.jitter());
@@ -580,23 +606,30 @@ impl<P: ForwardingPolicy> Network<P> {
                     to: target,
                     from: node,
                     msg: next,
+                    qidx,
                 },
             );
         }
-        selected
+        self.selected_scratch = selected;
     }
 
-    fn send_hit(&mut self, to: NodeId, from: NodeId, msg: HitMsg, now: SimTime) {
-        if let Some(qidx) = self.guid_to_query.get(&msg.guid) {
-            let outcome = &mut self.queries[*qidx].outcome;
-            outcome.hit_messages += 1;
-            outcome.bytes += msg.wire_size();
-        }
+    fn send_hit(&mut self, to: NodeId, from: NodeId, msg: HitMsg, qidx: usize, now: SimTime) {
+        let outcome = &mut self.queries[qidx].outcome;
+        outcome.hit_messages += 1;
+        outcome.bytes += msg.wire_size();
         let mut at = now.saturating_add(self.hop_latency());
         if let Some(f) = self.faults.as_mut() {
             at = at.saturating_add(f.jitter());
         }
-        self.queue.schedule(at, Event::Hit { to, from, msg });
+        self.queue.schedule(
+            at,
+            Event::Hit {
+                to,
+                from,
+                msg,
+                qidx,
+            },
+        );
     }
 
     /// Rolls the fault layer's per-link loss for one delivery.
@@ -604,7 +637,7 @@ impl<P: ForwardingPolicy> Network<P> {
         self.faults.as_mut().is_some_and(|f| f.drops_message())
     }
 
-    fn handle_query(&mut self, to: NodeId, from: NodeId, msg: QueryMsg, now: SimTime) {
+    fn handle_query(&mut self, to: NodeId, from: NodeId, msg: QueryMsg, qidx: usize, now: SimTime) {
         if self.cfg.loss_rate > 0.0 && self.net_rng.chance(self.cfg.loss_rate) {
             return; // lost in flight
         }
@@ -623,7 +656,10 @@ impl<P: ForwardingPolicy> Network<P> {
                 col.on_query(now, msg.guid, from, msg.key);
             }
         }
-        if !self.states[to.index()].record(msg.guid, Upstream::Neighbor(from), now) {
+        if !self
+            .store
+            .record(to, msg.guid, Upstream::Neighbor(from), now)
+        {
             return; // duplicate
         }
         // Local match: reply, then keep relaying (Gnutella semantics).
@@ -634,27 +670,27 @@ impl<P: ForwardingPolicy> Network<P> {
                 key: msg.key,
                 query_hops: msg.hops,
             };
-            self.route_hit_from(to, hit, now);
+            self.route_hit_from(to, hit, qidx, now);
         }
         // Silent free-riders answer from their own library (self-interest)
         // but never spend upstream bandwidth relaying for others.
         if self.faults.as_ref().is_some_and(|f| f.is_silent(to)) {
             return;
         }
-        self.relay(to, Some(from), msg, now);
+        self.relay(to, Some(from), msg, qidx, now);
     }
 
     /// Starts or continues a hit's travel along the reverse path from
     /// `node`.
-    fn route_hit_from(&mut self, node: NodeId, msg: HitMsg, now: SimTime) {
-        match self.states[node.index()].upstream(msg.guid) {
+    fn route_hit_from(&mut self, node: NodeId, msg: HitMsg, qidx: usize, now: SimTime) {
+        match self.store.upstream(node, msg.guid) {
             Some(Upstream::Origin) => {
                 // node is the issuer — the responder is the issuer itself
                 // only in degenerate configs; deliver.
-                self.deliver_hit(node, msg, now);
+                self.deliver_hit(node, msg, qidx, now);
             }
             Some(Upstream::Neighbor(up)) if self.graph.is_alive(up) => {
-                self.send_hit(up, node, msg, now);
+                self.send_hit(up, node, msg, qidx, now);
             }
             Some(Upstream::Neighbor(_)) => {
                 // Broken reverse path: hit is lost, as in the real network.
@@ -665,7 +701,7 @@ impl<P: ForwardingPolicy> Network<P> {
         }
     }
 
-    fn handle_hit(&mut self, to: NodeId, from: NodeId, msg: HitMsg, now: SimTime) {
+    fn handle_hit(&mut self, to: NodeId, from: NodeId, msg: HitMsg, qidx: usize, now: SimTime) {
         if self.cfg.loss_rate > 0.0 && self.net_rng.chance(self.cfg.loss_rate) {
             return; // lost in flight
         }
@@ -684,7 +720,7 @@ impl<P: ForwardingPolicy> Network<P> {
                 col.on_reply(now, msg.guid, from, msg.responder, msg.key);
             }
         }
-        let upstream = match self.states[to.index()].upstream(msg.guid) {
+        let upstream = match self.store.upstream(to, msg.guid) {
             Some(Upstream::Origin) => None,
             Some(Upstream::Neighbor(n)) => Some(n),
             None => {
@@ -693,19 +729,16 @@ impl<P: ForwardingPolicy> Network<P> {
         };
         self.policy.on_reply(to, upstream, from, msg.key);
         match upstream {
-            None => self.deliver_hit(to, msg, now),
+            None => self.deliver_hit(to, msg, qidx, now),
             Some(up) => {
                 if self.graph.is_alive(up) {
-                    self.send_hit(up, to, msg, now);
+                    self.send_hit(up, to, msg, qidx, now);
                 }
             }
         }
     }
 
-    fn deliver_hit(&mut self, issuer: NodeId, msg: HitMsg, now: SimTime) {
-        let Some(&qidx) = self.guid_to_query.get(&msg.guid) else {
-            return;
-        };
+    fn deliver_hit(&mut self, issuer: NodeId, msg: HitMsg, qidx: usize, now: SimTime) {
         let q = &mut self.queries[qidx];
         debug_assert_eq!(q.node, issuer);
         // Retried queries can re-discover a holder that already answered
@@ -848,13 +881,23 @@ impl<P: ForwardingPolicy> Network<P> {
                         }
                     }
                 }
-                Event::Query { to, from, msg } => self.handle_query(to, from, msg, now),
-                Event::Hit { to, from, msg } => self.handle_hit(to, from, msg, now),
+                Event::Query {
+                    to,
+                    from,
+                    msg,
+                    qidx,
+                } => self.handle_query(to, from, msg, qidx, now),
+                Event::Hit {
+                    to,
+                    from,
+                    msg,
+                    qidx,
+                } => self.handle_hit(to, from, msg, qidx, now),
                 Event::QueryDeadline { qidx, attempt } => self.handle_deadline(qidx, attempt, now),
                 Event::Crash { node } => {
                     if self.graph.is_alive(node) {
                         self.graph.depart(node);
-                        self.states[node.index()].reset();
+                        self.store.reset(node);
                         self.policy.on_topology_change(&self.graph);
                     }
                     // Whether it was up or mid-downtime, the node never

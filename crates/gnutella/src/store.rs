@@ -1,0 +1,428 @@
+//! Struct-of-arrays GUID/reverse-path storage for the whole network.
+//!
+//! [`crate::node::NodeState`] keeps one `HashMap` + `VecDeque` per node —
+//! perfectly fine at hundreds of nodes, but at 100k–1M nodes the
+//! simulator's hottest operation (GUID dedup + upstream lookup, done for
+//! every delivered message) becomes a pointer chase through a million
+//! separately-allocated maps. [`GuidStore`] replaces the per-node maps
+//! with **one** open-addressed table over `(node, guid)` keys, laid out
+//! as parallel arrays (nodes / guids / upstreams), plus per-node FIFO
+//! rings for capacity eviction and age expiry.
+//!
+//! The semantics are exactly [`crate::node::NodeState`]'s, per node:
+//!
+//! * first sighting records the upstream and returns `true`; duplicates
+//!   return `false` and do **not** refresh the entry (first upstream
+//!   wins, as in Gnutella reverse-path routing);
+//! * capacity eviction is FIFO over insertion order;
+//! * optional age expiry lazily drops entries older than the TTL before
+//!   each record (insertion times are monotone, so expired entries are
+//!   always a ring prefix);
+//! * `reset` forgets a node's entire memory (driven by churn).
+//!
+//! None of the observable behavior depends on hash iteration order —
+//! lookups are point queries and eviction order comes from the rings —
+//! so swapping `NodeState` for `GuidStore` is byte-identical to the
+//! digest goldens. A differential test against `NodeState` pins that.
+//!
+//! The table supports a `base` node offset so the sharded simulator can
+//! give each worker its own store covering one contiguous node range.
+
+use crate::node::Upstream;
+use arq_overlay::NodeId;
+use arq_simkern::time::Duration;
+use arq_simkern::SimTime;
+use arq_trace::record::Guid;
+use std::collections::VecDeque;
+
+/// Slot marker for "empty" in the node array. Real node ids are table
+/// indices (≤ tens of millions), so the max value is safely out of band.
+const EMPTY: u32 = u32::MAX;
+/// Upstream encoding for [`Upstream::Origin`]; real neighbors use their
+/// node id.
+const ORIGIN: u32 = u32::MAX;
+
+/// Network-wide GUID memory in struct-of-arrays layout: one
+/// open-addressed `(node, guid) → upstream` table plus per-node FIFO
+/// insertion rings.
+#[derive(Debug)]
+pub struct GuidStore {
+    /// Owning node per slot (`EMPTY` marks a free slot).
+    slot_nodes: Vec<u32>,
+    /// GUID per slot; only meaningful where `slot_nodes` is occupied.
+    slot_guids: Vec<u128>,
+    /// Encoded upstream per slot (`ORIGIN` or a neighbor id).
+    slot_ups: Vec<u32>,
+    /// Power-of-two table size minus one.
+    mask: usize,
+    /// Occupied slots.
+    live: usize,
+    /// Per-node FIFO of `(guid, inserted_at_tick)`, indexed by
+    /// `node - base`. Drives capacity eviction and age expiry.
+    rings: Vec<VecDeque<(u128, u64)>>,
+    /// First node id covered by this store.
+    base: u32,
+    capacity: usize,
+    expiry: Option<u64>,
+}
+
+impl GuidStore {
+    /// Creates a store covering nodes `0..nodes`, each remembering at
+    /// most `capacity` GUIDs, optionally for at most `expiry` sim time.
+    pub fn new(nodes: usize, capacity: usize, expiry: Option<Duration>) -> Self {
+        Self::with_range(0, nodes, capacity, expiry)
+    }
+
+    /// Creates a store covering the node range `base..base + count`
+    /// (shard-local storage for the parallel simulator).
+    pub fn with_range(base: u32, count: usize, capacity: usize, expiry: Option<Duration>) -> Self {
+        assert!(capacity > 0, "GUID cache needs capacity");
+        if let Some(ttl) = expiry {
+            assert!(ttl > Duration::ZERO, "GUID expiry must be positive");
+        }
+        let table = 1024usize;
+        GuidStore {
+            slot_nodes: vec![EMPTY; table],
+            slot_guids: vec![0; table],
+            slot_ups: vec![0; table],
+            mask: table - 1,
+            live: 0,
+            rings: (0..count).map(|_| VecDeque::new()).collect(),
+            base,
+            capacity,
+            expiry: expiry.map(Duration::ticks),
+        }
+    }
+
+    #[inline]
+    fn ring_index(&self, node: NodeId) -> usize {
+        debug_assert!(
+            node.0 >= self.base && ((node.0 - self.base) as usize) < self.rings.len(),
+            "node {node} outside store range"
+        );
+        (node.0 - self.base) as usize
+    }
+
+    /// SplitMix64-style finalizer over the combined key. The result only
+    /// feeds slot choice; observable behavior never depends on it.
+    #[inline]
+    fn hash(node: u32, guid: u128) -> u64 {
+        let mut x = (guid as u64)
+            ^ ((guid >> 64) as u64).rotate_left(32)
+            ^ (u64::from(node)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Linear probe: `Ok(slot)` when the key is present, `Err(slot)` with
+    /// the insertion point otherwise.
+    #[inline]
+    fn probe(&self, node: u32, guid: u128) -> Result<usize, usize> {
+        let mut i = (Self::hash(node, guid) as usize) & self.mask;
+        loop {
+            let n = self.slot_nodes[i];
+            if n == EMPTY {
+                return Err(i);
+            }
+            if n == node && self.slot_guids[i] == guid {
+                return Ok(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Doubles the table, re-inserting every occupied slot.
+    fn grow(&mut self) {
+        let new_len = (self.mask + 1) * 2;
+        let old_nodes = std::mem::replace(&mut self.slot_nodes, vec![EMPTY; new_len]);
+        let old_guids = std::mem::replace(&mut self.slot_guids, vec![0; new_len]);
+        let old_ups = std::mem::replace(&mut self.slot_ups, vec![0; new_len]);
+        self.mask = new_len - 1;
+        for (i, &n) in old_nodes.iter().enumerate() {
+            if n == EMPTY {
+                continue;
+            }
+            let slot = self
+                .probe(n, old_guids[i])
+                .expect_err("duplicate key during rehash");
+            self.slot_nodes[slot] = n;
+            self.slot_guids[slot] = old_guids[i];
+            self.slot_ups[slot] = old_ups[i];
+        }
+    }
+
+    /// Removes the slot holding `(node, guid)` with backward-shift
+    /// deletion, keeping probe chains intact without tombstones.
+    fn remove(&mut self, node: u32, guid: u128) {
+        let Ok(mut pos) = self.probe(node, guid) else {
+            debug_assert!(false, "removing absent key");
+            return;
+        };
+        let mask = self.mask;
+        let mut next = (pos + 1) & mask;
+        while self.slot_nodes[next] != EMPTY {
+            let ideal = (Self::hash(self.slot_nodes[next], self.slot_guids[next]) as usize) & mask;
+            // `next` may fill the hole iff the hole lies on its probe
+            // path, i.e. cyclic-distance(ideal → pos) < distance(ideal →
+            // next).
+            if (next.wrapping_sub(ideal) & mask) >= (next.wrapping_sub(pos) & mask) {
+                self.slot_nodes[pos] = self.slot_nodes[next];
+                self.slot_guids[pos] = self.slot_guids[next];
+                self.slot_ups[pos] = self.slot_ups[next];
+                pos = next;
+            }
+            next = (next + 1) & mask;
+        }
+        self.slot_nodes[pos] = EMPTY;
+        self.live -= 1;
+    }
+
+    /// Drops `node`'s entries recorded more than the expiry TTL before
+    /// `now`. Amortized O(1) per record: expired entries are a prefix of
+    /// the insertion ring.
+    fn expire(&mut self, node: NodeId, now: SimTime) {
+        let Some(ttl) = self.expiry else { return };
+        let r = self.ring_index(node);
+        while let Some(&(guid, at)) = self.rings[r].front() {
+            if now.ticks().saturating_sub(at) <= ttl {
+                break;
+            }
+            self.rings[r].pop_front();
+            self.remove(node.0, guid);
+        }
+    }
+
+    /// Records the first sighting of `guid` at `node`. Returns `false`
+    /// (a duplicate) if the GUID was already known there — the message
+    /// must then be dropped, not relayed. The first upstream wins;
+    /// duplicates never refresh it.
+    pub fn record(&mut self, node: NodeId, guid: Guid, upstream: Upstream, now: SimTime) -> bool {
+        self.expire(node, now);
+        if self.probe(node.0, guid.0).is_ok() {
+            return false;
+        }
+        let r = self.ring_index(node);
+        if self.rings[r].len() == self.capacity {
+            if let Some((old, _)) = self.rings[r].pop_front() {
+                self.remove(node.0, old);
+            }
+        }
+        if (self.live + 1) * 2 > self.mask + 1 {
+            self.grow();
+        }
+        let slot = self
+            .probe(node.0, guid.0)
+            .expect_err("key appeared during insert");
+        self.slot_nodes[slot] = node.0;
+        self.slot_guids[slot] = guid.0;
+        self.slot_ups[slot] = match upstream {
+            Upstream::Origin => ORIGIN,
+            Upstream::Neighbor(n) => n.0,
+        };
+        self.live += 1;
+        self.rings[r].push_back((guid.0, now.ticks()));
+        true
+    }
+
+    /// The reverse-path hop for `guid` at `node`, if still remembered.
+    pub fn upstream(&self, node: NodeId, guid: Guid) -> Option<Upstream> {
+        self.probe(node.0, guid.0).ok().map(|slot| {
+            let up = self.slot_ups[slot];
+            if up == ORIGIN {
+                Upstream::Origin
+            } else {
+                Upstream::Neighbor(NodeId(up))
+            }
+        })
+    }
+
+    /// Whether `node` has seen `guid`.
+    pub fn has_seen(&self, node: NodeId, guid: Guid) -> bool {
+        self.probe(node.0, guid.0).is_ok()
+    }
+
+    /// Number of GUIDs `node` currently remembers.
+    pub fn node_len(&self, node: NodeId) -> usize {
+        self.rings[self.ring_index(node)].len()
+    }
+
+    /// Total entries across all nodes.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the store holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Forgets everything `node` has seen (a departed node's protocol
+    /// state does not survive the disconnect). Ring capacity is kept.
+    pub fn reset(&mut self, node: NodeId) {
+        let r = self.ring_index(node);
+        let mut ring = std::mem::take(&mut self.rings[r]);
+        for (guid, _) in ring.drain(..) {
+            self.remove(node.0, guid);
+        }
+        self.rings[r] = ring;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeState;
+
+    const T0: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn first_sighting_accepted_duplicate_rejected() {
+        let mut s = GuidStore::new(8, 8, None);
+        let n = NodeId(3);
+        assert!(s.record(n, Guid(1), Upstream::Neighbor(NodeId(5)), T0));
+        assert!(!s.record(n, Guid(1), Upstream::Neighbor(NodeId(6)), T0));
+        // Upstream stays the first one.
+        assert_eq!(s.upstream(n, Guid(1)), Some(Upstream::Neighbor(NodeId(5))));
+        // Other nodes are unaffected.
+        assert!(!s.has_seen(NodeId(4), Guid(1)));
+    }
+
+    #[test]
+    fn fifo_eviction_per_node() {
+        let mut s = GuidStore::new(4, 3, None);
+        let n = NodeId(0);
+        for i in 0..5u128 {
+            assert!(s.record(n, Guid(i), Upstream::Origin, T0));
+        }
+        assert_eq!(s.node_len(n), 3);
+        assert!(!s.has_seen(n, Guid(0)));
+        assert!(!s.has_seen(n, Guid(1)));
+        assert!(s.has_seen(n, Guid(2)));
+        assert!(s.has_seen(n, Guid(4)));
+        // An evicted GUID can be recorded again.
+        assert!(s.record(n, Guid(0), Upstream::Neighbor(NodeId(1)), T0));
+    }
+
+    #[test]
+    fn entries_expire_by_sim_time() {
+        let mut s = GuidStore::new(4, 16, Some(Duration::from_ticks(100)));
+        let n = NodeId(1);
+        assert!(s.record(n, Guid(1), Upstream::Origin, SimTime::from_ticks(0)));
+        assert!(s.record(n, Guid(2), Upstream::Origin, SimTime::from_ticks(60)));
+        assert!(!s.record(n, Guid(1), Upstream::Origin, SimTime::from_ticks(100)));
+        // At t=150 the first entry (age 150 > 100) is expired, the second
+        // (age 90) survives.
+        assert!(s.record(
+            n,
+            Guid(1),
+            Upstream::Neighbor(NodeId(2)),
+            SimTime::from_ticks(150)
+        ));
+        assert!(!s.record(n, Guid(2), Upstream::Origin, SimTime::from_ticks(150)));
+        assert_eq!(s.upstream(n, Guid(1)), Some(Upstream::Neighbor(NodeId(2))));
+    }
+
+    #[test]
+    fn reset_clears_only_that_node() {
+        let mut s = GuidStore::new(4, 8, None);
+        s.record(NodeId(0), Guid(1), Upstream::Origin, T0);
+        s.record(NodeId(1), Guid(1), Upstream::Neighbor(NodeId(0)), T0);
+        s.reset(NodeId(0));
+        assert!(!s.has_seen(NodeId(0), Guid(1)));
+        assert!(s.has_seen(NodeId(1), Guid(1)));
+        assert_eq!(s.node_len(NodeId(0)), 0);
+        assert!(s.record(NodeId(0), Guid(1), Upstream::Origin, T0));
+    }
+
+    #[test]
+    fn sharded_range_uses_offset_indexing() {
+        let mut s = GuidStore::with_range(1000, 4, 8, None);
+        let n = NodeId(1002);
+        assert!(s.record(n, Guid(7), Upstream::Neighbor(NodeId(3)), T0));
+        assert!(s.has_seen(n, Guid(7)));
+        assert_eq!(s.node_len(n), 1);
+        s.reset(n);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn survives_growth_past_initial_table() {
+        // Force several doublings and verify every entry stays findable.
+        let mut s = GuidStore::new(16, 1 << 20, None);
+        for i in 0..4096u128 {
+            let n = NodeId((i % 16) as u32);
+            assert!(s.record(n, Guid(i), Upstream::Neighbor(NodeId(9)), T0));
+        }
+        assert_eq!(s.len(), 4096);
+        for i in 0..4096u128 {
+            let n = NodeId((i % 16) as u32);
+            assert!(s.has_seen(n, Guid(i)), "lost Guid({i})");
+        }
+    }
+
+    /// The load-bearing test: a pseudo-random op mix must behave exactly
+    /// like one `NodeState` per node — same accept/reject decisions, same
+    /// upstream answers — including eviction, expiry, and resets.
+    #[test]
+    fn differential_against_node_state() {
+        let nodes = 8usize;
+        let capacity = 5usize;
+        let expiry = Some(Duration::from_ticks(300));
+        let mut store = GuidStore::new(nodes, capacity, expiry);
+        let mut refs: Vec<NodeState> = (0..nodes)
+            .map(|_| NodeState::with_expiry(capacity, expiry))
+            .collect();
+        let mut x = 0x0123_4567_89AB_CDEF_u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut now = 0u64;
+        for _ in 0..20_000 {
+            now += step() % 8;
+            let t = SimTime::from_ticks(now);
+            let node = NodeId((step() % nodes as u64) as u32);
+            match step() % 10 {
+                0 => {
+                    store.reset(node);
+                    refs[node.index()].reset();
+                }
+                1..=6 => {
+                    // Small GUID space to provoke duplicates.
+                    let guid = Guid(u128::from(step() % 40));
+                    let up = if step() % 4 == 0 {
+                        Upstream::Origin
+                    } else {
+                        Upstream::Neighbor(NodeId((step() % 8) as u32))
+                    };
+                    let a = store.record(node, guid, up, t);
+                    let b = refs[node.index()].record(guid, up, t);
+                    assert_eq!(a, b, "record diverged at t={now} node={node}");
+                }
+                _ => {
+                    let guid = Guid(u128::from(step() % 40));
+                    assert_eq!(
+                        store.upstream(node, guid),
+                        refs[node.index()].upstream(guid),
+                        "upstream diverged at t={now} node={node}"
+                    );
+                    assert_eq!(
+                        store.has_seen(node, guid),
+                        refs[node.index()].has_seen(guid)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        GuidStore::new(4, 0, None);
+    }
+}

@@ -4,9 +4,12 @@
 //! simulator and every experiment in the workspace builds on:
 //!
 //! * [`time::SimTime`] — a monotone simulated clock value;
-//! * [`queue::EventQueue`] — a binary-heap event queue with **deterministic
-//!   tie-breaking** (events scheduled at the same instant fire in insertion
-//!   order), which is what makes whole-simulation runs reproducible;
+//! * [`queue::EventQueue`] — a calendar/bucket event queue with
+//!   **deterministic tie-breaking** (events scheduled at the same instant
+//!   fire in insertion order), which is what makes whole-simulation runs
+//!   reproducible; the original binary-heap implementation survives as
+//!   [`queue::HeapQueue`], the reference the calendar queue is
+//!   property-tested against;
 //! * [`rng`] — self-contained SplitMix64 / Xoshiro256** generators with
 //!   inherent draw methods (no external RNG crate), plus a
 //!   [`rng::StreamFactory`] that derives independent, stable sub-streams
@@ -39,7 +42,7 @@ pub mod time;
 pub mod timer;
 
 pub use json::{Json, ToJson};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, HeapQueue, SchedulePastError};
 pub use rng::{Rng64, SplitMix64, StreamFactory};
 pub use series::TimeSeries;
 pub use stats::{Ewma, Histogram, Summary, Welford};

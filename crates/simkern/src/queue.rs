@@ -1,14 +1,73 @@
-//! Deterministic discrete-event queue.
+//! Deterministic discrete-event queues.
 //!
-//! A thin wrapper over [`std::collections::BinaryHeap`] that delivers events
-//! in non-decreasing time order and breaks ties by insertion sequence
-//! number. Tie-breaking matters: two events scheduled for the same instant
-//! must always pop in the same order, or a whole-network simulation stops
-//! being reproducible across runs.
+//! Two implementations share one contract: events pop in non-decreasing
+//! time order, and events scheduled for the same instant pop in
+//! insertion order (FIFO). Tie-breaking matters: two events scheduled
+//! for the same instant must always pop in the same order, or a
+//! whole-network simulation stops being reproducible across runs.
+//!
+//! * [`EventQueue`] — the production queue: a calendar/bucket queue with
+//!   one-tick-wide buckets over a sliding window of [`CALENDAR_SPAN`]
+//!   ticks, plus a binary-heap overflow for events scheduled beyond the
+//!   window. Near-future scheduling (the hot path of a network flood,
+//!   where every delivery lands within a few hundred ticks) is O(1) per
+//!   event with zero steady-state allocation: bucket rings retain their
+//!   capacity across reuse, so a long run recycles the same arenas
+//!   instead of churning a heap.
+//! * [`HeapQueue`] — the original binary-heap queue, kept as the
+//!   reference implementation. The property suite drives both with the
+//!   same schedule and asserts identical pop sequences; anything the
+//!   calendar queue does differently from the heap is a bug.
+//!
+//! ## Deterministic FIFO tie-breaking
+//!
+//! Every `schedule` call stamps the event with a monotonically
+//! increasing sequence number; pops are ordered by `(time, seq)`. In the
+//! calendar queue this falls out structurally: a one-tick bucket only
+//! ever receives events for a single instant, appended in sequence
+//! order, so draining a bucket front-to-back *is* FIFO order — no
+//! per-bucket sort is ever needed. Overflow events are compared against
+//! the active bucket head by `(time, seq)` on every pop, so an event
+//! that went to the overflow heap still interleaves correctly with
+//! bucketed events for the same instant.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+
+/// Width of the calendar window, in ticks. Events scheduled further than
+/// this beyond the current clock go to the overflow heap instead of a
+/// bucket; they still pop in exactly the right order, just via O(log n)
+/// heap ops instead of O(1) bucket pushes. Hop latencies in the
+/// workspace simulators are tens-to-hundreds of ticks, so deliveries —
+/// the hot path — essentially always land in the window.
+pub const CALENDAR_SPAN: u64 = 4096;
+
+/// Error returned by [`EventQueue::try_schedule`] when the requested
+/// fire time is earlier than the queue's clock. Scheduling into the past
+/// would reorder simulated time — in the sharded simulator it would let
+/// a cross-shard handoff deliver a message into a window that has
+/// already been processed — so it is always a bug in the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulePastError {
+    /// The rejected fire time.
+    pub at: SimTime,
+    /// The queue clock at the time of the call.
+    pub now: SimTime,
+}
+
+impl fmt::Display for SchedulePastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "event scheduled in the past: at={}, now={}",
+            self.at, self.now
+        )
+    }
+}
+
+impl std::error::Error for SchedulePastError {}
 
 struct Entry<E> {
     at: SimTime,
@@ -25,8 +84,8 @@ impl<E> Eq for Entry<E> {}
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
         other
             .at
             .cmp(&self.at)
@@ -40,7 +99,8 @@ impl<E> PartialOrd for Entry<E> {
 }
 
 /// A future-event list delivering `(time, event)` pairs in deterministic
-/// simulation order.
+/// simulation order: a calendar queue over one-tick buckets with a heap
+/// overflow for far-future events.
 ///
 /// ```
 /// use arq_simkern::{EventQueue, SimTime};
@@ -55,10 +115,23 @@ impl<E> PartialOrd for Entry<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// One-tick buckets; slot `t % CALENDAR_SPAN` holds events firing at
+    /// tick `t` for `t` in the window `[now, now + CALENDAR_SPAN)`.
+    /// Within a bucket, entries are `(seq, event)` in insertion order —
+    /// which is FIFO order, since a bucket covers a single instant.
+    buckets: Vec<VecDeque<(u64, E)>>,
+    /// Occupancy bitmap over bucket slots (one bit per slot). A set bit
+    /// always means the bucket is non-empty.
+    occ: Vec<u64>,
+    /// Events scheduled at or beyond `now + CALENDAR_SPAN`.
+    overflow: BinaryHeap<Entry<E>>,
+    /// Tick of the earliest non-empty bucket. Kept exact at all times
+    /// (updated on every schedule and pop), so `peek_time` is O(1).
+    next_bucket: Option<u64>,
     next_seq: u64,
     now: SimTime,
     popped: u64,
+    pending: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -71,6 +144,228 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
+            buckets: (0..CALENDAR_SPAN).map(|_| VecDeque::new()).collect(),
+            occ: vec![0u64; (CALENDAR_SPAN as usize).div_ceil(64)],
+            overflow: BinaryHeap::new(),
+            next_bucket: None,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+            pending: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-reserved overflow capacity (the
+    /// calendar buckets grow on demand and keep their capacity).
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut q = Self::new();
+        q.overflow.reserve(cap);
+        q
+    }
+
+    #[inline]
+    fn slot(t: u64) -> usize {
+        (t % CALENDAR_SPAN) as usize
+    }
+
+    #[inline]
+    fn set_occ(&mut self, slot: usize) {
+        self.occ[slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    #[inline]
+    fn clear_occ(&mut self, slot: usize) {
+        self.occ[slot / 64] &= !(1u64 << (slot % 64));
+    }
+
+    /// Schedules `event` to fire at absolute time `at`, or reports a
+    /// typed error if `at` is earlier than the current clock.
+    pub fn try_schedule(&mut self, at: SimTime, event: E) -> Result<(), SchedulePastError> {
+        if at < self.now {
+            return Err(SchedulePastError { at, now: self.now });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending += 1;
+        let t = at.ticks();
+        if t < self.now.ticks().saturating_add(CALENDAR_SPAN) {
+            let slot = Self::slot(t);
+            self.buckets[slot].push_back((seq, event));
+            self.set_occ(slot);
+            if self.next_bucket.is_none_or(|nb| t < nb) {
+                self.next_bucket = Some(t);
+            }
+        } else {
+            self.overflow.push(Entry { at, seq, event });
+        }
+        Ok(())
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock — scheduling into
+    /// the past is always a simulator bug. Fallible callers (e.g. a
+    /// cross-shard handoff that must prove it never reorders time) use
+    /// [`EventQueue::try_schedule`] instead.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        if let Err(e) = self.try_schedule(at, event) {
+            panic!("{e}");
+        }
+    }
+
+    /// Finds the earliest non-empty bucket tick at or after `now` via a
+    /// circular bitmap scan. All bucketed events lie in
+    /// `[now, now + CALENDAR_SPAN)`, so the first set bit in circular
+    /// slot order from `slot(now)` belongs to the earliest bucket.
+    fn scan_next_bucket(&self) -> Option<u64> {
+        let start = Self::slot(self.now.ticks());
+        let words = self.occ.len();
+        let w0 = start / 64;
+        // First partial word: only slots at or after `start`.
+        let masked = self.occ[w0] & (!0u64 << (start % 64));
+        if masked != 0 {
+            let slot = w0 * 64 + masked.trailing_zeros() as usize;
+            return Some(self.absolute_tick(slot, start));
+        }
+        for i in 1..=words {
+            let w = (w0 + i) % words;
+            let bits = if w == w0 {
+                // Wrapped back to the first word: slots before `start`.
+                self.occ[w0] & !(!0u64 << (start % 64))
+            } else {
+                self.occ[w]
+            };
+            if bits != 0 {
+                let slot = w * 64 + bits.trailing_zeros() as usize;
+                return Some(self.absolute_tick(slot, start));
+            }
+        }
+        None
+    }
+
+    /// Reconstructs an absolute tick from a bucket slot via its circular
+    /// distance from the scan origin.
+    #[inline]
+    fn absolute_tick(&self, slot: usize, start: usize) -> u64 {
+        let dist = (slot + CALENDAR_SPAN as usize - start) % CALENDAR_SPAN as usize;
+        self.now.ticks() + dist as u64
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let bucket = self.next_bucket.map(|t| {
+            let head_seq = self.buckets[Self::slot(t)]
+                .front()
+                .expect("next_bucket points at empty bucket")
+                .0;
+            (t, head_seq)
+        });
+        let over = self.overflow.peek().map(|e| (e.at.ticks(), e.seq));
+        let take_overflow = match (bucket, over) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(b), Some(o)) => o < b,
+        };
+        let (at, event) = if take_overflow {
+            let e = self.overflow.pop().expect("peeked entry vanished");
+            (e.at, e.event)
+        } else {
+            let t = bucket.expect("bucket branch without bucket").0;
+            let slot = Self::slot(t);
+            let (_, event) = self.buckets[slot].pop_front().expect("bucket emptied");
+            if self.buckets[slot].is_empty() {
+                self.clear_occ(slot);
+                self.next_bucket = None; // re-established below
+            }
+            (SimTime::from_ticks(t), event)
+        };
+        debug_assert!(at >= self.now, "queue produced time regression");
+        self.now = at;
+        self.popped += 1;
+        self.pending -= 1;
+        if self.next_bucket.is_none() {
+            self.next_bucket = self.scan_next_bucket();
+        }
+        Some((at, event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        let bucket = self.next_bucket;
+        let over = self.overflow.peek().map(|e| e.at.ticks());
+        match (bucket, over) {
+            (None, None) => None,
+            (Some(t), None) | (None, Some(t)) => Some(SimTime::from_ticks(t)),
+            (Some(b), Some(o)) => Some(SimTime::from_ticks(b.min(o))),
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events still pending.
+    pub fn len(&self) -> usize {
+        self.pending
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Total number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Discards all pending events without advancing the clock. Bucket
+    /// capacity is retained so a cleared queue re-fills without
+    /// allocating.
+    pub fn clear(&mut self) {
+        for w in 0..self.occ.len() {
+            let mut bits = self.occ[w];
+            while bits != 0 {
+                let slot = w * 64 + bits.trailing_zeros() as usize;
+                self.buckets[slot].clear();
+                bits &= bits - 1;
+            }
+            self.occ[w] = 0;
+        }
+        self.overflow.clear();
+        self.next_bucket = None;
+        self.pending = 0;
+    }
+}
+
+/// The original binary-heap event queue, kept as the reference
+/// implementation for the calendar queue's property suite (and for
+/// callers that prefer a heap's memory profile over bucket arrays).
+/// Delivers the exact same `(time, event)` sequence as [`EventQueue`]
+/// for any schedule.
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        HeapQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
@@ -80,7 +375,7 @@ impl<E> EventQueue<E> {
 
     /// Creates an empty queue with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
+        HeapQueue {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             now: SimTime::ZERO,
@@ -88,21 +383,27 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Schedules `event` to fire at absolute time `at`, or reports a
+    /// typed error if `at` is earlier than the current clock.
+    pub fn try_schedule(&mut self, at: SimTime, event: E) -> Result<(), SchedulePastError> {
+        if at < self.now {
+            return Err(SchedulePastError { at, now: self.now });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        Ok(())
+    }
+
     /// Schedules `event` to fire at absolute time `at`.
     ///
     /// # Panics
     ///
-    /// Panics if `at` is earlier than the current clock — scheduling into
-    /// the past is always a simulator bug.
+    /// Panics if `at` is earlier than the current clock.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(
-            at >= self.now,
-            "event scheduled in the past: at={at}, now={}",
-            self.now
-        );
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        if let Err(e) = self.try_schedule(at, event) {
+            panic!("{e}");
+        }
     }
 
     /// Removes and returns the earliest event, advancing the clock to its
@@ -200,9 +501,35 @@ mod tests {
     }
 
     #[test]
+    fn try_schedule_returns_typed_error_for_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ticks(10), 1u32);
+        q.pop();
+        let err = q
+            .try_schedule(SimTime::from_ticks(3), 2)
+            .expect_err("past schedule must be rejected");
+        assert_eq!(err.at, SimTime::from_ticks(3));
+        assert_eq!(err.now, SimTime::from_ticks(10));
+        assert!(err.to_string().contains("scheduled in the past"), "{err}");
+        // The rejected event was not enqueued; the present is still fine.
+        assert!(q.is_empty());
+        assert!(q.try_schedule(SimTime::from_ticks(10), 3).is_ok());
+        assert_eq!(q.pop(), Some((SimTime::from_ticks(10), 3)));
+    }
+
+    #[test]
+    fn heap_queue_rejects_past_events_too() {
+        let mut q = HeapQueue::new();
+        q.schedule(SimTime::from_ticks(10), ());
+        q.pop();
+        let err = q.try_schedule(SimTime::from_ticks(9), ()).unwrap_err();
+        assert_eq!(err.now, SimTime::from_ticks(10));
+    }
+
+    #[test]
     fn interleaved_schedule_and_pop() {
-        // Events scheduled from within the drain loop (the common simulator
-        // pattern) must still come out in order.
+        // Events scheduled from within the drain loop (the common
+        // simulator pattern) must still come out in order.
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_ticks(1), 1u64);
         let mut seen = Vec::new();
@@ -225,5 +552,122 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.now(), SimTime::from_ticks(5));
+    }
+
+    #[test]
+    fn clear_then_reuse_delivers_in_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ticks(7), 1u32);
+        q.schedule(SimTime::from_ticks(CALENDAR_SPAN * 2), 2);
+        q.pop();
+        q.clear();
+        q.schedule(SimTime::from_ticks(30), 4);
+        q.schedule(SimTime::from_ticks(20), 3);
+        assert_eq!(q.pop(), Some((SimTime::from_ticks(20), 3)));
+        assert_eq!(q.pop(), Some((SimTime::from_ticks(30), 4)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_interleave_correctly() {
+        let mut q = EventQueue::new();
+        // Beyond the calendar window: lands in the overflow heap.
+        q.schedule(SimTime::from_ticks(CALENDAR_SPAN * 3), 1u32);
+        q.schedule(SimTime::from_ticks(5), 2);
+        // Same far instant, later insertion: FIFO across the heap too.
+        q.schedule(SimTime::from_ticks(CALENDAR_SPAN * 3), 3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((SimTime::from_ticks(5), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_ticks(CALENDAR_SPAN * 3), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_ticks(CALENDAR_SPAN * 3), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_and_bucket_ties_respect_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = CALENDAR_SPAN + 100;
+        // Scheduled while `t` is beyond the window: goes to overflow.
+        q.schedule(SimTime::from_ticks(t), 1u32);
+        // Advance the clock so `t` is inside the window.
+        q.schedule(SimTime::from_ticks(200), 0);
+        assert_eq!(q.pop(), Some((SimTime::from_ticks(200), 0)));
+        // Scheduled now: goes to a bucket, but with a *later* seq than
+        // the overflow entry — the overflow entry must still pop first.
+        q.schedule(SimTime::from_ticks(t), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_ticks(t), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_ticks(t), 2)));
+    }
+
+    #[test]
+    fn window_wraps_across_many_spans() {
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        for k in 0..20u64 {
+            let t = k * (CALENDAR_SPAN / 3 + 7);
+            q.schedule(SimTime::from_ticks(t), k);
+            expect.push((t, k));
+        }
+        let mut got = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            got.push((t.ticks(), e));
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn same_tick_schedule_during_drain_pops_after_remaining() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ticks(10), 0u32);
+        q.schedule(SimTime::from_ticks(10), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_ticks(10), 0)));
+        // Mid-drain append at the same instant: must pop after entry 1.
+        q.schedule(SimTime::from_ticks(10), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_ticks(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_ticks(10), 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn matches_heap_reference_on_mixed_workload() {
+        // Differential smoke test (the exhaustive property suite lives in
+        // tests/prop.rs): a deterministic pseudo-random schedule with
+        // ties, far-future events, and interleaved pops.
+        let mut cal = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut pending = 0i64;
+        for i in 0..10_000u64 {
+            let r = step();
+            if r % 4 == 0 && pending > 0 {
+                assert_eq!(cal.pop(), heap.pop(), "pop {i} diverged");
+                pending -= 1;
+            } else {
+                let base = cal.now().ticks();
+                let dt = match r % 3 {
+                    0 => r % 8,                      // ties and near-now
+                    1 => r % 600,                    // in-window
+                    _ => CALENDAR_SPAN + r % 10_000, // overflow
+                };
+                let at = SimTime::from_ticks(base + dt);
+                cal.schedule(at, i);
+                heap.schedule(at, i);
+                pending += 1;
+            }
+        }
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(cal.delivered(), heap.delivered());
     }
 }
