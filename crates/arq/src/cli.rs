@@ -124,7 +124,7 @@ COMMANDS:
   simulate    run a live overlay simulation with a forwarding policy
               (alias: live)
               [--nodes N] [--queries N] [--policy SPEC] [--seed S]
-              [--faults SPEC] [--retry SPEC] [--sharded]
+              [--faults SPEC] [--retry SPEC] [--links SPEC] [--sharded]
               --sharded runs the windowed sharded scale engine with
               ARQ_THREADS workers (byte-identical at any worker count)
               instead of the exact serial engine
@@ -134,12 +134,17 @@ COMMANDS:
               SPEC accepts registry parameters too, e.g. assoc(k=2,hl=500)
               --faults injects deterministic failures, e.g. 'loss=0.05'
               or 'faults(loss=0.05,crash=0.01,silent=0.02)'; --retry adds
-              the bounded-retry lifecycle, e.g. 'deadline=2000,attempts=3'
+              the bounded-retry lifecycle, e.g. 'deadline=2000,attempts=3';
+              --links models byte-accurate per-node bandwidth with bounded
+              buffers, e.g. 'up=8,down=32,upbuf=2048,downbuf=8192' or
+              'links(up=8,down=32,upbuf=2048,downbuf=8192,loss=0.02,
+              jitter=20,riders=0.2,riderup=2)'
   run         execute instrumented engine runs and stream their traces
               --exp e3 runs the E3 block-size sweep preset; otherwise
               [--strategy SPEC] [--pairs N] [--block N] for a trace
               evaluation, or --policy SPEC [--nodes N] [--queries N]
-              [--faults SPEC] [--retry SPEC] for a live simulation
+              [--faults SPEC] [--retry SPEC] [--links SPEC] for a live
+              simulation
               [--seed S] [--obs SPEC] [--trace-events FILE] [--out FILE]
               runs are instrumented with obs(events=1,series=1,fanout=16)
               unless --obs overrides; --trace-events streams the event
@@ -148,7 +153,10 @@ COMMANDS:
               --in FILE [--timeline]
               accepts an `arq run --out` artifact array or a
               results/e*.json document; --timeline prints the per-block
-              series (α/ρ/traffic from obs, else coverage/success)
+              series (α/ρ/traffic from obs, else coverage/success);
+              link-instrumented artifacts also render query-latency
+              p50/p95/p99 (sim ticks) and per-node byte budgets from the
+              obs histograms
   bench       measure the hot-path speedups and write a perf baseline
               [--quick] [--threads N] [--iters N] [--seed S] [--out FILE]
               [--pairs N] [--block N] [--nodes N] [--queries N]
@@ -157,9 +165,12 @@ COMMANDS:
               trace, a full evaluation (sequential vs pipelined), an
               E16-shaped live-sim sweep (1 vs N workers), and the
               windowed sharded sim engine at --scale-nodes scale
-              (nodes x queries/sec, serial vs sharded); every parallel
-              artifact is checked byte-identical to the serial one; the
-              JSON lands in BENCH_6.json unless --out overrides
+              (nodes x queries/sec, serial vs sharded), and an E17-shaped
+              offered-load sweep under byte-accurate congested links
+              (latency percentiles + per-node byte budgets per policy);
+              every parallel artifact is checked byte-identical to the
+              serial one; the JSON lands in BENCH_7.json unless --out
+              overrides
   help        print this text
 ";
 
@@ -391,7 +402,13 @@ fn simulate(args: &[String]) -> Result<String, CliError> {
             engine::make_retry_policy(&wrap_spec("retry", spec)).map_err(|e| err(e.to_string()))?,
         );
     }
-    let faulted = cfg.faults.is_some() || cfg.retry.is_some();
+    if let Some(spec) = flags.get("links") {
+        cfg.links = Some(
+            engine::make_link_plan(&wrap_spec("links", spec)).map_err(|e| err(e.to_string()))?,
+        );
+    }
+    let linked = cfg.links.is_some();
+    let faulted = cfg.faults.is_some() || cfg.retry.is_some() || linked;
     let (metrics, stats, _, _) = if flags.has("sharded") {
         engine::run_live_sharded(cfg, policy, engine::thread_count())
             .map_err(|e| err(e.to_string()))?
@@ -422,6 +439,9 @@ fn simulate(args: &[String]) -> Result<String, CliError> {
         let _ = writeln!(report, "expired:           {}", metrics.expired);
         let _ = writeln!(report, "duplicate hits:    {}", metrics.duplicate_hits);
         let _ = writeln!(report, "lost messages:     {}", metrics.lost_messages);
+    }
+    if linked {
+        let _ = writeln!(report, "buffer dropped:    {}", metrics.buffer_dropped);
     }
     Ok(report)
 }
@@ -490,6 +510,12 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         if let Some(spec) = flags.get("retry") {
             cfg.retry = Some(
                 engine::make_retry_policy(&wrap_spec("retry", spec))
+                    .map_err(|e| err(e.to_string()))?,
+            );
+        }
+        if let Some(spec) = flags.get("links") {
+            cfg.links = Some(
+                engine::make_link_plan(&wrap_spec("links", spec))
                     .map_err(|e| err(e.to_string()))?,
             );
         }
@@ -576,6 +602,42 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     Ok(report)
 }
 
+/// Linear-interpolated quantile from a serialized histogram snapshot
+/// (`{lo, hi, buckets, underflow, overflow, count}`), mirroring
+/// `Histogram::quantile` so `arq report` reproduces the in-process
+/// estimate from persisted artifact JSON alone. Underflow clamps to
+/// `lo`, overflow to `hi`; `None` before any observation.
+fn json_quantile(h: &Json, q: f64) -> Option<f64> {
+    let num = |key: &str| h.get(key).and_then(Json::as_f64);
+    let count = num("count")?;
+    if count <= 0.0 {
+        return None;
+    }
+    let (lo, hi) = (num("lo")?, num("hi")?);
+    let buckets: Vec<f64> = h
+        .get("buckets")?
+        .as_array()?
+        .iter()
+        .filter_map(Json::as_f64)
+        .collect();
+    if buckets.is_empty() {
+        return None;
+    }
+    let pos = q * (count - 1.0);
+    let mut seen = num("underflow").unwrap_or(0.0);
+    if seen > pos {
+        return Some(lo);
+    }
+    let width = (hi - lo) / buckets.len() as f64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c > 0.0 && seen + c > pos {
+            return Some(lo + width * (i as f64 + (pos - seen) / c));
+        }
+        seen += c;
+    }
+    Some(hi)
+}
+
 /// Renders one artifact's JSON object for `arq report`.
 fn report_artifact(a: &Json, timeline: bool, out: &mut String) {
     let s = |key: &str| a.get(key).and_then(Json::as_str).unwrap_or("?");
@@ -590,16 +652,55 @@ fn report_artifact(a: &Json, timeline: bool, out: &mut String) {
     let run = a.get("run");
     if let Some(metrics) = run.and_then(|r| r.get("metrics")) {
         let num = |key: &str| metrics.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        // `buffer_dropped` is serialized only by link-enabled runs that
+        // actually dropped; surface it only then.
+        let buffered = metrics
+            .get("buffer_dropped")
+            .and_then(Json::as_f64)
+            .map_or(String::new(), |b| format!("  buffer-dropped {b}"));
         let _ = writeln!(
             out,
-            "  success {:.3}  msgs/query {:.1}  retried {}  expired {}  duplicate {}  lost {}",
+            "  success {:.3}  msgs/query {:.1}  retried {}  expired {}  duplicate {}  lost {}{}",
             num("success_rate"),
             num("messages_per_query"),
             num("retried"),
             num("expired"),
             num("duplicate_hits"),
-            num("lost_messages")
+            num("lost_messages"),
+            buffered
         );
+        // Link-layer histograms (query latency, per-node byte budgets)
+        // persist as bucket snapshots; render their quantiles here.
+        let hists = a
+            .get("obs")
+            .and_then(|o| o.get("metrics"))
+            .and_then(|m| m.get("histograms"));
+        let quantile = |name: &str, q: f64| {
+            hists
+                .and_then(|h| h.get(name))
+                .and_then(|h| json_quantile(h, q))
+        };
+        if let (Some(p50), Some(p95), Some(p99)) = (
+            quantile("query_latency", 0.50),
+            quantile("query_latency", 0.95),
+            quantile("query_latency", 0.99),
+        ) {
+            let _ = writeln!(
+                out,
+                "  query latency p50/p95/p99  {p50:.0}/{p95:.0}/{p99:.0} ticks"
+            );
+        }
+        if let (Some(up50), Some(up95), Some(down50), Some(down95)) = (
+            quantile("node_up_bytes", 0.50),
+            quantile("node_up_bytes", 0.95),
+            quantile("node_down_bytes", 0.50),
+            quantile("node_down_bytes", 0.95),
+        ) {
+            let _ = writeln!(
+                out,
+                "  node bytes p50/p95  up {up50:.0}/{up95:.0}  down {down50:.0}/{down95:.0}"
+            );
+        }
     } else if let Some(run) = run {
         let num = |key: &str| run.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
         let _ = writeln!(
@@ -736,9 +837,9 @@ fn ratio(before: f64, after: f64) -> f64 {
 /// rebuilt engine (calendar queue + SoA node state) against it.
 const BENCH_5_SIM_SERIAL_SECS: f64 = 0.883298658;
 
-/// `arq bench` — the perf-baseline harness behind `BENCH_6.json`.
+/// `arq bench` — the perf-baseline harness behind `BENCH_7.json`.
 ///
-/// Four before/after measurements of the sharded/pipelined hot path:
+/// Five measurements of the sharded/pipelined hot path:
 ///
 /// 1. **mining** (E3-shaped): per-block rule mining over the calibrated
 ///    drifting trace — reference `mine_pairs` (HashMap tally) vs the
@@ -754,14 +855,19 @@ const BENCH_5_SIM_SERIAL_SECS: f64 = 0.883298658;
 /// 4. **sim_scale**: the windowed sharded engine
 ///    (`Network::run_sharded`) at `--scale-nodes` scale — whole-run
 ///    nodes × queries/sec, with the N-thread run's results compared
-///    against the single-threaded run's.
+///    against the single-threaded run's;
+/// 5. **links** (E17-shaped): the offered-load sweep under byte-accurate
+///    congested links — policies × query rates with bounded buffers and
+///    seeded loss — recording query-latency percentiles and per-node
+///    byte budgets from the obs histograms, with the parallel artifacts
+///    checked byte-identical to the serial ones.
 fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args, &["quick"])?;
     let quick = flags.has("quick");
     let seed: u64 = flags.parse_num("seed", RUN_SEED)?;
     let threads: usize = flags.parse_num("threads", engine::thread_count())?;
     let threads = threads.max(1);
-    let out = flags.get("out").unwrap_or("BENCH_6.json").to_string();
+    let out = flags.get("out").unwrap_or("BENCH_7.json").to_string();
     let iters: usize = flags.parse_num("iters", if quick { 1 } else { 3 })?;
     let total_pairs: usize = flags.parse_num("pairs", if quick { 200_000 } else { 600_000 })?;
     let block_size: usize = flags.parse_num("block", 50_000)?;
@@ -982,6 +1088,102 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         ]));
     }
 
+    // 5. E17-shaped offered-load sweep under byte-accurate links:
+    // congested asymmetric bandwidth, bounded buffers, seeded loss, and
+    // free-rider uplinks, at rising query rates. Instrumented with
+    // registry histograms only, so the persisted rows carry
+    // query-latency percentiles and per-node byte budgets.
+    const LINK_PLAN: &str =
+        "links(up=8,down=32,upbuf=2048,downbuf=8192,loss=0.02,jitter=20,riders=0.2,riderup=2)";
+    const LINK_POLICIES: [&str; 3] = ["flood", "assoc", "assoc-adaptive"];
+    const LINK_INTERVALS: [u64; 3] = [2_000, 500, 125];
+    let mut link_specs = Vec::new();
+    let mut link_labels = Vec::new();
+    for policy in LINK_POLICIES {
+        for interval in LINK_INTERVALS {
+            let mut cfg = SimConfig::default_with(nodes, queries, seed);
+            cfg.mean_query_interval = arq_simkern::time::Duration::from_ticks(interval);
+            cfg.retry = Some(
+                engine::make_retry_policy("retry(deadline=2000,attempts=3,maxttl=8)")
+                    .map_err(|e| err(e.to_string()))?,
+            );
+            cfg.links = Some(engine::make_link_plan(LINK_PLAN).map_err(|e| err(e.to_string()))?);
+            link_specs.push(RunSpec::LiveSim {
+                cfg,
+                policy: policy.to_string(),
+                graph: None,
+                obs: Some("obs(events=0,series=0)".into()),
+            });
+            link_labels.push((policy, interval));
+        }
+    }
+    let link_serial_arts =
+        engine::execute_with_threads(&link_specs, 1).map_err(|e| err(e.to_string()))?;
+    let link_arts =
+        engine::execute_with_threads(&link_specs, threads).map_err(|e| err(e.to_string()))?;
+    let link_identical = arts_json(&link_serial_arts) == arts_json(&link_arts);
+    let link_secs = best_secs(iters, || {
+        std::hint::black_box(
+            engine::execute_with_threads(&link_specs, threads).expect("validated specs"),
+        );
+    });
+    let link_quantile = |a: &RunArtifact, name: &str, q: f64| {
+        a.obs
+            .as_ref()
+            .and_then(|o| o.registry.histogram_value(name))
+            .and_then(|h| h.quantile(q))
+            .unwrap_or(0.0)
+    };
+    let mut link_rows = Vec::new();
+    for ((policy, interval), a) in link_labels.iter().zip(&link_arts) {
+        let m = a.metrics().expect("live spec");
+        link_rows.push(Json::Obj(vec![
+            ("policy".into(), Json::from(*policy)),
+            ("interval".into(), Json::from(*interval)),
+            ("success_rate".into(), Json::from(m.success_rate)),
+            ("lost_messages".into(), Json::from(m.lost_messages)),
+            ("buffer_dropped".into(), Json::from(m.buffer_dropped)),
+            (
+                "latency_ticks".into(),
+                Json::Obj(vec![
+                    (
+                        "p50".into(),
+                        Json::from(link_quantile(a, "query_latency", 0.50)),
+                    ),
+                    (
+                        "p95".into(),
+                        Json::from(link_quantile(a, "query_latency", 0.95)),
+                    ),
+                    (
+                        "p99".into(),
+                        Json::from(link_quantile(a, "query_latency", 0.99)),
+                    ),
+                ]),
+            ),
+            (
+                "node_bytes_p95".into(),
+                Json::Obj(vec![
+                    (
+                        "up".into(),
+                        Json::from(link_quantile(a, "node_up_bytes", 0.95)),
+                    ),
+                    (
+                        "down".into(),
+                        Json::from(link_quantile(a, "node_down_bytes", 0.95)),
+                    ),
+                ]),
+            ),
+        ]));
+    }
+    let _ = writeln!(
+        report,
+        "links    E17-shaped, {} specs ({} policies x {} loads), {nodes} nodes x {queries} \
+         queries: {threads} workers {link_secs:.3}s (artifacts identical: {link_identical})",
+        link_specs.len(),
+        LINK_POLICIES.len(),
+        LINK_INTERVALS.len()
+    );
+
     let mut sim_section = vec![
         (
             "workload".to_string(),
@@ -1007,7 +1209,7 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         ));
     }
     let doc = Json::Obj(vec![
-        ("bench".into(), Json::from("BENCH_6")),
+        ("bench".into(), Json::from("BENCH_7")),
         ("quick".into(), Json::from(quick)),
         ("threads".into(), Json::from(threads)),
         ("seed".into(), Json::from(seed)),
@@ -1056,6 +1258,22 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
                 ("policy".into(), Json::from(scale_policy.as_str())),
                 ("threads".into(), Json::from(scale_threads)),
                 ("points".into(), Json::Arr(scale_points)),
+            ]),
+        ),
+        (
+            "links".into(),
+            Json::Obj(vec![
+                (
+                    "workload".into(),
+                    Json::from("e17-shaped offered-load sweep under congested links"),
+                ),
+                ("plan".into(), Json::from(LINK_PLAN)),
+                ("specs".into(), Json::from(link_specs.len())),
+                ("nodes".into(), Json::from(nodes)),
+                ("queries".into(), Json::from(queries)),
+                ("secs".into(), Json::from(link_secs)),
+                ("artifacts_identical".into(), Json::from(link_identical)),
+                ("rows".into(), Json::Arr(link_rows)),
             ]),
         ),
     ]);
@@ -1231,6 +1449,48 @@ mod tests {
     }
 
     #[test]
+    fn simulate_with_links() {
+        // Bare key=value lists wrap into `links(...)`; congested uplinks
+        // surface the congestive-drop counter.
+        let out = run(&args(
+            "simulate --nodes 60 --queries 150 --seed 9 \
+             --links up=4,down=16,upbuf=512,downbuf=2048 --retry attempts=2",
+        ))
+        .unwrap();
+        assert!(out.contains("buffer dropped:"), "{out}");
+        assert!(out.contains("lost messages:"), "{out}");
+        // The sharded engine accepts the same plan.
+        let out = run(&args(
+            "simulate --sharded --nodes 60 --queries 150 --seed 9 \
+             --links links(up=8,down=32,upbuf=2048,downbuf=8192,loss=0.05)",
+        ))
+        .unwrap();
+        assert!(out.contains("buffer dropped:"), "{out}");
+        // Bad link keys surface the registry's key list; zero bandwidth
+        // is rejected by name.
+        let e = run(&args("simulate --links bandwidth=5")).unwrap_err();
+        assert!(e.0.contains("unknown parameter"), "{e}");
+        assert!(e.0.contains("upbuf"), "{e}");
+        let e = run(&args("simulate --links up=0")).unwrap_err();
+        assert!(e.0.contains("`up` must be positive"), "{e}");
+    }
+
+    #[test]
+    fn run_with_links_reports_percentiles() {
+        let arts = tmp("link_artifacts.json");
+        let out = run(&args(&format!(
+            "run --policy flood --nodes 50 --queries 80 --seed 4 \
+             --links up=8,down=32,upbuf=1024,downbuf=4096 --obs events=0,series=0 \
+             --out {arts}"
+        )))
+        .unwrap();
+        assert!(out.contains("metrics digest"), "{out}");
+        let rep = run(&args(&format!("report --in {arts}"))).unwrap();
+        assert!(rep.contains("query latency p50/p95/p99"), "{rep}");
+        assert!(rep.contains("node bytes p50/p95"), "{rep}");
+    }
+
+    #[test]
     fn simulate_sharded_engine() {
         // The windowed sharded engine behind --sharded is deterministic
         // under faults, churn-free retries and any worker count.
@@ -1309,7 +1569,7 @@ mod tests {
 
     #[test]
     fn bench_writes_baseline_json() {
-        let out = tmp("bench6.json");
+        let out = tmp("bench7.json");
         let report = run(&args(&format!(
             "bench --quick --pairs 40000 --block 20000 --nodes 60 --queries 120 \
              --scale-nodes 2000 --scale-queries 200 --threads 4 --seed 11 --out {out}"
@@ -1318,7 +1578,7 @@ mod tests {
         assert!(report.contains("rules identical: true"), "{report}");
         assert!(report.contains("artifacts identical: true"), "{report}");
         let doc = arq_simkern::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
-        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("BENCH_6"));
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("BENCH_7"));
         for section in ["mining", "pipeline", "sim"] {
             let s = doc
                 .get(section)
@@ -1363,6 +1623,42 @@ mod tests {
         assert_eq!(
             points[0].get("artifacts_identical"),
             Some(&Json::Bool(true))
+        );
+        // The E17-shaped link sweep persists latency percentiles and
+        // per-node byte budgets per (policy, load) row, byte-identical
+        // across worker counts.
+        let links = doc.get("links").expect("links section");
+        assert_eq!(
+            links.get("artifacts_identical"),
+            Some(&Json::Bool(true)),
+            "link sweep diverged across thread counts"
+        );
+        let rows = links
+            .get("rows")
+            .and_then(Json::as_array)
+            .expect("link rows");
+        assert_eq!(rows.len(), 9, "3 policies x 3 load levels");
+        for row in rows {
+            assert!(row.get("policy").and_then(Json::as_str).is_some());
+            let p95 = row
+                .get("latency_ticks")
+                .and_then(|l| l.get("p95"))
+                .and_then(Json::as_f64)
+                .expect("latency p95");
+            assert!(p95 >= 0.0);
+            assert!(row
+                .get("node_bytes_p95")
+                .and_then(|n| n.get("up"))
+                .and_then(Json::as_f64)
+                .is_some());
+        }
+        // Congestion must actually bite somewhere in the sweep.
+        assert!(
+            rows.iter().any(|r| r
+                .get("buffer_dropped")
+                .and_then(Json::as_f64)
+                .is_some_and(|b| b > 0.0)),
+            "no congestive drops in the link sweep"
         );
         // Too-short traces are rejected before any work happens.
         let e = run(&args("bench --quick --pairs 1000 --block 20000")).unwrap_err();

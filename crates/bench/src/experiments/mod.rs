@@ -14,7 +14,8 @@
 //! The functions are grouped by the world they run in:
 //!
 //! * [`trace`] — trace-driven evaluation (E1–E6, E9, E12, E14);
-//! * [`live`] — live-network simulation (E7, E10, E11, E13, E15, E16);
+//! * [`live`] — live-network simulation (E7, E10, E11, E13, E15, E16,
+//!   E17);
 //! * [`cost`] — wall-clock cost measurement (E8).
 
 mod cost;
@@ -22,7 +23,10 @@ mod live;
 mod trace;
 
 pub use cost::e8_rulegen_cost;
-pub use live::{e10_topk, e11_topology, e13_hybrid, e15_superpeer, e16_degradation, e7_traffic};
+pub use live::{
+    e10_topk, e11_topology, e13_hybrid, e15_superpeer, e16_degradation, e17_offered_load,
+    e7_traffic,
+};
 pub use trace::{
     e12_topic_rules, e14_stream_maintainers, e1_static, e2_sliding, e3_block_sizes, e3b_thresholds,
     e4_lazy, e5_adaptive, e6_incremental, e9_confidence,
@@ -218,6 +222,7 @@ pub fn run_all(scale: Scale, seed: u64, only: Option<&[String]>) -> Vec<Experime
         ("e14", e14_stream_maintainers),
         ("e15", e15_superpeer),
         ("e16", e16_degradation),
+        ("e17", e17_offered_load),
     ];
     table
         .into_iter()
@@ -253,6 +258,24 @@ mod tests {
         let reports = run_all(tiny(), 3, Some(&only));
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].id, "E8");
+    }
+
+    // 3 policies × 3 load levels; the zero-capacity-equals-baseline
+    // assertion inside the experiment runs as part of this smoke test.
+    #[test]
+    fn e17_smoke() {
+        let r = e17_offered_load(tiny(), 3);
+        assert_eq!(r.id, "E17");
+        assert_eq!(r.rows.len(), 9);
+        assert!(r.rows[0].0.starts_with("flood interval=2000"));
+        assert!(r.rows[0].1.contains("latency p50"));
+        assert!(r.rows[0].1.contains("node bytes p95"));
+        // The congested sweep must surface real link pressure somewhere.
+        assert!(
+            r.rows.iter().any(|(_, v)| !v.contains(" 0 buffer-dropped")),
+            "no congestive drops anywhere in the sweep: {:?}",
+            r.rows
+        );
     }
 
     // 3 policies × 4 loss rates; the zero-loss-equals-baseline assertion

@@ -163,6 +163,30 @@ impl Catalog {
         let words: Vec<String> = m.keywords.iter().map(|k| format!("kw{k}")).collect();
         format!("{} {} r{}", m.topic, words.join(" "), m.rank)
     }
+
+    /// Byte length of [`Catalog::query_string`] without rendering it —
+    /// the link layer sizes every query message from this, so it must
+    /// stay exactly in sync with the rendered form (asserted in tests).
+    pub fn query_len(&self, f: FileId) -> usize {
+        let m = self.meta(f);
+        // "topic{t}" + per keyword " kw{k}" + " r{rank}".
+        let mut len =
+            5 + decimal_digits(u64::from(m.topic.0)) + 2 + decimal_digits(u64::from(m.rank));
+        for &k in &m.keywords {
+            len += 3 + decimal_digits(u64::from(k));
+        }
+        len
+    }
+}
+
+/// Digits in the base-10 rendering of `n`.
+fn decimal_digits(mut n: u64) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
 }
 
 #[cfg(test)]
@@ -237,6 +261,29 @@ mod tests {
         assert!(s.starts_with("topic2 "));
         assert!(s.ends_with(" r7"));
         assert_eq!(s, c.query_string(f));
+    }
+
+    #[test]
+    fn query_len_matches_rendered_string() {
+        let c = small();
+        for i in 0..c.len() {
+            let f = FileId(i as u32);
+            assert_eq!(c.query_len(f), c.query_string(f).len(), "file {i}");
+        }
+        // Multi-digit topics/ranks/keywords too.
+        let big = Catalog::generate(
+            CatalogConfig {
+                topics: 12,
+                files_per_topic: 120,
+                vocabulary: 2_000,
+                ..Default::default()
+            },
+            &mut Rng64::seed_from(9),
+        );
+        for i in 0..big.len() {
+            let f = FileId(i as u32);
+            assert_eq!(big.query_len(f), big.query_string(f).len(), "file {i}");
+        }
     }
 
     #[test]

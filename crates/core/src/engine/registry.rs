@@ -23,7 +23,7 @@ use arq_baselines::{
 };
 use arq_gnutella::policy::ForwardingPolicy;
 use arq_gnutella::sim::{RetryPolicy, RingSchedule, SimConfig};
-use arq_gnutella::FaultPlan;
+use arq_gnutella::{FaultPlan, LinkPlan};
 use arq_obs::ObsConfig;
 use arq_simkern::time::Duration;
 
@@ -488,6 +488,65 @@ pub fn make_fault_plan(spec: &str) -> Result<FaultPlan, RegistryError> {
     Ok(plan)
 }
 
+/// Constructs a [`LinkPlan`] from a spec string:
+/// `links(up=8,down=32,upbuf=2048,downbuf=8192,loss=0.02,jitter=20,riders=0.2,riderup=2)`.
+///
+/// `up`/`down`/`riderup` are bandwidths in bytes/tick; `upbuf`/`downbuf`
+/// are byte budgets for the bounded buffers; `loss`, `jitter`, and
+/// `riders` mirror the fault-plan knobs. All parameters default to zero,
+/// so bare `links` is a valid no-op (zero-capacity) plan — but a
+/// bandwidth *explicitly given* as zero or negative is rejected, since
+/// writing `up=0` almost certainly means a typo rather than "remove the
+/// constraint I just asked for". Unknown keys are rejected with the
+/// valid keys listed.
+pub fn make_link_plan(spec: &str) -> Result<LinkPlan, RegistryError> {
+    let parsed = parse_spec(spec)?;
+    if parsed.name != "links" {
+        return Err(RegistryError::BadSpec {
+            spec: spec.to_string(),
+            reason: format!("link spec must be `links(...)`, got `{}`", parsed.name),
+        });
+    }
+    let p = ParamTable::resolve(
+        spec,
+        &parsed,
+        &[
+            ("up", 0.0),
+            ("down", 0.0),
+            ("upbuf", 0.0),
+            ("downbuf", 0.0),
+            ("loss", 0.0),
+            ("jitter", 0.0),
+            ("riders", 0.0),
+            ("riderup", 0.0),
+        ],
+        &[],
+    )?;
+    for key in ["up", "down", "riderup"] {
+        if parsed.params.iter().any(|(k, v)| k == key && *v <= 0.0) {
+            return Err(RegistryError::BadSpec {
+                spec: spec.to_string(),
+                reason: format!("parameter `{key}` must be positive"),
+            });
+        }
+    }
+    let plan = LinkPlan {
+        up: p.f64("up"),
+        down: p.f64("down"),
+        up_buf: p.u64("upbuf")?,
+        down_buf: p.u64("downbuf")?,
+        loss: p.f64("loss"),
+        jitter: p.u64("jitter")?,
+        riders: p.f64("riders"),
+        rider_up: p.f64("riderup"),
+    };
+    plan.validate().map_err(|e| RegistryError::BadSpec {
+        spec: spec.to_string(),
+        reason: e.to_string(),
+    })?;
+    Ok(plan)
+}
+
 /// Constructs an [`ObsConfig`] from a spec string:
 /// `obs(events=1,series=1,fanout=16)`.
 ///
@@ -689,6 +748,50 @@ mod tests {
         for key in ["loss", "jitter", "crash", "silent"] {
             assert!(e.contains(key), "`{key}` missing from: {e}");
         }
+    }
+
+    #[test]
+    fn link_specs_round_trip() {
+        let plan = make_link_plan(
+            "links(up=8,down=32,upbuf=2048,downbuf=8192,loss=0.02,jitter=20,riders=0.2,riderup=2)",
+        )
+        .unwrap();
+        assert_eq!(plan.up, 8.0);
+        assert_eq!(plan.down, 32.0);
+        assert_eq!(plan.up_buf, 2_048);
+        assert_eq!(plan.down_buf, 8_192);
+        assert_eq!(plan.loss, 0.02);
+        assert_eq!(plan.jitter, 20);
+        assert_eq!(plan.riders, 0.2);
+        assert_eq!(plan.rider_up, 2.0);
+        assert!(make_link_plan("links").unwrap().is_noop());
+        assert!(make_link_plan("faults(loss=0.1)").is_err());
+        // Plan-level validation surfaces through the spec error.
+        let e = make_link_plan("links(loss=1.5)").unwrap_err().to_string();
+        assert!(e.contains("must be in [0, 1)"), "{e}");
+        let e = make_link_plan("links(upbuf=64)").unwrap_err().to_string();
+        assert!(e.contains("requires the matching bandwidth"), "{e}");
+    }
+
+    #[test]
+    fn unknown_link_keys_list_valid_keys() {
+        let e = make_link_plan("links(upload=8)").unwrap_err().to_string();
+        assert!(e.contains("unknown parameter `upload`"), "{e}");
+        for key in [
+            "up", "down", "upbuf", "downbuf", "loss", "jitter", "riders", "riderup",
+        ] {
+            assert!(e.contains(key), "`{key}` missing from: {e}");
+        }
+    }
+
+    #[test]
+    fn explicit_zero_link_bandwidth_is_rejected() {
+        for spec in ["links(up=0)", "links(down=-4)", "links(riderup=0)"] {
+            let e = make_link_plan(spec).unwrap_err().to_string();
+            assert!(e.contains("must be positive"), "`{spec}`: {e}");
+        }
+        // Omitting the key entirely still means "unconstrained".
+        assert_eq!(make_link_plan("links(loss=0.1)").unwrap().up, 0.0);
     }
 
     #[test]

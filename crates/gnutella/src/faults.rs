@@ -187,8 +187,14 @@ impl FaultState {
 
     /// Rolls per-link loss for one transmission; returns `true` (and
     /// counts it) when the message is dropped in flight.
+    ///
+    /// This is the degenerate (zero-bandwidth) corner of the link
+    /// layer's loss process: both delegate to [`crate::net::loss_roll`]
+    /// so the two models stay draw-for-draw compatible. When a
+    /// [`crate::net::LinkPlan`] is active the simulator folds this loss
+    /// into the link and stops consulting the fault layer per message.
     pub fn drops_message(&mut self) -> bool {
-        if self.plan.loss > 0.0 && self.rng.chance(self.plan.loss) {
+        if crate::net::loss_roll(&mut self.rng, self.plan.loss) {
             self.lost += 1;
             true
         } else {
@@ -196,13 +202,11 @@ impl FaultState {
         }
     }
 
-    /// Extra delivery delay for one transmission.
+    /// Extra delivery delay for one transmission — the unbuffered
+    /// corner of the link layer's jitter (see
+    /// [`crate::net::jitter_draw`]).
     pub fn jitter(&mut self) -> Duration {
-        if self.plan.jitter == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_ticks(self.rng.below(self.plan.jitter))
-        }
+        Duration::from_ticks(crate::net::jitter_draw(&mut self.rng, self.plan.jitter))
     }
 
     /// Messages dropped so far.

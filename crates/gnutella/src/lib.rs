@@ -22,7 +22,10 @@
 //! simulator — per-link loss, latency jitter, crash-without-rejoin nodes,
 //! and silent free-riders — and [`sim::RetryPolicy`] gives queries a
 //! deadline/retry lifecycle so robustness under those faults is
-//! measurable per policy.
+//! measurable per policy. The [`net`] module generalizes the fault layer
+//! into a byte-accurate link model: per-node asymmetric bandwidth,
+//! bounded byte buffers with congestive drops, and per-link loss/jitter
+//! that subsumes the `FaultPlan` loss/jitter knobs.
 
 #![warn(missing_docs)]
 
@@ -32,6 +35,7 @@ pub mod faults;
 pub mod guid;
 pub mod message;
 pub mod metrics;
+pub mod net;
 pub mod node;
 pub mod policy;
 pub mod sim;
@@ -42,6 +46,7 @@ pub use discovery::{ping_crawl, rewire_via_discovery, Discovery};
 pub use faults::{FaultPlan, FaultPlanError, FaultState};
 pub use message::QueryMsg;
 pub use metrics::{QueryOutcome, RunMetrics};
+pub use net::{LinkPlan, LinkPlanError, LinkState};
 pub use policy::{FloodPolicy, ForwardingPolicy};
 pub use sim::{Network, RetryPolicy, SimConfig};
 pub use store::GuidStore;

@@ -43,6 +43,14 @@ impl QueryMsg {
         HEADER_BYTES + QUERY_PAYLOAD_BYTES
     }
 
+    /// Wire size of a query whose rendered search string is
+    /// `search_len` bytes: header + 2-byte minimum speed + string +
+    /// NUL terminator. Used by the link layer, which sizes messages
+    /// from the content model instead of the nominal constant.
+    pub const fn wire_size_for(search_len: usize) -> u64 {
+        HEADER_BYTES + 2 + search_len as u64 + 1
+    }
+
     /// The message as it looks after one more hop, or `None` when the TTL
     /// is exhausted and the message must not be relayed further.
     pub fn hop(&self) -> Option<QueryMsg> {
@@ -74,6 +82,14 @@ impl HitMsg {
     /// Bytes this hit occupies on the wire.
     pub const fn wire_size(&self) -> u64 {
         HEADER_BYTES + HIT_PAYLOAD_BYTES
+    }
+
+    /// Wire size of a hit whose result name is `result_len` bytes:
+    /// header + result-set preamble (11) + index/size (8) + name +
+    /// double-NUL terminator (2) + servent id (16). Used by the link
+    /// layer, which sizes messages from the content model.
+    pub const fn wire_size_for(result_len: usize) -> u64 {
+        HEADER_BYTES + 11 + 8 + result_len as u64 + 2 + 16
     }
 }
 
@@ -123,6 +139,22 @@ mod tests {
         };
         assert_eq!(h.wire_size(), 79);
         assert!(h.wire_size() > m.wire_size(), "hits carry result payloads");
+    }
+
+    #[test]
+    fn content_sized_wire_sizes_track_string_lengths() {
+        // A 19-byte search string reproduces the nominal constant
+        // (2 + 20 payload = 2-byte speed + 19 chars + NUL).
+        assert_eq!(
+            QueryMsg::wire_size_for(19),
+            HEADER_BYTES + QUERY_PAYLOAD_BYTES
+        );
+        assert_eq!(HitMsg::wire_size_for(19), HEADER_BYTES + HIT_PAYLOAD_BYTES);
+        assert_eq!(
+            QueryMsg::wire_size_for(30) - QueryMsg::wire_size_for(19),
+            11
+        );
+        assert!(HitMsg::wire_size_for(0) > QueryMsg::wire_size_for(0));
     }
 
     #[test]

@@ -71,6 +71,10 @@ pub struct RunMetrics {
     pub duplicate_hits: u64,
     /// Messages dropped in flight by the fault layer.
     pub lost_messages: u64,
+    /// Messages dropped by a full link-layer byte buffer. Disjoint from
+    /// `lost_messages` by construction: a message meets at most one of
+    /// the two fates, so the counters never double-count.
+    pub buffer_dropped: u64,
     /// Summary of first-hit hop counts (answered queries only).
     pub first_hit_hops: Option<Summary>,
     /// Summary of first-hit latencies in ticks (answered queries only).
@@ -92,7 +96,7 @@ impl RunMetrics {
 impl arq_simkern::ToJson for RunMetrics {
     fn to_json(&self) -> arq_simkern::Json {
         use arq_simkern::Json;
-        Json::obj([
+        let mut fields = vec![
             ("policy", Json::from(&self.policy)),
             ("queries", Json::from(self.queries)),
             ("answerable", Json::from(self.answerable)),
@@ -107,9 +111,20 @@ impl arq_simkern::ToJson for RunMetrics {
             ("expired", Json::from(self.expired)),
             ("duplicate_hits", Json::from(self.duplicate_hits)),
             ("lost_messages", Json::from(self.lost_messages)),
-            ("first_hit_hops", self.first_hit_hops.to_json()),
-            ("first_hit_latency", self.first_hit_latency.to_json()),
-        ])
+        ];
+        // Only link-enabled runs can buffer-drop; omitting the zero
+        // keeps every pre-link serialization (and digest) unchanged.
+        if self.buffer_dropped > 0 {
+            fields.push(("buffer_dropped", Json::from(self.buffer_dropped)));
+        }
+        fields.push(("first_hit_hops", self.first_hit_hops.to_json()));
+        fields.push(("first_hit_latency", self.first_hit_latency.to_json()));
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 }
 
@@ -193,6 +208,7 @@ impl MetricsBuilder {
             expired: self.expired,
             duplicate_hits: self.duplicate_hits,
             lost_messages: 0,
+            buffer_dropped: 0,
             first_hit_hops: Summary::of(&self.hops),
             first_hit_latency: Summary::of(&self.latency),
         }
@@ -256,6 +272,19 @@ mod tests {
         assert_eq!(m.expired, 1);
         assert_eq!(m.duplicate_hits, 1);
         assert_eq!(m.lost_messages, 0); // filled in by the simulator
+    }
+
+    #[test]
+    fn buffer_dropped_serializes_only_when_nonzero() {
+        use arq_simkern::ToJson;
+        let mut m = MetricsBuilder::new().finish("flood");
+        let clean = m.to_json().to_string();
+        assert!(!clean.contains("buffer_dropped"), "{clean}");
+        let clean_digest = m.digest();
+        m.buffer_dropped = 3;
+        let congested = m.to_json().to_string();
+        assert!(congested.contains("\"buffer_dropped\":3"), "{congested}");
+        assert_ne!(m.digest(), clean_digest);
     }
 
     #[test]

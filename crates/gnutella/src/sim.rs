@@ -21,10 +21,11 @@ use crate::faults::{FaultPlan, FaultState};
 use crate::guid::GuidGen;
 use crate::message::{HitMsg, QueryMsg};
 use crate::metrics::{MetricsBuilder, QueryOutcome, RunMetrics};
+use crate::net::{LinkPlan, LinkState, Transmission};
 use crate::node::Upstream;
 use crate::policy::{ForwardCtx, ForwardingPolicy};
 use crate::store::GuidStore;
-use arq_content::{Catalog, CatalogConfig, QueryKey, WorkloadConfig, WorkloadGen};
+use arq_content::{Catalog, CatalogConfig, FileId, QueryKey, WorkloadConfig, WorkloadGen};
 use arq_obs::{DropKind, Event as ObsEvent, Obs, ObsReport};
 use arq_overlay::churn::{rewire_join, ChurnKind};
 use arq_overlay::{generate, ChurnConfig, ChurnProcess, Graph, NodeId};
@@ -157,6 +158,11 @@ pub struct SimConfig {
     /// Per-query deadline/retry lifecycle; `None` means queries are
     /// fire-and-forget. Mutually exclusive with `ring`.
     pub retry: Option<RetryPolicy>,
+    /// Byte-accurate link layer (bandwidth, bounded buffers, loss,
+    /// jitter); `None` — or an all-zero plan — models infinite-capacity
+    /// links and is byte-identical to the pre-link simulator. When
+    /// active it subsumes the fault plan's loss and jitter.
+    pub links: Option<LinkPlan>,
     /// Age limit for seen-GUID table entries; `None` keeps entries until
     /// LRU capacity eviction.
     pub guid_expiry: Option<Duration>,
@@ -190,6 +196,7 @@ impl SimConfig {
             loss_rate: 0.0,
             faults: None,
             retry: None,
+            links: None,
             guid_expiry: None,
             download_on_hit: false,
             seed,
@@ -246,6 +253,10 @@ pub struct SimResult {
     /// Structured event trace and metrics, when an enabled [`Obs`] was
     /// attached via [`Network::with_obs`]. `None` otherwise.
     pub obs: Option<ObsReport>,
+    /// Link-layer byte ledger `(sent, delivered, lost, buffer_dropped)`
+    /// when a link plan was active. A drained run conserves bytes:
+    /// `sent == delivered + lost + buffer_dropped`.
+    pub link_bytes: Option<(u64, u64, u64, u64)>,
 }
 
 struct LiveQuery {
@@ -285,6 +296,8 @@ pub struct Network<P: ForwardingPolicy> {
     net_rng: Rng64,
     policy_rng: Rng64,
     faults: Option<FaultState>,
+    /// Byte-accurate link layer; `None` models infinite-capacity links.
+    links: Option<LinkState>,
     /// Nodes that crashed permanently; their churn events are ignored.
     crashed: Vec<bool>,
     obs: Obs,
@@ -337,6 +350,9 @@ impl<P: ForwardingPolicy> Network<P> {
         }
         if let Some(plan) = &cfg.faults {
             plan.validate().expect("invalid fault plan");
+        }
+        if let Some(plan) = &cfg.links {
+            plan.validate().expect("invalid link plan");
         }
         let streams = StreamFactory::new(cfg.seed);
         let mut topo_rng = streams.stream("topology");
@@ -413,6 +429,37 @@ impl<P: ForwardingPolicy> Network<P> {
             }
         }
 
+        // The link layer only exists for non-noop plans and draws from
+        // its own labelled stream, so a zero-capacity plan (or none)
+        // leaves the run byte-identical to the pre-link simulator. An
+        // active link layer subsumes the fault plan's per-message loss
+        // and jitter: they are folded in here and the per-delivery
+        // fault rolls are skipped for the rest of the run.
+        let links = match &cfg.links {
+            Some(plan) if !plan.is_noop() => {
+                let exempt: Vec<NodeId> = cfg.collector.into_iter().collect();
+                let (extra_loss, extra_jitter) =
+                    cfg.faults.as_ref().map_or((0.0, 0), |f| (f.loss, f.jitter));
+                let query_sizes: Vec<u32> = (0..catalog.len())
+                    .map(|i| QueryMsg::wire_size_for(catalog.query_len(FileId(i as u32))) as u32)
+                    .collect();
+                let hit_sizes: Vec<u32> = (0..catalog.len())
+                    .map(|i| HitMsg::wire_size_for(catalog.query_len(FileId(i as u32))) as u32)
+                    .collect();
+                Some(LinkState::new(
+                    plan,
+                    cfg.nodes,
+                    extra_loss,
+                    extra_jitter,
+                    query_sizes,
+                    hit_sizes,
+                    &exempt,
+                    streams.stream("links"),
+                ))
+            }
+            _ => None,
+        };
+
         policy.init(&graph, &workload, &catalog);
 
         Network {
@@ -427,6 +474,7 @@ impl<P: ForwardingPolicy> Network<P> {
             net_rng: streams.stream("net"),
             policy_rng: streams.stream("policy"),
             faults,
+            links,
             crashed: vec![false; cfg.nodes],
             obs: Obs::disabled(),
             candidate_scratch: Vec::new(),
@@ -533,6 +581,11 @@ impl<P: ForwardingPolicy> Network<P> {
             ttl,
             hops: 0,
         };
+        if let Some(l) = self.links.as_mut() {
+            // The retry deadline clock starts when the attempt's sends
+            // actually leave the uplink, not when they were offered.
+            l.begin_attempt(now.ticks());
+        }
         self.store.record(node, guid, Upstream::Origin, now);
         self.relay(node, None, msg, owner, now);
         let first_hop = std::mem::take(&mut self.queries[qidx].first_hop);
@@ -593,51 +646,117 @@ impl<P: ForwardingPolicy> Network<P> {
         }
         self.candidate_scratch = candidates;
         for &target in &selected {
+            let bytes = match &self.links {
+                Some(l) => l.query_size(next.key.file),
+                None => next.wire_size(),
+            };
             let outcome = &mut self.queries[qidx].outcome;
             outcome.query_messages += 1;
-            outcome.bytes += next.wire_size();
-            let mut at = now.saturating_add(self.hop_latency());
+            outcome.bytes += bytes;
+            let prop = self.hop_latency();
+            if self.links.is_some() {
+                self.transmit(now, node, target, bytes, prop, DropKind::Query, || {
+                    Event::Query {
+                        to: target,
+                        from: node,
+                        msg: next,
+                        qidx,
+                    }
+                });
+            } else {
+                let mut at = now.saturating_add(prop);
+                if let Some(f) = self.faults.as_mut() {
+                    at = at.saturating_add(f.jitter());
+                }
+                self.queue.schedule(
+                    at,
+                    Event::Query {
+                        to: target,
+                        from: node,
+                        msg: next,
+                        qidx,
+                    },
+                );
+            }
+        }
+        self.selected_scratch = selected;
+    }
+
+    /// Offers one message to the active link layer and schedules its
+    /// delivery (or records the loss / buffer drop).
+    #[allow(clippy::too_many_arguments)]
+    fn transmit(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        prop: Duration,
+        kind: DropKind,
+        make_event: impl FnOnce() -> Event,
+    ) {
+        let links = self.links.as_mut().expect("transmit without link layer");
+        match links.transmit(now.ticks(), from, to, bytes, prop.ticks()) {
+            Transmission::Delivered { at } => {
+                self.queue.schedule(SimTime::from_ticks(at), make_event());
+            }
+            Transmission::Lost => {
+                self.obs.record(|| ObsEvent::FaultDrop { at: now, kind });
+            }
+            Transmission::BufferDropped => {
+                self.obs.record(|| ObsEvent::BufferDrop { at: now, kind });
+            }
+        }
+    }
+
+    fn send_hit(&mut self, to: NodeId, from: NodeId, msg: HitMsg, qidx: usize, now: SimTime) {
+        let bytes = match &self.links {
+            Some(l) => l.hit_size(msg.key.file),
+            None => msg.wire_size(),
+        };
+        let outcome = &mut self.queries[qidx].outcome;
+        outcome.hit_messages += 1;
+        outcome.bytes += bytes;
+        let prop = self.hop_latency();
+        if self.links.is_some() {
+            self.transmit(now, from, to, bytes, prop, DropKind::Hit, || Event::Hit {
+                to,
+                from,
+                msg,
+                qidx,
+            });
+        } else {
+            let mut at = now.saturating_add(prop);
             if let Some(f) = self.faults.as_mut() {
                 at = at.saturating_add(f.jitter());
             }
             self.queue.schedule(
                 at,
-                Event::Query {
-                    to: target,
-                    from: node,
-                    msg: next,
+                Event::Hit {
+                    to,
+                    from,
+                    msg,
                     qidx,
                 },
             );
         }
-        self.selected_scratch = selected;
     }
 
-    fn send_hit(&mut self, to: NodeId, from: NodeId, msg: HitMsg, qidx: usize, now: SimTime) {
-        let outcome = &mut self.queries[qidx].outcome;
-        outcome.hit_messages += 1;
-        outcome.bytes += msg.wire_size();
-        let mut at = now.saturating_add(self.hop_latency());
-        if let Some(f) = self.faults.as_mut() {
-            at = at.saturating_add(f.jitter());
-        }
-        self.queue.schedule(
-            at,
-            Event::Hit {
-                to,
-                from,
-                msg,
-                qidx,
-            },
-        );
-    }
-
-    /// Rolls the fault layer's per-link loss for one delivery.
+    /// Rolls the fault layer's per-link loss for one delivery. With an
+    /// active link layer this is always `false`: loss is folded into
+    /// the link and rolled once, at send time.
     fn fault_dropped(&mut self) -> bool {
+        if self.links.is_some() {
+            return false;
+        }
         self.faults.as_mut().is_some_and(|f| f.drops_message())
     }
 
     fn handle_query(&mut self, to: NodeId, from: NodeId, msg: QueryMsg, qidx: usize, now: SimTime) {
+        if let Some(l) = self.links.as_mut() {
+            let bytes = l.query_size(msg.key.file);
+            l.on_delivered(to, bytes);
+        }
         if self.cfg.loss_rate > 0.0 && self.net_rng.chance(self.cfg.loss_rate) {
             return; // lost in flight
         }
@@ -702,6 +821,10 @@ impl<P: ForwardingPolicy> Network<P> {
     }
 
     fn handle_hit(&mut self, to: NodeId, from: NodeId, msg: HitMsg, qidx: usize, now: SimTime) {
+        if let Some(l) = self.links.as_mut() {
+            let bytes = l.hit_size(msg.key.file);
+            l.on_delivered(to, bytes);
+        }
         if self.cfg.loss_rate > 0.0 && self.net_rng.chance(self.cfg.loss_rate) {
             return; // lost in flight
         }
@@ -753,8 +876,10 @@ impl<P: ForwardingPolicy> Network<P> {
         }
         q.outcome.hits_delivered += 1;
         if q.outcome.first_hit_hops.is_none() {
+            let latency = now.since(q.issued_at);
             q.outcome.first_hit_hops = Some(msg.query_hops + 1);
-            q.outcome.first_hit_latency = Some(now.since(q.issued_at));
+            q.outcome.first_hit_latency = Some(latency);
+            self.obs.observe_query_latency(latency.ticks());
             if self.cfg.download_on_hit {
                 // First hit: fetch the file, becoming a new replica.
                 self.workload
@@ -797,7 +922,9 @@ impl<P: ForwardingPolicy> Network<P> {
             .ttl
             .saturating_add(rp.ttl_step.saturating_mul(attempt))
             .min(rp.max_ttl);
+        let mut sent_at = now;
         if self.issue_attempt(qidx, ttl, now) {
+            sent_at = self.attempt_sent_at(now);
             self.queries[qidx].outcome.retries += 1;
             self.obs.record(|| ObsEvent::Retry {
                 at: now,
@@ -807,12 +934,22 @@ impl<P: ForwardingPolicy> Network<P> {
             });
         }
         self.queue.schedule(
-            now.saturating_add(delay),
+            sent_at.saturating_add(delay),
             Event::QueryDeadline {
                 qidx,
                 attempt: attempt + 1,
             },
         );
+    }
+
+    /// When the attempt's sends actually left the uplink — the point
+    /// the retry deadline clock starts from. Without a link layer
+    /// transmission is instantaneous and this is `now`, which keeps
+    /// link-free runs byte-identical.
+    fn attempt_sent_at(&self, now: SimTime) -> SimTime {
+        self.links
+            .as_ref()
+            .map_or(now, |l| SimTime::from_ticks(l.send_done()))
     }
 
     /// Runs to completion, consuming the network.
@@ -865,6 +1002,7 @@ impl<P: ForwardingPolicy> Network<P> {
                     });
                     if self.graph.is_alive(node) {
                         self.issue_attempt(qidx, first_ttl, now);
+                        let sent_at = self.attempt_sent_at(now);
                         if let Some(ring) = self.cfg.ring.clone() {
                             if ring.ttls.len() > 1 {
                                 self.queue.schedule(
@@ -875,7 +1013,7 @@ impl<P: ForwardingPolicy> Network<P> {
                         }
                         if let Some(rp) = &self.cfg.retry {
                             self.queue.schedule(
-                                now.saturating_add(rp.deadline),
+                                sent_at.saturating_add(rp.deadline),
                                 Event::QueryDeadline { qidx, attempt: 1 },
                             );
                         }
@@ -935,13 +1073,25 @@ impl<P: ForwardingPolicy> Network<P> {
             total_attempts += u64::from(q.outcome.attempts);
         }
         let mut metrics = builder.finish(self.policy.name());
-        metrics.lost_messages = self.faults.as_ref().map_or(0, FaultState::lost);
+        // With an active link layer, loss is rolled there (the fault
+        // plan's rate is folded in, so its own counter stays zero);
+        // buffer drops are a disjoint outcome and never double-count.
+        metrics.lost_messages = self.faults.as_ref().map_or(0, FaultState::lost)
+            + self.links.as_ref().map_or(0, LinkState::lost);
+        metrics.buffer_dropped = self.links.as_ref().map_or(0, LinkState::buffer_dropped);
+        if let Some(l) = &self.links {
+            let (ups, downs) = (l.node_up_bytes(), l.node_down_bytes());
+            for i in 0..ups.len() {
+                self.obs.observe_node_bytes(ups[i], downs[i]);
+            }
+        }
         let result = SimResult {
             metrics,
             trace: self.collector.map(Collector::into_db),
             end_time,
             distinct_query_guids: self.guid_to_query.len(),
             total_attempts,
+            link_bytes: self.links.as_ref().map(LinkState::byte_ledger),
             obs: self.obs.report(),
         };
         (result, self.policy, self.graph)
@@ -1324,6 +1474,180 @@ mod tests {
         let mut cfg = tiny_cfg(1);
         cfg.faults = Some(FaultPlan {
             loss: 1.5,
+            ..Default::default()
+        });
+        Network::new(cfg, FloodPolicy);
+    }
+
+    #[test]
+    fn zero_capacity_link_plan_is_byte_identical_to_no_plan() {
+        use arq_simkern::ToJson;
+        let clean = Network::new(tiny_cfg(53), FloodPolicy).run();
+        let mut cfg = tiny_cfg(53);
+        cfg.links = Some(LinkPlan::default());
+        let noop = Network::new(cfg, FloodPolicy).run();
+        assert_eq!(
+            clean.metrics.to_json().to_string(),
+            noop.metrics.to_json().to_string(),
+            "zero-capacity link config diverged from the pre-link baseline"
+        );
+        assert_eq!(clean.metrics.digest(), noop.metrics.digest());
+        assert_eq!(clean.end_time, noop.end_time);
+        assert_eq!(clean.total_attempts, noop.total_attempts);
+        assert!(noop.link_bytes.is_none(), "noop plan built link state");
+    }
+
+    #[test]
+    fn bandwidth_queueing_delays_delivery_and_conserves_bytes() {
+        let clean = Network::new(tiny_cfg(59), FloodPolicy).run();
+        let mut cfg = tiny_cfg(59);
+        cfg.links = Some(LinkPlan {
+            up: 8.0,
+            down: 32.0,
+            up_buf: 1 << 16,
+            down_buf: 1 << 18,
+            ..Default::default()
+        });
+        let slow = Network::new(cfg, FloodPolicy).run();
+        // Generous buffers: nothing dropped, but uploads serialize.
+        assert_eq!(slow.metrics.lost_messages, 0);
+        assert_eq!(slow.metrics.buffer_dropped, 0);
+        assert!(
+            slow.end_time > clean.end_time,
+            "queueing did not stretch the run: {:?} vs {:?}",
+            slow.end_time,
+            clean.end_time
+        );
+        let (sent, delivered, lost, buffered) = slow.link_bytes.expect("link ledger");
+        assert_eq!(sent, delivered + lost + buffered, "bytes leaked in flight");
+        assert_eq!(sent, slow.metrics.bytes, "ledger disagrees with metrics");
+    }
+
+    #[test]
+    fn full_buffers_drop_without_double_counting() {
+        let mut cfg = tiny_cfg(61);
+        cfg.links = Some(LinkPlan {
+            up: 2.0,
+            up_buf: 256,
+            ..Default::default()
+        });
+        let m = Network::new(cfg, FloodPolicy).run().metrics;
+        assert!(m.buffer_dropped > 0, "tight uplink buffers dropped nothing");
+        // No loss process configured: every drop is a buffer drop, and
+        // the two counters never double-count a message.
+        assert_eq!(m.lost_messages, 0);
+        assert!(m.success_rate < 1.0);
+    }
+
+    #[test]
+    fn link_layer_subsumes_fault_loss_and_jitter() {
+        let mut cfg = tiny_cfg(67);
+        cfg.faults = Some(FaultPlan {
+            loss: 0.30,
+            jitter: 100,
+            ..Default::default()
+        });
+        let faults_only = Network::new(cfg.clone(), FloodPolicy).run();
+        // An active link layer folds the same loss/jitter into itself.
+        cfg.links = Some(LinkPlan {
+            jitter: 1, // minimal non-noop plan
+            ..Default::default()
+        });
+        let folded = Network::new(cfg, FloodPolicy).run();
+        assert!(
+            folded.metrics.lost_messages > 0,
+            "folded loss dropped nothing"
+        );
+        let loss_frac = folded.metrics.lost_messages as f64
+            / (folded.metrics.query_messages + folded.metrics.hit_messages) as f64;
+        assert!(
+            (loss_frac - 0.30).abs() < 0.05,
+            "folded loss rate off: {loss_frac}"
+        );
+        // Comparable degradation to the fault layer's own loss.
+        assert!(
+            (folded.metrics.success_rate - faults_only.metrics.success_rate).abs() < 0.15,
+            "subsumed loss behaves differently: {} vs {}",
+            folded.metrics.success_rate,
+            faults_only.metrics.success_rate
+        );
+    }
+
+    #[test]
+    fn free_rider_links_throttle_upload() {
+        let mut cfg = tiny_cfg(71);
+        cfg.links = Some(LinkPlan {
+            up: 50.0,
+            up_buf: 1 << 14,
+            riders: 0.4,
+            rider_up: 1.0,
+            ..Default::default()
+        });
+        let throttled = Network::new(cfg, FloodPolicy).run();
+        let mut clean_cfg = tiny_cfg(71);
+        clean_cfg.links = Some(LinkPlan {
+            up: 50.0,
+            up_buf: 1 << 14,
+            ..Default::default()
+        });
+        let clean = Network::new(clean_cfg, FloodPolicy).run();
+        assert!(
+            throttled.end_time > clean.end_time,
+            "rider uplinks did not slow the network"
+        );
+    }
+
+    #[test]
+    fn retry_deadline_starts_at_send_completion() {
+        let mut cfg = tiny_cfg(73);
+        cfg.queries = 150;
+        cfg.retry = Some(RetryPolicy::default_with(Duration::from_ticks(2_000), 7));
+        cfg.links = Some(LinkPlan {
+            up: 2.0,
+            up_buf: 1 << 15,
+            ..Default::default()
+        });
+        let r = Network::new(cfg, FloodPolicy).run();
+        // Slow uplinks push send completion past the offer time; a
+        // deadline clocked from offer time would expire queries whose
+        // sends were still queued. Clocked from send time, the
+        // lifecycle stays bounded and consistent.
+        assert!(r.total_attempts <= 150 * 3);
+        assert!(r.metrics.expired <= r.metrics.queries);
+        let (sent, delivered, lost, buffered) = r.link_bytes.expect("ledger");
+        assert_eq!(sent, delivered + lost + buffered);
+    }
+
+    #[test]
+    fn link_runs_are_deterministic() {
+        let cfg = || {
+            let mut c = tiny_cfg(79);
+            c.links = Some(LinkPlan {
+                up: 6.0,
+                down: 24.0,
+                up_buf: 2_048,
+                down_buf: 8_192,
+                loss: 0.05,
+                jitter: 40,
+                riders: 0.2,
+                rider_up: 2.0,
+            });
+            c.retry = Some(RetryPolicy::default_with(Duration::from_ticks(4_000), 7));
+            c
+        };
+        let a = Network::new(cfg(), FloodPolicy).run();
+        let b = Network::new(cfg(), FloodPolicy).run();
+        assert_eq!(a.metrics.digest(), b.metrics.digest());
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.link_bytes, b.link_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid link plan")]
+    fn rejects_bad_link_plan() {
+        let mut cfg = tiny_cfg(1);
+        cfg.links = Some(LinkPlan {
+            up_buf: 100, // buffer without bandwidth
             ..Default::default()
         });
         Network::new(cfg, FloodPolicy);

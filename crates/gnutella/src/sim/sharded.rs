@@ -59,6 +59,17 @@
 //! * GUID age expiry may observe send times up to one window out of
 //!   order (bounded by `W` ticks).
 //!
+//! # Link layer
+//!
+//! When a [`crate::net::LinkPlan`] is active, every link-layer
+//! interaction — channel clocks, byte buffers, loss and jitter draws —
+//! happens at *send* time in the serial phases, in global `(time, seq)`
+//! order, so link-enabled runs keep the any-thread-count byte-identity
+//! guarantee. The delivery ring is sized from
+//! [`crate::net::LinkState::max_delay`]; because the ring has no
+//! overflow path, rate-limited channels must be buffered (the engine
+//! rejects unbounded-queueing plans up front).
+//!
 //! Trace collectors are not supported here; instrument runs use the
 //! exact engine.
 
@@ -66,6 +77,7 @@ use super::{Event, Network, SimResult};
 use crate::faults::FaultState;
 use crate::message::{HitMsg, QueryMsg};
 use crate::metrics::MetricsBuilder;
+use crate::net::{LinkState, Transmission};
 use crate::node::Upstream;
 use crate::policy::{ForwardCtx, ForwardingPolicy};
 use crate::store::GuidStore;
@@ -323,7 +335,18 @@ impl<P: ForwardingPolicy> Network<P> {
         assert!(w >= 1, "sharded engine needs hop_latency.0 >= 1");
 
         let jitter_max = self.faults.as_ref().map_or(0, |f| f.plan().jitter);
-        let cells = ((self.cfg.hop_latency.1 + jitter_max) / w + 2) as usize;
+        // With a link plan, fault jitter is already folded into the link
+        // and the delivery horizon is the link model's worst case (upload
+        // queueing + transmit + propagation + jitter + download queueing).
+        // The ring has no overflow path, so rate-limited-but-unbuffered
+        // plans — whose queueing delay is unbounded — are rejected here.
+        let max_delay = match &self.links {
+            Some(l) => l.max_delay(self.cfg.hop_latency.1).expect(
+                "sharded engine needs a bounded link delay: give rate-limited channels a buffer",
+            ),
+            None => self.cfg.hop_latency.1 + jitter_max,
+        };
+        let cells = (max_delay / w + 2) as usize;
         let nshards = threads.min(self.cfg.nodes).max(1);
         let chunk = self.cfg.nodes.div_ceil(nshards);
         let mut shards: Vec<Shard> = (0..nshards)
@@ -481,6 +504,16 @@ impl<P: ForwardingPolicy> Network<P> {
 
             // Phase 3: serial replay in global (time, seq) order.
             for e in &evs {
+                // Every parked envelope survived the link layer; close its
+                // byte-ledger entry at the destination (the exact engine
+                // does this at the top of handle_query/handle_hit).
+                if let Some(l) = self.links.as_mut() {
+                    let bytes = match e.payload {
+                        Payload::Query(m) => l.query_size(m.key.file),
+                        Payload::Hit(m) => l.hit_size(m.key.file),
+                    };
+                    l.on_delivered(e.to, bytes);
+                }
                 let s = e.to.index() / chunk;
                 let v = shards[s]
                     .verdicts
@@ -573,13 +606,23 @@ impl<P: ForwardingPolicy> Network<P> {
             total_attempts += u64::from(q.outcome.attempts);
         }
         let mut metrics = builder.finish(self.policy.name());
-        metrics.lost_messages = self.faults.as_ref().map_or(0, FaultState::lost);
+        metrics.lost_messages = self.faults.as_ref().map_or(0, FaultState::lost)
+            + self.links.as_ref().map_or(0, LinkState::lost);
+        metrics.buffer_dropped = self.links.as_ref().map_or(0, LinkState::buffer_dropped);
+        if let Some(l) = &self.links {
+            let ups = l.node_up_bytes().to_vec();
+            let downs = l.node_down_bytes().to_vec();
+            for (up, down) in ups.into_iter().zip(downs) {
+                self.obs.observe_node_bytes(up, down);
+            }
+        }
         let result = SimResult {
             metrics,
             trace: None,
             end_time: end,
             distinct_query_guids: self.guid_to_query.len(),
             total_attempts,
+            link_bytes: self.links.as_ref().map(LinkState::byte_ledger),
             obs: self.obs.report(),
         };
         (result, self.policy, self.graph)
@@ -706,6 +749,10 @@ impl<P: ForwardingPolicy> Network<P> {
         });
         if self.graph.is_alive(node) {
             self.issue_attempt_windowed(qidx, first_ttl, now, shards, chunk, dring);
+            // The deadline clock starts when the attempt's last byte
+            // leaves the upload buffer, not at issue time — under real
+            // queueing the two can differ by many ticks.
+            let sent_at = self.attempt_sent_at(now);
             if let Some(ring) = self.cfg.ring.clone() {
                 if ring.ttls.len() > 1 {
                     self.queue.schedule(
@@ -716,7 +763,7 @@ impl<P: ForwardingPolicy> Network<P> {
             }
             if let Some(rp) = &self.cfg.retry {
                 self.queue.schedule(
-                    now.saturating_add(rp.deadline),
+                    sent_at.saturating_add(rp.deadline),
                     Event::QueryDeadline { qidx, attempt: 1 },
                 );
             }
@@ -748,6 +795,9 @@ impl<P: ForwardingPolicy> Network<P> {
             ttl,
             hops: 0,
         };
+        if let Some(l) = self.links.as_mut() {
+            l.begin_attempt(now.ticks());
+        }
         shards[node.index() / chunk]
             .store
             .record(node, guid, Upstream::Origin, now);
@@ -810,13 +860,32 @@ impl<P: ForwardingPolicy> Network<P> {
             );
         }
         for &target in &selected {
+            let bytes = self
+                .links
+                .as_ref()
+                .map_or(next.wire_size(), |l| l.query_size(next.key.file));
             let outcome = &mut self.queries[qidx].outcome;
             outcome.query_messages += 1;
-            outcome.bytes += next.wire_size();
+            outcome.bytes += bytes;
             if self.transmission_lost(now, DropKind::Query) {
                 continue;
             }
-            let mut at = now.saturating_add(self.hop_latency());
+            let prop = self.hop_latency();
+            if self.links.is_some() {
+                self.transmit_windowed(
+                    now,
+                    node,
+                    target,
+                    bytes,
+                    prop,
+                    qidx,
+                    Payload::Query(next),
+                    DropKind::Query,
+                    dring,
+                );
+                continue;
+            }
+            let mut at = now.saturating_add(prop);
             if let Some(f) = self.faults.as_mut() {
                 at = at.saturating_add(f.jitter());
             }
@@ -835,17 +904,69 @@ impl<P: ForwardingPolicy> Network<P> {
         now: SimTime,
         dring: &mut DeliveryRing,
     ) {
+        let bytes = self
+            .links
+            .as_ref()
+            .map_or(msg.wire_size(), |l| l.hit_size(msg.key.file));
         let outcome = &mut self.queries[qidx].outcome;
         outcome.hit_messages += 1;
-        outcome.bytes += msg.wire_size();
+        outcome.bytes += bytes;
         if self.transmission_lost(now, DropKind::Hit) {
             return;
         }
-        let mut at = now.saturating_add(self.hop_latency());
+        let prop = self.hop_latency();
+        if self.links.is_some() {
+            self.transmit_windowed(
+                now,
+                from,
+                to,
+                bytes,
+                prop,
+                qidx,
+                Payload::Hit(msg),
+                DropKind::Hit,
+                dring,
+            );
+            return;
+        }
+        let mut at = now.saturating_add(prop);
         if let Some(f) = self.faults.as_mut() {
             at = at.saturating_add(f.jitter());
         }
         dring.push(at, to, from, qidx, Payload::Hit(msg));
+    }
+
+    /// Windowed counterpart of the exact engine's link `transmit`:
+    /// offers the message to the link layer at send time and parks
+    /// survivors in the delivery ring at their computed delivery tick.
+    #[allow(clippy::too_many_arguments)]
+    fn transmit_windowed(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        prop: arq_simkern::time::Duration,
+        qidx: usize,
+        payload: Payload,
+        kind: DropKind,
+        dring: &mut DeliveryRing,
+    ) {
+        let links = self
+            .links
+            .as_mut()
+            .expect("link transmit without link layer");
+        match links.transmit(now.ticks(), from, to, bytes, prop.ticks()) {
+            Transmission::Delivered { at } => {
+                dring.push(SimTime::from_ticks(at), to, from, qidx, payload);
+            }
+            Transmission::Lost => {
+                self.obs.record(|| ObsEvent::FaultDrop { at: now, kind });
+            }
+            Transmission::BufferDropped => {
+                self.obs.record(|| ObsEvent::BufferDrop { at: now, kind });
+            }
+        }
     }
 
     /// Rolls both loss layers for one transmission, at send time. The
@@ -921,7 +1042,9 @@ impl<P: ForwardingPolicy> Network<P> {
             .ttl
             .saturating_add(rp.ttl_step.saturating_mul(attempt))
             .min(rp.max_ttl);
+        let mut sent_at = now;
         if self.issue_attempt_windowed(qidx, ttl, now, shards, chunk, dring) {
+            sent_at = self.attempt_sent_at(now);
             self.queries[qidx].outcome.retries += 1;
             self.obs.record(|| ObsEvent::Retry {
                 at: now,
@@ -931,7 +1054,7 @@ impl<P: ForwardingPolicy> Network<P> {
             });
         }
         self.queue.schedule(
-            now.saturating_add(delay),
+            sent_at.saturating_add(delay),
             Event::QueryDeadline {
                 qidx,
                 attempt: attempt + 1,
@@ -1080,5 +1203,63 @@ mod tests {
         let mut cfg = small_cfg(1);
         cfg.collector = Some(NodeId(0));
         let _ = Network::new(cfg, FloodPolicy).run_sharded(2);
+    }
+
+    /// The E17-style congested profile: tight asymmetric bandwidth,
+    /// bounded buffers, loss, jitter, and free-riders all at once.
+    fn congested_links() -> crate::net::LinkPlan {
+        crate::net::LinkPlan {
+            up: 8.0,
+            down: 32.0,
+            up_buf: 2_048,
+            down_buf: 8_192,
+            loss: 0.02,
+            jitter: 20,
+            riders: 0.2,
+            rider_up: 2.0,
+        }
+    }
+
+    #[test]
+    fn link_runs_survive_any_thread_count() {
+        let mut cfg = harsh_cfg(29);
+        cfg.links = Some(congested_links());
+        let base = fingerprint(&Network::new(cfg.clone(), FloodPolicy).run_sharded(1));
+        for threads in [2, 4, 7] {
+            let other = fingerprint(&Network::new(cfg.clone(), FloodPolicy).run_sharded(threads));
+            assert_eq!(base, other, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_links_are_byte_identical_windowed() {
+        let mut cfg = small_cfg(13);
+        let base = fingerprint(&Network::new(cfg.clone(), FloodPolicy).run_sharded(3));
+        cfg.links = Some(crate::net::LinkPlan::default());
+        let with = fingerprint(&Network::new(cfg, FloodPolicy).run_sharded(3));
+        assert_eq!(base, with, "noop link plan changed a windowed run");
+    }
+
+    #[test]
+    #[should_panic(expected = "bounded link delay")]
+    fn unbuffered_rate_limited_links_are_rejected() {
+        let mut cfg = small_cfg(1);
+        cfg.links = Some(crate::net::LinkPlan {
+            up: 4.0,
+            ..Default::default()
+        });
+        let _ = Network::new(cfg, FloodPolicy).run_sharded(2);
+    }
+
+    #[test]
+    fn link_byte_ledger_conserves_windowed() {
+        let mut cfg = harsh_cfg(37);
+        cfg.links = Some(congested_links());
+        let r = Network::new(cfg, FloodPolicy).run_sharded(4);
+        let (sent, delivered, lost, buffered) = r.link_bytes.expect("links active");
+        assert!(sent > 0);
+        assert_eq!(sent, delivered + lost + buffered, "bytes leaked");
+        assert_eq!(r.metrics.buffer_dropped > 0, buffered > 0);
+        assert!(r.metrics.lost_messages > 0, "folded loss never fired");
     }
 }

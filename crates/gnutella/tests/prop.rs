@@ -8,7 +8,7 @@ use arq_content::{CatalogConfig, FileId, QueryKey, Topic};
 use arq_gnutella::guid::GuidGen;
 use arq_gnutella::node::{NodeState, Upstream};
 use arq_gnutella::sim::{Network, RetryPolicy, SimConfig, Topology};
-use arq_gnutella::{FaultPlan, FloodPolicy, QueryMsg};
+use arq_gnutella::{FaultPlan, FloodPolicy, LinkPlan, QueryMsg};
 use arq_overlay::NodeId;
 use arq_simkern::time::Duration;
 use arq_simkern::{Rng64, SimTime};
@@ -137,6 +137,78 @@ proptest! {
         prop_assert_eq!(clean.end_time, noop.end_time);
         prop_assert_eq!(clean.total_attempts, noop.total_attempts);
         prop_assert_eq!(noop.metrics.lost_messages, 0);
+    }
+
+    /// An all-zero link plan (no bandwidth caps, no buffers, no loss, no
+    /// jitter, no free-riders) is behaviorally invisible: byte-identical
+    /// to running with no link layer at all, for any seed/shape.
+    #[test]
+    fn zero_capacity_links_are_identity(
+        seed in any::<u64>(),
+        nodes in 10usize..50,
+        queries in 10usize..80,
+    ) {
+        let mut cfg = SimConfig::default_with(nodes, queries, seed);
+        cfg.catalog = CatalogConfig {
+            topics: 4,
+            files_per_topic: 30,
+            ..Default::default()
+        };
+        let clean = Network::new(cfg.clone(), FloodPolicy).run();
+        cfg.links = Some(LinkPlan::default());
+        let noop = Network::new(cfg, FloodPolicy).run();
+        prop_assert_eq!(clean.metrics.digest(), noop.metrics.digest());
+        prop_assert_eq!(clean.metrics.query_messages, noop.metrics.query_messages);
+        prop_assert_eq!(clean.metrics.hit_messages, noop.metrics.hit_messages);
+        prop_assert_eq!(clean.metrics.bytes, noop.metrics.bytes);
+        prop_assert_eq!(clean.metrics.answered, noop.metrics.answered);
+        prop_assert_eq!(clean.end_time, noop.end_time);
+        prop_assert_eq!(clean.total_attempts, noop.total_attempts);
+        prop_assert_eq!(noop.metrics.buffer_dropped, 0);
+        prop_assert!(noop.link_bytes.is_none(), "noop plan built link state");
+    }
+
+    /// Link-layer byte conservation: across random bandwidth, buffer,
+    /// loss, jitter, and free-rider settings, every byte offered to the
+    /// link layer is accounted for — delivered, loss-dropped, or
+    /// buffer-dropped — once the run drains (nothing left in flight).
+    #[test]
+    fn link_byte_ledger_conserves(
+        seed in any::<u64>(),
+        nodes in 10usize..40,
+        queries in 10usize..60,
+        up in 4u64..64,
+        down_mult in 1u64..8,
+        up_buf in 256u64..4_096,
+        down_buf in 1_024u64..16_384,
+        loss_milli in 0u32..300,
+        jitter in 0u64..30,
+        riders_milli in 0u32..500,
+    ) {
+        let mut cfg = SimConfig::default_with(nodes, queries, seed);
+        cfg.catalog = CatalogConfig {
+            topics: 4,
+            files_per_topic: 30,
+            ..Default::default()
+        };
+        cfg.links = Some(LinkPlan {
+            up: up as f64,
+            down: (up * down_mult) as f64,
+            up_buf,
+            down_buf,
+            loss: f64::from(loss_milli) / 1000.0,
+            jitter,
+            riders: f64::from(riders_milli) / 1000.0,
+            rider_up: (up as f64 / 4.0).max(1.0),
+        });
+        let r = Network::new(cfg, FloodPolicy).run();
+        let (sent, delivered, lost, buffered) = r.link_bytes.expect("link ledger");
+        prop_assert_eq!(sent, delivered + lost + buffered, "bytes leaked in flight");
+        prop_assert_eq!(sent, r.metrics.bytes, "ledger disagrees with metrics");
+        prop_assert_eq!(r.metrics.buffer_dropped > 0, buffered > 0);
+        if loss_milli == 0 {
+            prop_assert_eq!(lost, 0);
+        }
     }
 
     /// The retry lifecycle never exceeds its attempt budget and every

@@ -106,6 +106,15 @@ pub enum Event {
         /// What was lost.
         kind: DropKind,
     },
+    /// A full link-layer byte buffer rejected a message (congestive
+    /// drop — distinct from the random in-flight loss of
+    /// [`Event::FaultDrop`]).
+    BufferDrop {
+        /// Simulated time the message hit the full buffer.
+        at: SimTime,
+        /// What was dropped.
+        kind: DropKind,
+    },
 }
 
 impl Event {
@@ -120,6 +129,7 @@ impl Event {
             Event::Retry { .. } => "retry",
             Event::Expire { .. } => "expire",
             Event::FaultDrop { .. } => "fault_drop",
+            Event::BufferDrop { .. } => "buffer_drop",
         }
     }
 }
@@ -184,7 +194,7 @@ impl ToJson for Event {
                 push("query", Json::from(*query));
                 push("attempts", Json::from(*attempts));
             }
-            Event::FaultDrop { at, kind } => {
+            Event::FaultDrop { at, kind } | Event::BufferDrop { at, kind } => {
                 push("at", Json::from(at.ticks()));
                 push("kind", Json::from(kind.label()));
             }
@@ -216,6 +226,14 @@ mod tests {
         assert_eq!(
             ev.to_json().to_string(),
             r#"{"ev":"fault_drop","at":42,"kind":"hit"}"#
+        );
+        let ev = Event::BufferDrop {
+            at: SimTime::from_ticks(7),
+            kind: DropKind::Query,
+        };
+        assert_eq!(
+            ev.to_json().to_string(),
+            r#"{"ev":"buffer_drop","at":7,"kind":"query"}"#
         );
     }
 
@@ -257,6 +275,11 @@ mod tests {
             }
             .kind(),
             Event::FaultDrop {
+                at: SimTime::ZERO,
+                kind: DropKind::Query,
+            }
+            .kind(),
+            Event::BufferDrop {
                 at: SimTime::ZERO,
                 kind: DropKind::Query,
             }

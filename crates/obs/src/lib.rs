@@ -74,8 +74,12 @@ struct Instruments {
     retries: CounterId,
     expired: CounterId,
     fault_drops: CounterId,
+    buffer_drops: CounterId,
     rules: GaugeId,
     fanout: HistogramId,
+    query_latency: HistogramId,
+    node_up_bytes: HistogramId,
+    node_down_bytes: HistogramId,
 }
 
 #[derive(Debug, Clone)]
@@ -119,8 +123,15 @@ impl Obs {
             retries: registry.counter("retries"),
             expired: registry.counter("expired"),
             fault_drops: registry.counter("fault_drops"),
+            buffer_drops: registry.counter("buffer_drops"),
             rules: registry.gauge("rules"),
             fanout: registry.histogram("fanout", 0.0, 64.0, cfg.fanout_buckets.max(1)),
+            // Link-layer instruments: first-hit latency in sim ticks and
+            // per-node byte budgets, filled by the live simulator when a
+            // link plan is active.
+            query_latency: registry.histogram("query_latency", 0.0, 16_384.0, 64),
+            node_up_bytes: registry.histogram("node_up_bytes", 0.0, 1_048_576.0, 32),
+            node_down_bytes: registry.histogram("node_down_bytes", 0.0, 1_048_576.0, 32),
         };
         Obs {
             inner: Some(Box::new(Inner {
@@ -146,6 +157,29 @@ impl Obs {
     pub fn record(&mut self, make: impl FnOnce() -> Event) {
         if let Some(inner) = self.inner.as_deref_mut() {
             inner.record(make());
+        }
+    }
+
+    /// Records one answered query's first-hit latency (in sim ticks)
+    /// into the `query_latency` histogram. Registry-only — latency
+    /// percentiles need no per-query event.
+    #[inline]
+    pub fn observe_query_latency(&mut self, ticks: u64) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            let id = inner.ids.query_latency;
+            inner.registry.observe(id, ticks as f64);
+        }
+    }
+
+    /// Records one node's end-of-run byte budget (bytes pushed through
+    /// its upload and download links) into the `node_up_bytes` /
+    /// `node_down_bytes` histograms.
+    #[inline]
+    pub fn observe_node_bytes(&mut self, up: u64, down: u64) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            let (u, d) = (inner.ids.node_up_bytes, inner.ids.node_down_bytes);
+            inner.registry.observe(u, up as f64);
+            inner.registry.observe(d, down as f64);
         }
     }
 
@@ -192,6 +226,7 @@ impl Inner {
             Event::Retry { .. } => self.registry.inc(self.ids.retries, 1),
             Event::Expire { .. } => self.registry.inc(self.ids.expired, 1),
             Event::FaultDrop { .. } => self.registry.inc(self.ids.fault_drops, 1),
+            Event::BufferDrop { .. } => self.registry.inc(self.ids.buffer_drops, 1),
         }
         if self.cfg.events {
             self.events.push(ev);
@@ -287,6 +322,37 @@ mod tests {
         assert_eq!(report.series.rho(), &[0.75]);
         assert_eq!(report.series.traffic(), &[100]);
         assert_eq!(report.events_jsonl().lines().count(), 4);
+    }
+
+    #[test]
+    fn link_instruments_fill_histograms_without_events() {
+        let mut obs = Obs::disabled();
+        obs.observe_query_latency(10); // no-op, must not panic
+        obs.observe_node_bytes(1, 2);
+
+        let mut obs = Obs::enabled(ObsConfig::default());
+        obs.record(|| Event::BufferDrop {
+            at: SimTime::from_ticks(3),
+            kind: DropKind::Query,
+        });
+        obs.observe_query_latency(120);
+        obs.observe_query_latency(900);
+        obs.observe_node_bytes(4_000, 16_000);
+        let report = obs.report().unwrap();
+        assert_eq!(report.registry.counter_value("buffer_drops"), Some(1));
+        let lat = report.registry.histogram_value("query_latency").unwrap();
+        assert_eq!(lat.count(), 2);
+        assert!(lat.quantile(0.5).is_some());
+        assert_eq!(
+            report
+                .registry
+                .histogram_value("node_up_bytes")
+                .unwrap()
+                .count(),
+            1
+        );
+        // The buffer drop is a real event in the log too.
+        assert_eq!(report.events.len(), 1);
     }
 
     #[test]

@@ -95,6 +95,15 @@ impl Registry {
         self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
+    /// Reads a histogram back by name (reporting: quantiles and budgets
+    /// are computed from the bucket counts, not from raw samples).
+    pub fn histogram_value(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
     /// Counters in registration order.
     pub fn counters(&self) -> &[(String, u64)] {
         &self.counters
@@ -122,6 +131,8 @@ impl ToJson for Registry {
                     (
                         n.clone(),
                         Json::obj([
+                            ("lo", Json::Float(h.lo())),
+                            ("hi", Json::Float(h.hi())),
                             (
                                 "buckets",
                                 Json::Arr(h.buckets().iter().map(|&c| Json::from(c)).collect()),
@@ -175,7 +186,9 @@ mod tests {
         r.observe(h, 9.0);
         assert_eq!(
             r.to_json().to_string(),
-            r#"{"counters":{"z_first":7,"a_second":0},"gauges":{"level":0.5},"histograms":{"fanout":{"buckets":[1,0,0,0],"underflow":0,"overflow":1,"count":2}}}"#
+            r#"{"counters":{"z_first":7,"a_second":0},"gauges":{"level":0.5},"histograms":{"fanout":{"lo":0.0,"hi":8.0,"buckets":[1,0,0,0],"underflow":0,"overflow":1,"count":2}}}"#
         );
+        assert_eq!(r.histogram_value("fanout").unwrap().count(), 2);
+        assert!(r.histogram_value("missing").is_none());
     }
 }

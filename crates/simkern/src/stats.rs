@@ -232,6 +232,44 @@ impl Histogram {
         let width = (self.hi - self.lo) / self.buckets.len() as f64;
         self.lo + width * i as f64
     }
+
+    /// The range's lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// The range's (exclusive) upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Linear-interpolated quantile estimate from the bucket counts, or
+    /// `None` before any observation. Underflow observations are
+    /// treated as `lo` and overflow as `hi` (clamped), so tail
+    /// quantiles of a saturated histogram report the range edge rather
+    /// than inventing values.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.count == 0 {
+            return None;
+        }
+        let pos = q * (self.count - 1) as f64;
+        let mut seen = self.underflow as f64;
+        if seen > pos {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let c = c as f64;
+            if c > 0.0 && seen + c > pos {
+                // Spread the bucket's mass uniformly across its width.
+                let frac = (pos - seen) / c;
+                return Some(self.lo + width * (i as f64 + frac));
+            }
+            seen += c;
+        }
+        Some(self.hi)
+    }
 }
 
 /// Exponentially weighted moving average.
@@ -349,6 +387,32 @@ mod tests {
         assert_eq!(h.buckets(), &[2, 1, 0, 0, 1]);
         assert_eq!(h.bucket_lo(0), 0.0);
         assert_eq!(h.bucket_lo(4), 8.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        for x in 0..100 {
+            h.record(x as f64 + 0.5);
+        }
+        // Uniform fill: quantiles track the value range linearly (within
+        // one bucket width of the exact answer).
+        for (q, want) in [(0.0, 0.0), (0.5, 50.0), (0.95, 95.0), (1.0, 100.0)] {
+            let got = h.quantile(q).unwrap();
+            assert!((got - want).abs() <= 10.0, "q={q}: got {got}, want ~{want}");
+        }
+        assert_eq!(h.lo(), 0.0);
+        assert_eq!(h.hi(), 100.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_clamp_out_of_range() {
+        let mut h = Histogram::new(10.0, 20.0, 5);
+        h.record(-5.0); // underflow
+        h.record(99.0); // overflow
+        assert_eq!(h.quantile(0.0), Some(10.0), "underflow clamps to lo");
+        assert_eq!(h.quantile(1.0), Some(20.0), "overflow clamps to hi");
     }
 
     #[test]
