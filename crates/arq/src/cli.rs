@@ -30,7 +30,7 @@ use arq_trace::stats::{pair_stats, raw_stats};
 use arq_trace::{SynthConfig, SynthTrace, TraceDb};
 use std::fmt::Write as _;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::BufReader;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -169,8 +169,30 @@ COMMANDS:
               offered-load sweep under byte-accurate congested links
               (latency percentiles + per-node byte budgets per policy);
               every parallel artifact is checked byte-identical to the
-              serial one; the JSON lands in BENCH_7.json unless --out
+              serial one; the JSON lands in BENCH_8.json unless --out
               overrides
+  gen-events  render a synthetic trace as a framed event stream for serve
+              [--pairs N] [--seed S] [--route-every N] --out FILE
+              frames are `<len>\\n<json>\\n`; every pair becomes a
+              {\"ev\":\"pair\"} event and --route-every interleaves
+              {\"ev\":\"route\"} lookups
+  serve       run the crash-safe streaming router service
+              [--input FILE|-] [--socket PATH] [--maintainer SPEC]
+              [--block N] [--k N] [--queue N] [--shed]
+              [--checkpoint FILE] [--checkpoint-every N]
+              [--metrics ADDR] [--out FILE] [--spin N]
+              ingests framed pair/route/stats events from stdin, a file,
+              or a Unix socket; route lookups answer from an atomically
+              swapped ruleset refreshed every --block pairs and never
+              block on mining; maintainers: incremental(t=10,hl=20000) |
+              lossy(t=10,eps=0.0001); the ingest queue is bounded and
+              blocks when full unless --shed enables explicit load
+              shedding (refreshes first, then pairs + `shed` lookups,
+              all counted); --checkpoint restores exact state on start,
+              skips already-consumed pairs, and atomically persists
+              every --checkpoint-every pairs and at drain (SIGTERM/EOF);
+              --metrics serves Prometheus plaintext over HTTP; --out
+              writes the summary artifact (incl. the ruleset digest)
   help        print this text
 ";
 
@@ -189,6 +211,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "run" => cmd_run(rest),
         "report" => cmd_report(rest),
         "bench" => cmd_bench(rest),
+        "gen-events" => cmd_gen_events(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -205,8 +229,9 @@ fn gen_trace(args: &[String]) -> Result<String, CliError> {
         SynthConfig::paper_default(pairs, seed)
     };
     let gen = SynthTrace::new(cfg);
-    let file = File::create(out).map_err(|e| err(format!("creating {out}: {e}")))?;
-    let mut w = BufWriter::new(file);
+    // Buffer the CSV and land it atomically: a crash mid-generation
+    // must not leave a half-written trace under the final name.
+    let mut w: Vec<u8> = Vec::new();
     let mut report = String::new();
     if flags.has("raw") {
         let (queries, replies) = gen.raw();
@@ -222,6 +247,7 @@ fn gen_trace(args: &[String]) -> Result<String, CliError> {
         csvio::write_pairs(&mut w, &pairs).map_err(|e| err(e.to_string()))?;
         let _ = writeln!(report, "wrote pair trace: {} pairs -> {out}", pairs.len());
     }
+    arq_simkern::write_atomic(out, &w).map_err(|e| err(format!("writing {out}: {e}")))?;
     Ok(report)
 }
 
@@ -264,8 +290,9 @@ fn clean_join(args: &[String]) -> Result<String, CliError> {
     let mut db = TraceDb::new();
     db.extend(queries, replies);
     let (report_counts, pairs) = db.clean_and_join();
-    let out_file = File::create(out).map_err(|e| err(format!("creating {out}: {e}")))?;
-    csvio::write_pairs(BufWriter::new(out_file), &pairs).map_err(|e| err(e.to_string()))?;
+    let mut buf: Vec<u8> = Vec::new();
+    csvio::write_pairs(&mut buf, &pairs).map_err(|e| err(e.to_string()))?;
+    arq_simkern::write_atomic(out, &buf).map_err(|e| err(format!("writing {out}: {e}")))?;
     let mut report = String::new();
     let _ = writeln!(
         report,
@@ -554,11 +581,12 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
                 }
             }
         }
-        std::fs::write(path, &out).map_err(|e| err(format!("writing {path}: {e}")))?;
+        arq_simkern::write_atomic_str(path, &out)
+            .map_err(|e| err(format!("writing {path}: {e}")))?;
     }
     if let Some(path) = flags.get("out") {
         let doc = Json::Arr(artifacts.iter().map(ToJson::to_json).collect());
-        std::fs::write(path, doc.to_string_pretty())
+        arq_simkern::write_atomic_str(path, &doc.to_string_pretty())
             .map_err(|e| err(format!("writing {path}: {e}")))?;
     }
     let mut report = String::new();
@@ -639,18 +667,36 @@ fn json_quantile(h: &Json, q: f64) -> Option<f64> {
 }
 
 /// Renders one artifact's JSON object for `arq report`.
-fn report_artifact(a: &Json, timeline: bool, out: &mut String) {
+/// Renders one `arq run` artifact. Partial or future-schema artifacts
+/// produce an error naming the missing or unknown section instead of a
+/// report full of placeholders (or a panic downstream).
+fn report_artifact(a: &Json, timeline: bool, out: &mut String) -> Result<(), String> {
+    let kind = a
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing section `kind` (not an `arq run` artifact?)".to_string())?;
+    if kind != "trace-eval" && kind != "live-sim" {
+        return Err(format!(
+            "unknown artifact kind `{kind}` (this build reads `trace-eval` and `live-sim`; \
+             written by a newer arq?)"
+        ));
+    }
+    let run = a
+        .get("run")
+        .ok_or_else(|| format!("`{kind}` artifact is missing section `run`"))?;
     let s = |key: &str| a.get(key).and_then(Json::as_str).unwrap_or("?");
     let _ = writeln!(
         out,
         "{} {}  seed {}  digest {}",
-        s("kind"),
+        kind,
         s("label"),
         a.get("seed").and_then(Json::as_f64).unwrap_or(f64::NAN),
         s("digest")
     );
-    let run = a.get("run");
-    if let Some(metrics) = run.and_then(|r| r.get("metrics")) {
+    if kind == "live-sim" {
+        let metrics = run
+            .get("metrics")
+            .ok_or_else(|| "`live-sim` artifact is missing section `run.metrics`".to_string())?;
         let num = |key: &str| metrics.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
         // `buffer_dropped` is serialized only by link-enabled runs that
         // actually dropped; surface it only then.
@@ -701,7 +747,7 @@ fn report_artifact(a: &Json, timeline: bool, out: &mut String) {
                 "  node bytes p50/p95  up {up50:.0}/{up95:.0}  down {down50:.0}/{down95:.0}"
             );
         }
-    } else if let Some(run) = run {
+    } else {
         let num = |key: &str| run.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
         let _ = writeln!(
             out,
@@ -712,7 +758,7 @@ fn report_artifact(a: &Json, timeline: bool, out: &mut String) {
         );
     }
     if !timeline {
-        return;
+        return Ok(());
     }
     // Prefer the instrumented per-block series; fall back to the eval
     // run's coverage/success curves for uninstrumented artifacts.
@@ -738,7 +784,7 @@ fn report_artifact(a: &Json, timeline: bool, out: &mut String) {
                 traffic.get(i).copied().unwrap_or(f64::NAN) as u64
             );
         }
-    } else if let Some(run) = run {
+    } else {
         let coverage = floats(run.get("coverage"));
         let success = floats(run.get("success"));
         if !coverage.is_empty() {
@@ -754,6 +800,7 @@ fn report_artifact(a: &Json, timeline: bool, out: &mut String) {
             }
         }
     }
+    Ok(())
 }
 
 fn cmd_report(args: &[String]) -> Result<String, CliError> {
@@ -766,8 +813,9 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
     match &doc {
         // An `arq run --out` artifact array.
         Json::Arr(artifacts) => {
-            for a in artifacts {
-                report_artifact(a, timeline, &mut out);
+            for (i, a) in artifacts.iter().enumerate() {
+                report_artifact(a, timeline, &mut out)
+                    .map_err(|m| err(format!("{path}: artifact {i}: {m}")))?;
             }
         }
         // A bench results/e*.json document.
@@ -798,10 +846,53 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
             }
         }
         // A single artifact object.
-        Json::Obj(_) => report_artifact(&doc, timeline, &mut out),
+        Json::Obj(_) => {
+            report_artifact(&doc, timeline, &mut out).map_err(|m| err(format!("{path}: {m}")))?;
+        }
         _ => return Err(err(format!("{path}: not an artifact array or report"))),
     }
     Ok(out)
+}
+
+/// A byte stream released at a fixed rate — the overload generator for
+/// the serve bench. Frames average a constant size, so pacing bytes
+/// paces events; reads ahead of schedule briefly park the reader.
+struct PacedReader {
+    bytes: Vec<u8>,
+    sent: usize,
+    started: Option<Instant>,
+    bytes_per_sec: f64,
+}
+
+impl PacedReader {
+    fn new(bytes: Vec<u8>, bytes_per_sec: f64) -> Self {
+        PacedReader {
+            bytes,
+            sent: 0,
+            started: None,
+            bytes_per_sec: bytes_per_sec.max(1.0),
+        }
+    }
+}
+
+impl std::io::Read for PacedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.sent >= self.bytes.len() {
+            return Ok(0);
+        }
+        let started = *self.started.get_or_insert_with(Instant::now);
+        loop {
+            let due = (started.elapsed().as_secs_f64() * self.bytes_per_sec) as usize;
+            let ready = due.min(self.bytes.len()).saturating_sub(self.sent);
+            if ready > 0 {
+                let n = ready.min(buf.len());
+                buf[..n].copy_from_slice(&self.bytes[self.sent..self.sent + n]);
+                self.sent += n;
+                return Ok(n);
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
 }
 
 /// Best-of-`iters` wall clock for `f`, in seconds.
@@ -837,9 +928,9 @@ fn ratio(before: f64, after: f64) -> f64 {
 /// rebuilt engine (calendar queue + SoA node state) against it.
 const BENCH_5_SIM_SERIAL_SECS: f64 = 0.883298658;
 
-/// `arq bench` — the perf-baseline harness behind `BENCH_7.json`.
+/// `arq bench` — the perf-baseline harness behind `BENCH_8.json`.
 ///
-/// Five measurements of the sharded/pipelined hot path:
+/// Six measurements of the sharded/pipelined hot path:
 ///
 /// 1. **mining** (E3-shaped): per-block rule mining over the calibrated
 ///    drifting trace — reference `mine_pairs` (HashMap tally) vs the
@@ -860,14 +951,19 @@ const BENCH_5_SIM_SERIAL_SECS: f64 = 0.883298658;
 ///    congested links — policies × query rates with bounded buffers and
 ///    seeded loss — recording query-latency percentiles and per-node
 ///    byte budgets from the obs histograms, with the parallel artifacts
-///    checked byte-identical to the serial ones.
+///    checked byte-identical to the serial ones;
+/// 6. **serve**: the streaming service under overload — sustained
+///    capacity is measured with lossless backpressure, then 1x/4x/16x
+///    that rate is offered through a paced reader in `--shed` mode,
+///    recording route-lookup p50/p99, shed rates, and refresh skips
+///    (the bounded-latency-under-overload contract).
 fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args, &["quick"])?;
     let quick = flags.has("quick");
     let seed: u64 = flags.parse_num("seed", RUN_SEED)?;
     let threads: usize = flags.parse_num("threads", engine::thread_count())?;
     let threads = threads.max(1);
-    let out = flags.get("out").unwrap_or("BENCH_7.json").to_string();
+    let out = flags.get("out").unwrap_or("BENCH_8.json").to_string();
     let iters: usize = flags.parse_num("iters", if quick { 1 } else { 3 })?;
     let total_pairs: usize = flags.parse_num("pairs", if quick { 200_000 } else { 600_000 })?;
     let block_size: usize = flags.parse_num("block", 50_000)?;
@@ -1184,6 +1280,78 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         LINK_INTERVALS.len()
     );
 
+    // 6. The streaming service under overload: measure sustained
+    //    capacity with lossless backpressure, then offer 1x/4x/16x that
+    //    rate in shed mode and record lookup p99 + shed rates. A fixed
+    //    per-pair spin gives mining a defined cost (emulating a heavier
+    //    maintainer) so "overload" is a property of the service, not of
+    //    the synthetic producer.
+    let serve_pairs: usize = if quick { 40_000 } else { 120_000 };
+    let serve_spin: u64 = 10_000;
+    let serve_block: u64 = 5_000;
+    let serve_route_every: usize = 200;
+    let serve_trace = SynthTrace::new(SynthConfig::paper_default(serve_pairs, seed)).pairs();
+    let serve_stream = crate::serve::render_event_stream(&serve_trace, serve_route_every);
+    let serve_cfg = |shed: bool| crate::serve::ServeConfig {
+        spec: "incremental(t=10,hl=20000)".to_string(),
+        block: serve_block,
+        queue: 1024,
+        shed,
+        spin: serve_spin,
+        ..crate::serve::ServeConfig::default()
+    };
+    let serve_run = |input: Box<dyn std::io::Read + Send>, shed: bool| {
+        let start = Instant::now();
+        let summary = crate::serve::run_events(serve_cfg(shed), input, &mut std::io::sink())
+            .map_err(|e| err(format!("serve bench: {e}")))?;
+        Ok::<_, CliError>((summary, start.elapsed().as_secs_f64()))
+    };
+    let (cap_summary, cap_secs) =
+        serve_run(Box::new(std::io::Cursor::new(serve_stream.clone())), false)?;
+    let capacity_eps = cap_summary.events as f64 / cap_secs.max(1e-9);
+    let _ = writeln!(
+        report,
+        "serve    capacity {} events in {cap_secs:.3}s = {capacity_eps:.0} events/s \
+         (spin {serve_spin}, block {serve_block}, lossless backpressure)",
+        cap_summary.events
+    );
+    let mut serve_rows = Vec::new();
+    for factor in [1u32, 4, 16] {
+        let offered = capacity_eps * f64::from(factor);
+        let bytes_per_sec = offered * (serve_stream.len() as f64 / cap_summary.events as f64);
+        let paced = PacedReader::new(serve_stream.clone(), bytes_per_sec);
+        let (s, secs) = serve_run(Box::new(paced), true)?;
+        let offered_pairs = s.pairs + s.shed_pairs;
+        let shed_rate = if offered_pairs == 0 {
+            0.0
+        } else {
+            s.shed_pairs as f64 / offered_pairs as f64
+        };
+        let (p50, p99) = s.route_latency_us.unwrap_or((f64::NAN, f64::NAN));
+        let _ = writeln!(
+            report,
+            "serve    {factor:>2}x offered ({offered:.0} events/s): {secs:.3}s, \
+             shed rate {shed_rate:.3} ({} pairs dropped, {} refreshes shed), \
+             route p50/p99 {p50:.0}/{p99:.0}us, {} shed lookups",
+            s.shed_pairs, s.shed_refreshes, s.outcomes.2
+        );
+        serve_rows.push(Json::Obj(vec![
+            ("offered_x".into(), Json::from(factor)),
+            ("offered_events_per_sec".into(), Json::from(offered)),
+            ("secs".into(), Json::from(secs)),
+            ("events".into(), Json::from(s.events)),
+            ("pairs".into(), Json::from(s.pairs)),
+            ("shed_pairs".into(), Json::from(s.shed_pairs)),
+            ("shed_rate".into(), Json::from(shed_rate)),
+            ("routes".into(), Json::from(s.routes)),
+            ("shed_routes".into(), Json::from(s.outcomes.2)),
+            ("route_p50_us".into(), Json::from(p50)),
+            ("route_p99_us".into(), Json::from(p99)),
+            ("refreshes".into(), Json::from(s.refreshes)),
+            ("shed_refreshes".into(), Json::from(s.shed_refreshes)),
+        ]));
+    }
+
     let mut sim_section = vec![
         (
             "workload".to_string(),
@@ -1209,7 +1377,7 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         ));
     }
     let doc = Json::Obj(vec![
-        ("bench".into(), Json::from("BENCH_7")),
+        ("bench".into(), Json::from("BENCH_8")),
         ("quick".into(), Json::from(quick)),
         ("threads".into(), Json::from(threads)),
         ("seed".into(), Json::from(seed)),
@@ -1276,10 +1444,89 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
                 ("rows".into(), Json::Arr(link_rows)),
             ]),
         ),
+        (
+            "serve".into(),
+            Json::Obj(vec![
+                (
+                    "workload".into(),
+                    Json::from("paced overload of arq serve in shed mode"),
+                ),
+                ("pairs".into(), Json::from(serve_pairs)),
+                ("spin".into(), Json::from(serve_spin)),
+                ("block".into(), Json::from(serve_block)),
+                ("route_every".into(), Json::from(serve_route_every)),
+                ("capacity_events_per_sec".into(), Json::from(capacity_eps)),
+                ("capacity_secs".into(), Json::from(cap_secs)),
+                ("rows".into(), Json::Arr(serve_rows)),
+            ]),
+        ),
     ]);
-    std::fs::write(&out, doc.to_string_pretty()).map_err(|e| err(format!("writing {out}: {e}")))?;
+    arq_simkern::write_atomic_str(&out, &doc.to_string_pretty())
+        .map_err(|e| err(format!("writing {out}: {e}")))?;
     let _ = writeln!(report, "wrote {out}");
     Ok(report)
+}
+
+fn cmd_gen_events(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let pairs: usize = flags.parse_num("pairs", 100_000)?;
+    let seed: u64 = flags.parse_num("seed", 1)?;
+    let route_every: usize = flags.parse_num("route-every", 0)?;
+    let out = flags.required("out")?;
+    let records = SynthTrace::new(SynthConfig::paper_default(pairs, seed)).pairs();
+    let stream = crate::serve::render_event_stream(&records, route_every);
+    arq_simkern::write_atomic(out, &stream).map_err(|e| err(format!("writing {out}: {e}")))?;
+    let routes = records.len().checked_div(route_every).unwrap_or(0);
+    Ok(format!(
+        "wrote event stream: {} pair frames, {} route frames, {} bytes -> {out}\n",
+        records.len(),
+        routes,
+        stream.len()
+    ))
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    use crate::serve;
+    let flags = Flags::parse(args, &["shed"])?;
+    let cfg = serve::ServeConfig {
+        spec: flags.get("maintainer").unwrap_or("incremental").to_string(),
+        block: flags.parse_num("block", 10_000u64)?,
+        k: flags.parse_num("k", 2usize)?,
+        queue: flags.parse_num("queue", 1024usize)?,
+        shed: flags.has("shed"),
+        checkpoint: flags.get("checkpoint").map(str::to_string),
+        checkpoint_every: flags.parse_num("checkpoint-every", 0u64)?,
+        metrics: flags.get("metrics").map(str::to_string),
+        spin: flags.parse_num("spin", 0u64)?,
+        ..serve::ServeConfig::default()
+    };
+    serve::install_signal_handlers();
+    let input = flags.get("input").unwrap_or("-");
+    let socket = flags.get("socket");
+    let summary = if let Some(path) = socket {
+        #[cfg(unix)]
+        {
+            serve::run_socket(cfg, path)
+        }
+        #[cfg(not(unix))]
+        {
+            return Err(err(format!(
+                "--socket {path} requires a Unix platform; use --input instead"
+            )));
+        }
+    } else if input == "-" {
+        serve::run_events(cfg, std::io::stdin(), &mut std::io::stdout())
+    } else {
+        let file =
+            File::open(input).map_err(|e| err(format!("opening event stream {input}: {e}")))?;
+        serve::run_events(cfg, file, &mut std::io::stdout())
+    }
+    .map_err(|e| err(e.message))?;
+    if let Some(out) = flags.get("out") {
+        arq_simkern::write_atomic_str(out, &summary.to_json().to_string_pretty())
+            .map_err(|e| err(format!("writing {out}: {e}")))?;
+    }
+    Ok(summary.report())
 }
 
 #[cfg(test)]
@@ -1294,6 +1541,48 @@ mod tests {
         let dir = std::env::temp_dir().join("arq-cli-tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn gen_events_and_serve_round_trip() {
+        let stream = tmp("serve-events.bin");
+        let ckpt = tmp("serve.ckpt");
+        let summary_path = tmp("serve-summary.json");
+        let _ = std::fs::remove_file(&ckpt);
+        let out = run(&args(&format!(
+            "gen-events --pairs 3000 --seed 6 --route-every 500 --out {stream}"
+        )))
+        .unwrap();
+        assert!(out.contains("3000 pair frames, 6 route frames"), "{out}");
+        let out = run(&args(&format!(
+            "serve --input {stream} --maintainer incremental(t=4,hl=2000) --block 1000 \
+             --checkpoint {ckpt} --checkpoint-every 1000 --out {summary_path}"
+        )))
+        .unwrap();
+        assert!(out.contains("events:          3006 (3000 pairs"), "{out}");
+        let doc =
+            arq_simkern::json::parse(&std::fs::read_to_string(&summary_path).unwrap()).unwrap();
+        assert_eq!(doc.get("pairs").and_then(Json::as_f64), Some(3000.0));
+        let digest = doc
+            .get("ruleset_digest")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        // Re-running over the same stream with the checkpoint in place
+        // skips everything and lands on the same digest.
+        let out = run(&args(&format!(
+            "serve --input {stream} --maintainer incremental(t=4,hl=2000) --block 1000 \
+             --checkpoint {ckpt} --out {summary_path}"
+        )))
+        .unwrap();
+        assert!(out.contains("3000 skipped by checkpoint"), "{out}");
+        let doc =
+            arq_simkern::json::parse(&std::fs::read_to_string(&summary_path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("ruleset_digest").and_then(Json::as_str),
+            Some(digest.as_str())
+        );
+        let _ = std::fs::remove_file(&ckpt);
     }
 
     #[test]
@@ -1568,8 +1857,36 @@ mod tests {
     }
 
     #[test]
+    fn report_names_missing_and_unknown_sections() {
+        // A future-schema artifact kind is refused by name.
+        let path = tmp("future-artifact.json");
+        std::fs::write(
+            &path,
+            r#"[{"kind":"quantum-eval","label":"x","seed":1,"digest":"00","run":{}}]"#,
+        )
+        .unwrap();
+        let e = run(&args(&format!("report --in {path}"))).unwrap_err();
+        assert!(e.0.contains("artifact 0"), "{e}");
+        assert!(e.0.contains("unknown artifact kind `quantum-eval`"), "{e}");
+
+        // A partial artifact names the section it lost.
+        std::fs::write(&path, r#"{"kind":"trace-eval","label":"x","seed":1}"#).unwrap();
+        let e = run(&args(&format!("report --in {path}"))).unwrap_err();
+        assert!(e.0.contains("missing section `run`"), "{e}");
+
+        std::fs::write(&path, r#"{"kind":"live-sim","label":"x","run":{}}"#).unwrap();
+        let e = run(&args(&format!("report --in {path}"))).unwrap_err();
+        assert!(e.0.contains("missing section `run.metrics`"), "{e}");
+
+        // Not an artifact at all: `kind` itself is the named gap.
+        std::fs::write(&path, r#"{"label":"x"}"#).unwrap();
+        let e = run(&args(&format!("report --in {path}"))).unwrap_err();
+        assert!(e.0.contains("missing section `kind`"), "{e}");
+    }
+
+    #[test]
     fn bench_writes_baseline_json() {
-        let out = tmp("bench7.json");
+        let out = tmp("bench8.json");
         let report = run(&args(&format!(
             "bench --quick --pairs 40000 --block 20000 --nodes 60 --queries 120 \
              --scale-nodes 2000 --scale-queries 200 --threads 4 --seed 11 --out {out}"
@@ -1578,7 +1895,7 @@ mod tests {
         assert!(report.contains("rules identical: true"), "{report}");
         assert!(report.contains("artifacts identical: true"), "{report}");
         let doc = arq_simkern::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
-        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("BENCH_7"));
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("BENCH_8"));
         for section in ["mining", "pipeline", "sim"] {
             let s = doc
                 .get(section)
@@ -1659,6 +1976,33 @@ mod tests {
                 .and_then(Json::as_f64)
                 .is_some_and(|b| b > 0.0)),
             "no congestive drops in the link sweep"
+        );
+        // The serve section records capacity plus one row per offered
+        // load, with lookup latency bounded (a finite p99) and the 16x
+        // overload actually shedding — counted, never silent.
+        let serve = doc.get("serve").expect("serve section");
+        assert!(serve
+            .get("capacity_events_per_sec")
+            .and_then(Json::as_f64)
+            .is_some_and(|c| c > 0.0));
+        let srows = serve
+            .get("rows")
+            .and_then(Json::as_array)
+            .expect("serve rows");
+        assert_eq!(srows.len(), 3, "1x/4x/16x offered loads");
+        for row in srows {
+            assert!(row
+                .get("route_p99_us")
+                .and_then(Json::as_f64)
+                .is_some_and(f64::is_finite));
+            assert!(row.get("shed_rate").and_then(Json::as_f64).is_some());
+        }
+        assert!(
+            srows[2]
+                .get("shed_pairs")
+                .and_then(Json::as_f64)
+                .is_some_and(|s| s > 0.0),
+            "16x offered load must shed"
         );
         // Too-short traces are rejected before any work happens.
         let e = run(&args("bench --quick --pairs 1000 --block 20000")).unwrap_err();

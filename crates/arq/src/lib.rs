@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod serve;
 
 pub use arq_assoc as assoc;
 pub use arq_baselines as baselines;

@@ -29,6 +29,27 @@ struct Entry {
     at: u64,
 }
 
+/// A complete, canonically ordered capture of a [`DecayedPairCounts`]
+/// — everything [`DecayedPairCounts::restore`] needs to rebuild a
+/// counter whose future behavior is bit-for-bit identical to the
+/// original's. Entries are sorted by `(src, via)`, so two snapshots of
+/// equal counters compare (and serialize) identically; `value` is the
+/// stored (not brought-forward) count and `at` its last-update clock,
+/// preserving exact decay arithmetic across the round trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecayedSnapshot {
+    /// The counter's half-life, in observations.
+    pub half_life: f64,
+    /// Total observations fed so far (the decay clock).
+    pub clock: u64,
+    /// Observations since the last amortized sweep — restoring this
+    /// keeps the sweep schedule, and hence every future eviction,
+    /// aligned with an uninterrupted counter.
+    pub since_sweep: u64,
+    /// `(src, via, stored value, last-update clock)` rows, sorted.
+    pub entries: Vec<(HostId, HostId, f64, u64)>,
+}
+
 /// Exponentially decayed `(src, via)` counts with rule-set-style lookups.
 #[derive(Debug, Clone)]
 pub struct DecayedPairCounts {
@@ -190,6 +211,45 @@ impl DecayedPairCounts {
         self.entries == 0
     }
 
+    /// Captures the complete counter state for checkpointing. The
+    /// inverse of [`Self::restore`]; the pair is exact, not lossy —
+    /// see [`DecayedSnapshot`].
+    pub fn snapshot(&self) -> DecayedSnapshot {
+        let mut entries: Vec<(HostId, HostId, f64, u64)> = self
+            .counts
+            .iter()
+            .flat_map(|(&src, inner)| {
+                inner
+                    .iter()
+                    .map(move |(&via, &Entry { value, at })| (src, via, value, at))
+            })
+            .collect();
+        entries.sort_by_key(|e| (e.0, e.1));
+        DecayedSnapshot {
+            half_life: self.half_life,
+            clock: self.clock,
+            since_sweep: self.observations_since_sweep,
+            entries,
+        }
+    }
+
+    /// Rebuilds a counter from a [`DecayedSnapshot`]. Feeding the
+    /// restored counter the same observation suffix as the snapshotted
+    /// original produces identical counts, sweeps, and rule sets.
+    pub fn restore(snap: &DecayedSnapshot) -> Self {
+        let mut c = DecayedPairCounts::new(snap.half_life);
+        c.clock = snap.clock;
+        c.observations_since_sweep = snap.since_sweep;
+        for &(src, via, value, at) in &snap.entries {
+            c.counts
+                .entry(src)
+                .or_default()
+                .insert(via, Entry { value, at });
+        }
+        c.entries = snap.entries.len();
+        c
+    }
+
     /// Materializes a [`RuleSet`] containing every association whose
     /// decayed count is at least `threshold`. Counts are rounded down, so
     /// pruning semantics match block mining with an integer threshold.
@@ -348,5 +408,49 @@ mod tests {
     #[should_panic(expected = "half-life")]
     fn rejects_nonpositive_half_life() {
         DecayedPairCounts::new(0.0);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_exactly() {
+        let mut c = DecayedPairCounts::new(7.0);
+        for i in 0..500u32 {
+            c.observe(HostId(i % 9), HostId(100 + i % 4));
+        }
+        c.penalize(HostId(1), HostId(101), 0.5);
+        let snap = c.snapshot();
+        let mut restored = DecayedPairCounts::restore(&snap);
+        assert_eq!(restored.snapshot(), snap, "snapshot not idempotent");
+        assert_eq!(restored.len(), c.len());
+        assert_eq!(restored.observations(), c.observations());
+        // The restored counter's future is the original's future: same
+        // observations produce the same counts and the same rule sets,
+        // including sweep timing.
+        for i in 0..300u32 {
+            c.observe(HostId(i % 5), HostId(200));
+            restored.observe(HostId(i % 5), HostId(200));
+        }
+        assert_eq!(c.len(), restored.len(), "sweep schedules diverged");
+        assert_eq!(
+            c.ruleset(2.0).digest(),
+            restored.ruleset(2.0).digest(),
+            "rule sets diverged after restore"
+        );
+    }
+
+    #[test]
+    fn snapshot_is_canonically_sorted() {
+        let mut c = DecayedPairCounts::new(1e9);
+        for (s, v) in [(5u32, 9u32), (1, 3), (5, 2), (0, 7), (1, 1)] {
+            c.observe(HostId(s), HostId(v));
+        }
+        let rows: Vec<(HostId, HostId)> = c
+            .snapshot()
+            .entries
+            .iter()
+            .map(|&(s, v, _, _)| (s, v))
+            .collect();
+        let mut sorted = rows.clone();
+        sorted.sort();
+        assert_eq!(rows, sorted);
     }
 }

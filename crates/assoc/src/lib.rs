@@ -38,9 +38,9 @@ pub mod pairs;
 pub mod rules;
 pub mod transaction;
 
-pub use incremental::DecayedPairCounts;
+pub use incremental::{DecayedPairCounts, DecayedSnapshot};
 pub use keyed::{keyed_ruleset_test, mine_keyed, mine_keyed_sharded, KeyedRuleSet};
-pub use lossy::LossyPairCounts;
+pub use lossy::{LossyPairCounts, LossySnapshot};
 pub use measures::{ruleset_test, BlockMeasures};
 pub use pairs::{mine_pairs, mine_pairs_sharded, PairMiner, RuleSet};
 pub use transaction::{ItemId, TransactionDb};

@@ -168,6 +168,28 @@ impl RuleSet {
             .iter()
             .flat_map(|(&src, conseq)| conseq.iter().map(move |&(via, c)| (src, via, c)))
     }
+
+    /// FNV-1a digest over the canonically sorted rule rows plus the
+    /// pruning threshold. Two rule sets holding the same rules at the
+    /// same threshold digest identically regardless of construction
+    /// order or backend — this is the equality the serve checkpoint
+    /// contract is stated over. (`source_pairs` is provenance, not a
+    /// rule, and deliberately stays out of the digest.)
+    pub fn digest(&self) -> u64 {
+        let mut rows: Vec<(u32, u32, u64)> = self
+            .iter()
+            .map(|(src, via, count)| (src.0, via.0, count))
+            .collect();
+        rows.sort_unstable();
+        let mut bytes = Vec::with_capacity(8 + rows.len() * 16);
+        bytes.extend_from_slice(&self.min_support.to_le_bytes());
+        for (src, via, count) in rows {
+            bytes.extend_from_slice(&src.to_le_bytes());
+            bytes.extend_from_slice(&via.to_le_bytes());
+            bytes.extend_from_slice(&count.to_le_bytes());
+        }
+        arq_simkern::rng::fnv1a(&bytes)
+    }
 }
 
 /// Mines a rule set from a block: counts `(src, via)` combinations and

@@ -1,0 +1,128 @@
+//! Streaming-equivalence properties for the online maintainers.
+//!
+//! These pin the contract `arq serve`'s checkpoint/restore is built on:
+//! a maintainer fed block-by-block — with an arbitrary snapshot/restore
+//! round trip at every block boundary — must reach exactly the same
+//! [`RuleSet`] digest as one fed the concatenated trace in a single
+//! batch. Randomness is hand-rolled over the workspace RNG (the
+//! `proptest` feature is default-off), so the cases are deterministic
+//! and always run.
+
+use arq_assoc::{DecayedPairCounts, LossyPairCounts};
+use arq_simkern::rng::Rng64;
+use arq_trace::record::HostId;
+
+/// A random trace: `len` (src, via) observations over a small host
+/// universe, so rules actually form and decay/eviction both trigger.
+fn random_trace(rng: &mut Rng64, len: usize) -> Vec<(HostId, HostId)> {
+    let hosts = 2 + rng.below(12) as u32;
+    (0..len)
+        .map(|_| {
+            (
+                HostId(rng.below(u64::from(hosts)) as u32),
+                HostId(100 + rng.below(u64::from(hosts)) as u32),
+            )
+        })
+        .collect()
+}
+
+/// Splits `len` into random nonempty block sizes.
+fn random_blocks(rng: &mut Rng64, len: usize) -> Vec<usize> {
+    let mut blocks = Vec::new();
+    let mut left = len;
+    while left > 0 {
+        let take = (1 + rng.below(left.min(97) as u64) as usize).min(left);
+        blocks.push(take);
+        left -= take;
+    }
+    blocks
+}
+
+#[test]
+fn decayed_block_feed_with_restore_matches_batch() {
+    let mut rng = Rng64::seed_from(0xA11CE);
+    for case in 0..120 {
+        let len = 1 + rng.below(800) as usize;
+        let trace = random_trace(&mut rng, len);
+        let half_life = 10.0 + rng.f64() * 500.0;
+        let threshold = 1.0 + rng.below(4) as f64;
+
+        let mut batch = DecayedPairCounts::new(half_life);
+        for &(s, v) in &trace {
+            batch.observe(s, v);
+        }
+
+        // Block-by-block, with a snapshot/restore round trip (the
+        // checkpoint/restart path) between every pair of blocks.
+        let mut streamed = DecayedPairCounts::new(half_life);
+        let mut cursor = 0;
+        for block in random_blocks(&mut rng, len) {
+            for &(s, v) in &trace[cursor..cursor + block] {
+                streamed.observe(s, v);
+            }
+            cursor += block;
+            streamed = DecayedPairCounts::restore(&streamed.snapshot());
+        }
+
+        assert_eq!(batch.observations(), streamed.observations(), "case {case}");
+        assert_eq!(
+            batch.ruleset(threshold).digest(),
+            streamed.ruleset(threshold).digest(),
+            "case {case}: len {len} half_life {half_life} threshold {threshold}"
+        );
+    }
+}
+
+#[test]
+fn lossy_block_feed_with_restore_matches_batch() {
+    let mut rng = Rng64::seed_from(0xB0B);
+    for case in 0..120 {
+        let len = 1 + rng.below(800) as usize;
+        let trace = random_trace(&mut rng, len);
+        let epsilon = 0.001 + rng.f64() * 0.05;
+        let support = 1 + rng.below(4);
+
+        let mut batch = LossyPairCounts::new(epsilon);
+        for &(s, v) in &trace {
+            batch.observe(s, v);
+        }
+
+        let mut streamed = LossyPairCounts::new(epsilon);
+        let mut cursor = 0;
+        for block in random_blocks(&mut rng, len) {
+            for &(s, v) in &trace[cursor..cursor + block] {
+                streamed.observe(s, v);
+            }
+            cursor += block;
+            streamed = LossyPairCounts::restore(&streamed.snapshot());
+        }
+
+        assert_eq!(batch.observations(), streamed.observations(), "case {case}");
+        assert_eq!(
+            batch.ruleset(support).digest(),
+            streamed.ruleset(support).digest(),
+            "case {case}: len {len} epsilon {epsilon} support {support}"
+        );
+    }
+}
+
+#[test]
+fn snapshot_restore_is_idempotent() {
+    let mut rng = Rng64::seed_from(7);
+    let trace = random_trace(&mut rng, 500);
+    let mut m = DecayedPairCounts::new(123.0);
+    for &(s, v) in &trace {
+        m.observe(s, v);
+    }
+    let once = m.snapshot();
+    let twice = DecayedPairCounts::restore(&once).snapshot();
+    assert_eq!(once, twice);
+
+    let mut l = LossyPairCounts::new(0.01);
+    for &(s, v) in &trace {
+        l.observe(s, v);
+    }
+    let once = l.snapshot();
+    let twice = LossyPairCounts::restore(&once).snapshot();
+    assert_eq!(once, twice);
+}

@@ -95,7 +95,7 @@ fn main() {
         args.seed,
     );
     let md = render_markdown(&reports, &header);
-    std::fs::write(&args.out, &md).expect("writing the Markdown report");
+    arq::simkern::write_atomic_str(&args.out, &md).expect("writing the Markdown report");
     for r in &reports {
         save_json(&args.json_dir, r).expect("writing JSON series");
     }

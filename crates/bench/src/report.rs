@@ -43,7 +43,7 @@ pub fn save_json(dir: &Path, report: &ExperimentReport) -> io::Result<()> {
         ("rows", rows),
         ("series", report.series.clone()),
     ]);
-    std::fs::write(path, doc.to_string_pretty())
+    arq::simkern::write_atomic_str(path, &doc.to_string_pretty())
 }
 
 #[cfg(test)]

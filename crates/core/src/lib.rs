@@ -37,6 +37,7 @@
 pub mod engine;
 pub mod eval;
 pub mod hybrid;
+pub mod online;
 pub mod policy;
 pub mod strategy;
 pub mod threshold;
@@ -45,6 +46,7 @@ pub mod topology;
 pub use engine::{RunArtifact, RunSpec, TraceSource};
 pub use eval::{evaluate, evaluate_pipelined, evaluate_timed, evaluate_with_obs, EvalRun, Trial};
 pub use hybrid::HybridPolicy;
+pub use online::{RouteDecision, RuleHandle};
 pub use policy::{AssocPolicy, AssocPolicyConfig};
 pub use strategy::{
     AdaptiveSlidingWindow, BlockMiner, IncrementalStream, LazySlidingWindow, LossyStream,

@@ -1,0 +1,129 @@
+//! Plaintext metrics exposition for scraping.
+//!
+//! Renders a [`Registry`] in the Prometheus text format (the
+//! `text/plain; version=0.0.4` exposition format): counters and gauges
+//! as single samples, histograms as cumulative `_bucket{le="..."}`
+//! series plus `_count`. Instrument names are sanitized to the metric
+//! charset (`[a-zA-Z0-9_]`) and prefixed, so a registry shared with the
+//! deterministic-run machinery exports without renaming anything.
+//!
+//! The output is deterministic: instruments render in registration
+//! order, floats in shortest-roundtrip form. `arq serve --metrics`
+//! serves exactly this text over HTTP.
+
+use crate::registry::Registry;
+use std::fmt::Write;
+
+/// Sanitizes an instrument name into the metric-name charset.
+fn metric_name(prefix: &str, name: &str) -> String {
+    let mut out = String::with_capacity(prefix.len() + 1 + name.len());
+    out.push_str(prefix);
+    out.push('_');
+    for ch in name.chars() {
+        out.push(if ch.is_ascii_alphanumeric() || ch == '_' {
+            ch
+        } else {
+            '_'
+        });
+    }
+    out
+}
+
+/// Renders a float the way Prometheus expects (`+Inf` spelled out).
+fn render_f64(x: f64) -> String {
+    if x == f64::INFINITY {
+        "+Inf".to_string()
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Renders `registry` in the Prometheus plaintext exposition format,
+/// with every metric name prefixed by `prefix` (e.g. `arq`).
+pub fn to_prometheus(registry: &Registry, prefix: &str) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.counters() {
+        let m = metric_name(prefix, name);
+        let _ = writeln!(out, "# TYPE {m} counter");
+        let _ = writeln!(out, "{m} {value}");
+    }
+    for (name, value) in registry.gauges() {
+        let m = metric_name(prefix, name);
+        let _ = writeln!(out, "# TYPE {m} gauge");
+        let _ = writeln!(out, "{m} {}", render_f64(*value));
+    }
+    for (name, h) in registry.histograms() {
+        let m = metric_name(prefix, name);
+        let _ = writeln!(out, "# TYPE {m} histogram");
+        // Cumulative buckets; the fixed-range histogram's underflow
+        // belongs to every bucket (observations below `lo` are ≤ any
+        // finite edge) and overflow only to +Inf.
+        let mut cumulative = h.underflow();
+        let n = h.buckets().len();
+        for (i, &c) in h.buckets().iter().enumerate() {
+            cumulative += c;
+            // The upper edge of bucket i is the lower edge of i+1 (the
+            // last edge is exactly `hi`).
+            let le = if i + 1 == n {
+                h.hi()
+            } else {
+                h.bucket_lo(i + 1)
+            };
+            let _ = writeln!(out, "{m}_bucket{{le=\"{}\"}} {cumulative}", render_f64(le));
+        }
+        let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{m}_count {}", h.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let mut r = Registry::new();
+        let c = r.counter("events_total");
+        r.inc(c, 41);
+        r.inc(c, 1);
+        let g = r.gauge("queue depth"); // space sanitized to underscore
+        r.set(g, 0.5);
+        let text = to_prometheus(&r, "arq");
+        assert!(text.contains("# TYPE arq_events_total counter\narq_events_total 42\n"));
+        assert!(text.contains("# TYPE arq_queue_depth gauge\narq_queue_depth 0.5\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut r = Registry::new();
+        let h = r.histogram("lat", 0.0, 4.0, 4);
+        for x in [0.5, 1.5, 1.6, 3.5, 9.0] {
+            r.observe(h, x);
+        }
+        let text = to_prometheus(&r, "arq");
+        assert!(text.contains("arq_lat_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("arq_lat_bucket{le=\"2\"} 3"), "{text}");
+        assert!(text.contains("arq_lat_bucket{le=\"4\"} 4"), "{text}");
+        assert!(text.contains("arq_lat_bucket{le=\"+Inf\"} 5"), "{text}");
+        assert!(text.contains("arq_lat_count 5"), "{text}");
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(to_prometheus(&Registry::new(), "arq"), "");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let build = || {
+            let mut r = Registry::new();
+            let a = r.counter("a");
+            r.inc(a, 7);
+            let h = r.histogram("b", 0.0, 10.0, 2);
+            r.observe(h, 3.0);
+            to_prometheus(&r, "p")
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -28,10 +28,12 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod export;
 pub mod registry;
 pub mod series;
 
 pub use event::{DropKind, Event};
+pub use export::to_prometheus;
 pub use registry::{CounterId, GaugeId, HistogramId, Registry};
 pub use series::BlockSeries;
 

@@ -104,9 +104,30 @@ impl Registry {
             .map(|(_, h)| h)
     }
 
+    /// Inserts (or replaces) a pre-filled histogram under `name`. This
+    /// is how a service snapshots hot-path instruments kept outside the
+    /// registry (behind their own locks) into a scrapeable view.
+    pub fn adopt_histogram(&mut self, name: &str, h: Histogram) {
+        if let Some(slot) = self.histograms.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = h;
+        } else {
+            self.histograms.push((name.to_string(), h));
+        }
+    }
+
     /// Counters in registration order.
     pub fn counters(&self) -> &[(String, u64)] {
         &self.counters
+    }
+
+    /// Gauges in registration order.
+    pub fn gauges(&self) -> &[(String, f64)] {
+        &self.gauges
+    }
+
+    /// Histograms in registration order.
+    pub fn histograms(&self) -> &[(String, Histogram)] {
+        &self.histograms
     }
 }
 
@@ -171,6 +192,19 @@ mod tests {
         assert_eq!(r.counter_value("gamma"), None);
         let names: Vec<&str> = r.counters().iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, ["alpha", "beta"]);
+    }
+
+    #[test]
+    fn adopt_histogram_inserts_and_replaces() {
+        let mut r = Registry::new();
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.record(1.0);
+        r.adopt_histogram("lat", h.clone());
+        assert_eq!(r.histogram_value("lat").unwrap().count(), 1);
+        h.record(2.0);
+        r.adopt_histogram("lat", h);
+        assert_eq!(r.histogram_value("lat").unwrap().count(), 2);
+        assert_eq!(r.histograms().len(), 1);
     }
 
     #[test]

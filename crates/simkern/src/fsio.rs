@@ -1,0 +1,117 @@
+//! Crash-safe file output.
+//!
+//! Every artifact the workspace persists — `results/*.json`,
+//! `BENCH_*.json`, `arq run --out` artifact arrays, CSV traces, serve
+//! checkpoints — goes through [`write_atomic`]: write the full contents
+//! to a temporary file in the destination directory, fsync it, then
+//! rename it over the target. A reader (or a restarted process) can
+//! therefore never observe a truncated file: it sees either the old
+//! contents or the new ones, even if the writer is SIGKILLed mid-write.
+//!
+//! The temporary name embeds the process id so two concurrent writers
+//! of the same artifact cannot corrupt each other's staging file; the
+//! last rename wins, which is the same last-writer-wins outcome a plain
+//! `fs::write` race would have, minus the torn-file failure mode.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Atomically replaces `path` with `bytes`: write to a temporary file
+/// in the same directory, fsync, rename. On any error the target file
+/// is untouched (a stale temp file may remain and is overwritten by the
+/// next attempt from the same pid).
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("not a file path: {}", path.display()),
+        )
+    })?;
+    let tmp_name = format!(
+        ".{}.tmp-{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => Path::new(&tmp_name).to_path_buf(),
+    };
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    // Durability before visibility: the contents must be on disk before
+    // the rename makes them reachable under the real name, otherwise a
+    // crash between rename and writeback leaves a visible empty file.
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })?;
+    // Persist the rename itself. Directory fsync is not supported
+    // everywhere (e.g. Windows); failure to sync the directory does not
+    // un-write the file, so it is best-effort.
+    if let Some(d) = dir {
+        if let Ok(dirf) = File::open(d) {
+            let _ = dirf.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// [`write_atomic`] for string contents.
+pub fn write_atomic_str(path: impl AsRef<Path>, text: &str) -> io::Result<()> {
+    write_atomic(path, text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("arq-fsio-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let path = tmp_dir().join("artifact.json");
+        write_atomic_str(&path, "{\"v\":1}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        write_atomic_str(&path, "{\"v\":2}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+    }
+
+    #[test]
+    fn leaves_no_temp_file_behind() {
+        let dir = tmp_dir();
+        let path = dir.join("clean.json");
+        write_atomic_str(&path, "x").unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("clean.json.tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+    }
+
+    #[test]
+    fn rejects_directory_targets() {
+        let dir = tmp_dir();
+        assert!(write_atomic_str(dir.join(".."), "x").is_err());
+    }
+
+    #[test]
+    fn bare_relative_path_works() {
+        let dir = tmp_dir();
+        let prev = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let result = write_atomic_str("bare.json", "ok");
+        std::env::set_current_dir(prev).unwrap();
+        result.unwrap();
+        assert_eq!(fs::read_to_string(dir.join("bare.json")).unwrap(), "ok");
+    }
+}

@@ -23,7 +23,9 @@
 //! * [`chart`] — ASCII line charts used to render the paper's figures into
 //!   `EXPERIMENTS.md`;
 //! * [`json`] — dependency-free JSON values and serialization with
-//!   insertion-ordered objects, so experiment artifacts are byte-stable.
+//!   insertion-ordered objects, so experiment artifacts are byte-stable;
+//! * [`fsio`] — crash-safe artifact output (write-temp, fsync, rename),
+//!   so an interrupted run can never leave a truncated file.
 //!
 //! The kernel deliberately does not prescribe an event *type*: each
 //! simulator (e.g. `arq-gnutella`) defines its own event enum and drains an
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod fsio;
 pub mod json;
 pub mod queue;
 pub mod rng;
@@ -41,6 +44,7 @@ pub mod stats;
 pub mod time;
 pub mod timer;
 
+pub use fsio::{write_atomic, write_atomic_str};
 pub use json::{Json, ToJson};
 pub use queue::{EventQueue, HeapQueue, SchedulePastError};
 pub use rng::{Rng64, SplitMix64, StreamFactory};

@@ -1,0 +1,204 @@
+//! Crash-safety of `arq serve`, exercised at the process level: a run
+//! killed with SIGKILL mid-stream and restarted from its checkpoint
+//! must reach exactly the ruleset digest of an uninterrupted run.
+//!
+//! This is the binary-level twin of the in-process restart test in
+//! `arq::serve` — it additionally covers process startup, the signal
+//! handlers, and the on-disk checkpoint surviving a hard kill.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn arq_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_arq")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("arq-serve-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = Command::new(arq_bin()).args(args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "arq {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn digest_of(summary: &Path) -> String {
+    let text = std::fs::read_to_string(summary).unwrap();
+    let doc = arq_simkern::json::parse(&text).unwrap();
+    doc.get("ruleset_digest")
+        .and_then(arq_simkern::Json::as_str)
+        .expect("summary has ruleset_digest")
+        .to_string()
+}
+
+#[test]
+fn sigkill_and_restart_reach_the_uninterrupted_digest() {
+    let dir = temp_dir("kill");
+    let stream = dir.join("events.bin");
+    let ckpt = dir.join("serve.ckpt");
+    let ref_out = dir.join("reference.json");
+    let restart_out = dir.join("restart.json");
+    let stream_s = stream.to_str().unwrap();
+    let ckpt_s = ckpt.to_str().unwrap();
+
+    run_ok(&[
+        "gen-events",
+        "--pairs",
+        "60000",
+        "--seed",
+        "11",
+        "--route-every",
+        "5000",
+        "--out",
+        stream_s,
+    ]);
+
+    let maintainer = "incremental(t=4,hl=8000)";
+    // Uninterrupted reference run (no spin, fast).
+    run_ok(&[
+        "serve",
+        "--input",
+        stream_s,
+        "--maintainer",
+        maintainer,
+        "--block",
+        "5000",
+        "--out",
+        ref_out.to_str().unwrap(),
+    ]);
+    let reference = digest_of(&ref_out);
+
+    // Victim run: slowed down so the kill lands mid-stream, with
+    // frequent checkpoints.
+    let mut victim = Command::new(arq_bin())
+        .args([
+            "serve",
+            "--input",
+            stream_s,
+            "--maintainer",
+            maintainer,
+            "--block",
+            "5000",
+            "--checkpoint",
+            ckpt_s,
+            "--checkpoint-every",
+            "1000",
+            "--spin",
+            "20000",
+        ])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    // Give it time to write at least one checkpoint, then SIGKILL —
+    // no drain, no final checkpoint, exactly a crash.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !ckpt.exists() {
+        assert!(Instant::now() < deadline, "victim never wrote a checkpoint");
+        assert!(
+            victim.try_wait().unwrap().is_none(),
+            "victim finished before it could be killed; raise --spin"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    victim.kill().unwrap();
+    victim.wait().unwrap();
+    assert!(ckpt.exists(), "checkpoint must survive the kill");
+
+    // Restart from the checkpoint over the full stream: the replay
+    // cursor skips what was already absorbed, and the final digest is
+    // byte-equal to the uninterrupted run's.
+    let report = run_ok(&[
+        "serve",
+        "--input",
+        stream_s,
+        "--maintainer",
+        maintainer,
+        "--block",
+        "5000",
+        "--checkpoint",
+        ckpt_s,
+        "--checkpoint-every",
+        "1000",
+        "--out",
+        restart_out.to_str().unwrap(),
+    ]);
+    assert_eq!(digest_of(&restart_out), reference, "report:\n{report}");
+
+    let restarted = std::fs::read_to_string(&restart_out).unwrap();
+    let doc = arq_simkern::json::parse(&restarted).unwrap();
+    let skipped = doc
+        .get("skipped")
+        .and_then(arq_simkern::Json::as_f64)
+        .unwrap();
+    let pairs = doc
+        .get("pairs")
+        .and_then(arq_simkern::Json::as_f64)
+        .unwrap();
+    assert!(skipped > 0.0, "restart should resume, not replay from zero");
+    assert_eq!(skipped + pairs, 60_000.0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigterm_drains_and_writes_the_summary() {
+    let dir = temp_dir("term");
+    let stream = dir.join("events.bin");
+    let out = dir.join("summary.json");
+    run_ok(&[
+        "gen-events",
+        "--pairs",
+        "30000",
+        "--seed",
+        "3",
+        "--out",
+        stream.to_str().unwrap(),
+    ]);
+    let mut victim = Command::new(arq_bin())
+        .args([
+            "serve",
+            "--input",
+            stream.to_str().unwrap(),
+            "--block",
+            "5000",
+            "--spin",
+            "20000",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    // SIGTERM, not SIGKILL: the service must drain and exit 0.
+    let term = Command::new("kill")
+        .args(["-TERM", &victim.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(term.success());
+    let status = victim.wait().unwrap();
+    assert!(status.success(), "SIGTERM must drain cleanly, got {status}");
+    let text = std::fs::read_to_string(&out).expect("summary written on SIGTERM");
+    let doc = arq_simkern::json::parse(&text).unwrap();
+    assert_eq!(
+        doc.get("drained").and_then(|j| match j {
+            arq_simkern::Json::Bool(b) => Some(*b),
+            _ => None,
+        }),
+        Some(false),
+        "a mid-stream SIGTERM is an early (but clean) stop"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
