@@ -22,6 +22,7 @@ use arq_assoc::pairs::{mine_pairs_with_confidence, PairMiner, RuleSet};
 use arq_core::engine;
 use arq_core::engine::{RunArtifact, RunSpec, TraceSource};
 use arq_core::evaluate;
+use arq_core::sweep;
 use arq_gnutella::sim::SimConfig;
 use arq_simkern::chart::{render, ChartOptions};
 use arq_simkern::{Json, ToJson};
@@ -169,8 +170,9 @@ COMMANDS:
               offered-load sweep under byte-accurate congested links
               (latency percentiles + per-node byte budgets per policy);
               every parallel artifact is checked byte-identical to the
-              serial one; the JSON lands in BENCH_8.json unless --out
-              overrides
+              serial one; also times sweep-plan orchestration (journaled
+              run_sweep vs direct execution of the same jobs); the JSON
+              lands in BENCH_9.json unless --out overrides
   gen-events  render a synthetic trace as a framed event stream for serve
               [--pairs N] [--seed S] [--route-every N] --out FILE
               frames are `<len>\\n<json>\\n`; every pair becomes a
@@ -193,6 +195,21 @@ COMMANDS:
               every --checkpoint-every pairs and at drain (SIGTERM/EOF);
               --metrics serves Prometheus plaintext over HTTP; --out
               writes the summary artifact (incl. the ruleset digest)
+  sweep       run a declarative sweep plan (see plans/ and DESIGN.md)
+              run PLAN [--out DIR] [--spin MS]
+              resume PLAN [--out DIR] [--spin MS]
+              show PLAN
+              a plan (TOML or JSON) declares a base run plus axes — a
+              grid or a seeded latin-hypercube over registry spec
+              parameters — and expands to a deterministic job list;
+              run fans the jobs over ARQ_THREADS workers, journals
+              every completion durably (journal.jsonl, fsync'd per
+              line), and writes report.json + runbook.json atomically;
+              resume skips exactly the journaled jobs and converges to
+              byte-identical outputs even after kill -9; show prints
+              the expansion without running anything; --out defaults
+              to sweeps/<plan-name>; --spin sleeps each worker MS per
+              job (test hook for crash/resume drills)
   help        print this text
 ";
 
@@ -213,6 +230,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "bench" => cmd_bench(rest),
         "gen-events" => cmd_gen_events(rest),
         "serve" => cmd_serve(rest),
+        "sweep" => cmd_sweep(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -928,9 +946,9 @@ fn ratio(before: f64, after: f64) -> f64 {
 /// rebuilt engine (calendar queue + SoA node state) against it.
 const BENCH_5_SIM_SERIAL_SECS: f64 = 0.883298658;
 
-/// `arq bench` — the perf-baseline harness behind `BENCH_8.json`.
+/// `arq bench` — the perf-baseline harness behind `BENCH_9.json`.
 ///
-/// Six measurements of the sharded/pipelined hot path:
+/// Seven measurements of the sharded/pipelined hot path:
 ///
 /// 1. **mining** (E3-shaped): per-block rule mining over the calibrated
 ///    drifting trace — reference `mine_pairs` (HashMap tally) vs the
@@ -956,14 +974,18 @@ const BENCH_5_SIM_SERIAL_SECS: f64 = 0.883298658;
 ///    capacity is measured with lossless backpressure, then 1x/4x/16x
 ///    that rate is offered through a paced reader in `--shed` mode,
 ///    recording route-lookup p50/p99, shed rates, and refresh skips
-///    (the bounded-latency-under-overload contract).
+///    (the bounded-latency-under-overload contract);
+/// 7. **sweep**: plan expansion plus the per-job orchestration overhead
+///    of the journaled sweep runner — the same jobs through `run_sweep`
+///    (fsync'd journal, report assembly) vs directly through the
+///    executor, with a resume pass asserting every job is skipped.
 fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args, &["quick"])?;
     let quick = flags.has("quick");
     let seed: u64 = flags.parse_num("seed", RUN_SEED)?;
     let threads: usize = flags.parse_num("threads", engine::thread_count())?;
     let threads = threads.max(1);
-    let out = flags.get("out").unwrap_or("BENCH_8.json").to_string();
+    let out = flags.get("out").unwrap_or("BENCH_9.json").to_string();
     let iters: usize = flags.parse_num("iters", if quick { 1 } else { 3 })?;
     let total_pairs: usize = flags.parse_num("pairs", if quick { 200_000 } else { 600_000 })?;
     let block_size: usize = flags.parse_num("block", 50_000)?;
@@ -1352,6 +1374,70 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         ]));
     }
 
+    // 7. Sweep orchestration overhead: the same jobs through the
+    //    journaled sweep runner (plan expansion, fsync'd journal,
+    //    report assembly) vs directly through the executor, plus a
+    //    resume pass that must skip every completed job. Measures what
+    //    `arq sweep` costs over `engine::execute` per job.
+    let sweep_pairs: usize = if quick { 8_000 } else { 24_000 };
+    let sweep_plan_text = format!(
+        "name = \"bench-sweep\"\nkind = \"trace-eval\"\nseed = {seed}\n\n\
+         [base]\npairs = {sweep_pairs}\nblock = 2000\nstrategy = \"sliding(s=10)\"\n\n\
+         [[axis]]\nkey = \"strategy.s\"\nvalues = [3, 5, 10, 20]\n"
+    );
+    let sweep_plan = sweep::SweepPlan::parse(&sweep_plan_text, "bench-sweep.toml")
+        .map_err(|e| err(format!("sweep bench: {e}")))?;
+    let expand_start = Instant::now();
+    let sweep_jobs = sweep::expand(&sweep_plan).map_err(|e| err(format!("sweep bench: {e}")))?;
+    let expand_secs = expand_start.elapsed().as_secs_f64();
+    let sweep_specs: Vec<RunSpec> = sweep_jobs.iter().map(|j| j.spec.clone()).collect();
+    let direct_start = Instant::now();
+    let direct_artifacts = engine::execute_with_threads(&sweep_specs, threads)
+        .map_err(|e| err(format!("sweep bench: {e}")))?;
+    let direct_secs = direct_start.elapsed().as_secs_f64();
+    let sweep_dir = std::env::temp_dir().join(format!("arq-bench-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&sweep_dir);
+    let sweep_start = Instant::now();
+    let outcome = sweep::run_sweep(&sweep_plan, &sweep_jobs, &sweep_dir, false, 0, threads)
+        .map_err(|e| err(format!("sweep bench: {e}")))?;
+    let sweep_secs = sweep_start.elapsed().as_secs_f64();
+    let resume_start = Instant::now();
+    let resumed = sweep::run_sweep(&sweep_plan, &sweep_jobs, &sweep_dir, true, 0, threads)
+        .map_err(|e| err(format!("sweep bench: {e}")))?;
+    let resume_secs = resume_start.elapsed().as_secs_f64();
+    let sweep_resume_clean = resumed.jobs_skipped == resumed.jobs_total
+        && resumed.report.to_string() == outcome.report.to_string();
+    // The runner must hand back the same artifacts the executor does:
+    // match each runbook row's content digest against the direct run.
+    let direct_digests: Vec<String> = direct_artifacts
+        .iter()
+        .map(|a| format!("{:016x}", sweep::artifact_content_digest(a)))
+        .collect();
+    let runbook_digests: Vec<String> = outcome
+        .runbook
+        .get("jobs")
+        .and_then(Json::as_array)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| r.get("artifact_digest").and_then(Json::as_str))
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    let sweep_identical = direct_digests == runbook_digests;
+    let _ = std::fs::remove_dir_all(&sweep_dir);
+    let sweep_overhead = ratio(sweep_secs, direct_secs);
+    let _ = writeln!(
+        report,
+        "sweep    {} jobs ({sweep_pairs} pairs each): expand {expand_secs:.3}s, direct \
+         {direct_secs:.3}s, journaled {sweep_secs:.3}s ({sweep_overhead:.2}x), resume \
+         {resume_secs:.3}s skipped {}/{} (artifacts identical: {sweep_identical}, resume \
+         clean: {sweep_resume_clean})",
+        sweep_jobs.len(),
+        resumed.jobs_skipped,
+        resumed.jobs_total
+    );
+
     let mut sim_section = vec![
         (
             "workload".to_string(),
@@ -1377,7 +1463,7 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         ));
     }
     let doc = Json::Obj(vec![
-        ("bench".into(), Json::from("BENCH_8")),
+        ("bench".into(), Json::from("BENCH_9")),
         ("quick".into(), Json::from(quick)),
         ("threads".into(), Json::from(threads)),
         ("seed".into(), Json::from(seed)),
@@ -1460,10 +1546,95 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
                 ("rows".into(), Json::Arr(serve_rows)),
             ]),
         ),
+        (
+            "sweep".into(),
+            Json::Obj(vec![
+                (
+                    "workload".into(),
+                    Json::from("journaled sweep runner vs direct executor"),
+                ),
+                ("jobs".into(), Json::from(sweep_jobs.len())),
+                ("pairs_per_job".into(), Json::from(sweep_pairs)),
+                ("expand_secs".into(), Json::from(expand_secs)),
+                ("direct_secs".into(), Json::from(direct_secs)),
+                ("sweep_secs".into(), Json::from(sweep_secs)),
+                ("overhead".into(), Json::from(sweep_overhead)),
+                ("resume_secs".into(), Json::from(resume_secs)),
+                ("resume_clean".into(), Json::from(sweep_resume_clean)),
+                ("artifacts_identical".into(), Json::from(sweep_identical)),
+            ]),
+        ),
     ]);
     arq_simkern::write_atomic_str(&out, &doc.to_string_pretty())
         .map_err(|e| err(format!("writing {out}: {e}")))?;
     let _ = writeln!(report, "wrote {out}");
+    Ok(report)
+}
+
+/// `arq sweep` — run, resume, or inspect a declarative sweep plan.
+fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err(err("sweep needs an action: run | resume | show"));
+    };
+    if !matches!(action.as_str(), "run" | "resume" | "show") {
+        return Err(err(format!(
+            "unknown sweep action `{action}` (run | resume | show)"
+        )));
+    }
+    let Some((plan_path, rest)) = rest.split_first() else {
+        return Err(err(format!("sweep {action} needs a plan file")));
+    };
+    let flags = Flags::parse(rest, &[])?;
+    let plan = sweep::SweepPlan::load(plan_path).map_err(|e| err(e.to_string()))?;
+    let jobs = sweep::expand(&plan).map_err(|e| err(e.to_string()))?;
+    let mut report = String::new();
+    if action == "show" {
+        let _ = writeln!(
+            report,
+            "plan {}  kind {}  seed {}  sampler {}  hash {:016x}",
+            plan.name,
+            plan.kind.label(),
+            plan.seed,
+            plan.sampler.describe(),
+            plan.hash()
+        );
+        let _ = writeln!(report, "{} job(s):", jobs.len());
+        for job in &jobs {
+            let params = if job.params.is_empty() {
+                "(base)".to_string()
+            } else {
+                job.params
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", v.render()))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let _ = writeln!(
+                report,
+                "  #{:<3} {:<24} {params}  [{:016x}]",
+                job.index,
+                job.spec.subject(),
+                job.spec.digest()
+            );
+        }
+        return Ok(report);
+    }
+    let resume = action == "resume";
+    let spin: u64 = flags.parse_num("spin", 0)?;
+    let out_dir = flags
+        .get("out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::Path::new("sweeps").join(&plan.name));
+    let outcome = sweep::run_sweep(&plan, &jobs, &out_dir, resume, spin, engine::thread_count())
+        .map_err(|e| err(e.to_string()))?;
+    let _ = writeln!(
+        report,
+        "sweep {}: {} jobs ({} run, {} skipped)",
+        plan.name, outcome.jobs_total, outcome.jobs_run, outcome.jobs_skipped
+    );
+    let _ = writeln!(report, "  report  -> {}", outcome.report_path.display());
+    let _ = writeln!(report, "  runbook -> {}", outcome.runbook_path.display());
+    let _ = writeln!(report, "  journal -> {}", outcome.journal_path.display());
     Ok(report)
 }
 
@@ -1583,6 +1754,69 @@ mod tests {
             Some(digest.as_str())
         );
         let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn sweep_show_run_resume_round_trip() {
+        let plan_path = tmp("cli-sweep.toml");
+        std::fs::write(
+            &plan_path,
+            "name = \"cli-sweep\"\nkind = \"trace-eval\"\nseed = 5\n\n[base]\npairs = 6000\n\
+             block = 2000\nstrategy = \"sliding(s=10)\"\n\n[[axis]]\nkey = \"strategy.s\"\n\
+             values = [3, 5]\n",
+        )
+        .unwrap();
+        let out_dir = tmp("cli-sweep-out");
+        let _ = std::fs::remove_dir_all(&out_dir);
+
+        let out = run(&args(&format!("sweep show {plan_path}"))).unwrap();
+        assert!(
+            out.contains("plan cli-sweep  kind trace-eval  seed 5"),
+            "{out}"
+        );
+        assert!(out.contains("2 job(s):"), "{out}");
+        assert!(out.contains("strategy.s=3"), "{out}");
+
+        let out = run(&args(&format!("sweep run {plan_path} --out {out_dir}"))).unwrap();
+        assert!(
+            out.contains("sweep cli-sweep: 2 jobs (2 run, 0 skipped)"),
+            "{out}"
+        );
+        let report_path = std::path::Path::new(&out_dir).join("report.json");
+        let first = std::fs::read(&report_path).unwrap();
+        let doc = arq_simkern::json::parse(std::str::from_utf8(&first).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("rows").and_then(Json::as_array).map(|r| r.len()),
+            Some(2)
+        );
+
+        // Resume over a finished sweep skips every job and reassembles
+        // identical bytes from the journal.
+        let out = run(&args(&format!("sweep resume {plan_path} --out {out_dir}"))).unwrap();
+        assert!(out.contains("(0 run, 2 skipped)"), "{out}");
+        assert_eq!(std::fs::read(&report_path).unwrap(), first);
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_actions_and_bad_plans() {
+        let e = run(&args("sweep")).unwrap_err();
+        assert!(e.0.contains("run | resume | show"), "{e}");
+        let e = run(&args("sweep frobnicate plan.toml")).unwrap_err();
+        assert!(e.0.contains("unknown sweep action"), "{e}");
+        let e = run(&args("sweep show /nonexistent/plan.toml")).unwrap_err();
+        assert!(e.0.contains("plan.toml"), "{e}");
+        // Plan-file diagnostics match registry-spec quality: unknown
+        // keys list the valid vocabulary.
+        let bad = tmp("cli-sweep-bad.toml");
+        std::fs::write(
+            &bad,
+            "name = \"bad\"\nkind = \"trace-eval\"\nseed = 1\n\n[base]\nblok = 2000\n",
+        )
+        .unwrap();
+        let e = run(&args(&format!("sweep show {bad}"))).unwrap_err();
+        assert!(e.0.contains("unknown key `blok`"), "{e}");
+        assert!(e.0.contains("valid:"), "{e}");
     }
 
     #[test]
@@ -1895,7 +2129,7 @@ mod tests {
         assert!(report.contains("rules identical: true"), "{report}");
         assert!(report.contains("artifacts identical: true"), "{report}");
         let doc = arq_simkern::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
-        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("BENCH_8"));
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("BENCH_9"));
         for section in ["mining", "pipeline", "sim"] {
             let s = doc
                 .get(section)

@@ -84,7 +84,9 @@ fn main() {
          Using Association Analysis* (Connelly et al., ICPP 2006). The paper's trace\n\
          is replaced by the calibrated synthetic generator described in `DESIGN.md`\n\
          §5, so *shapes and orderings* are the reproduction target, not absolute\n\
-         values. Regenerate with:\n\n\
+         values. Each experiment is a thin wrapper over a checked-in sweep plan\n\
+         (see `DESIGN.md` §13); the plan link under each heading reruns that\n\
+         experiment standalone via `arq sweep run`. Regenerate everything with:\n\n\
          ```\ncargo run --release -p arq-bench --bin experiments{}\n```\n\n\
          Scale: {} blocks × {} pairs, live sims {} nodes / {} queries. Seed: {}.\n",
         if args.quick { " -- --quick" } else { "" },

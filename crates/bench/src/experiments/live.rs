@@ -1,34 +1,30 @@
 //! Live-network experiments: forwarding policies inside the protocol
 //! simulator (E7, E10, E11, E13, E15, E16, E17).
 //!
-//! Each experiment describes its runs as [`RunSpec::LiveSim`]s over
-//! registry policy strings and fans them through the engine executor.
-//! Policy-specific counters (rule usage, index hits, …) arrive through
-//! the artifact's `stats` — no experiment touches a concrete policy
-//! type, except E11's phase-1 downcast to read the learned rules.
+//! Each experiment is a thin wrapper over its checked-in sweep plan
+//! (`plans/eN.toml`): rescale to `(scale, seed)`, expand, execute,
+//! render the historical rows. Policy-specific counters (rule usage,
+//! index hits, …) arrive through the artifact's `stats`. The one
+//! exception is E11, which stays code-driven: its phase-2 replays run
+//! over prebuilt (rule-adapted) overlay graphs, which no plan key can
+//! express, and its phase 1 downcasts the concrete policy to read the
+//! learned rules.
 
-use super::{artifacts_json, execute, live_cfg, live_spec, metrics_row, ExperimentReport, Scale};
+use super::{artifacts_json, by_params, metrics_row, plan_at, run_plan, ExperimentReport, Scale};
+use arq::content::CatalogConfig;
 use arq::core::engine::{self, RunSpec};
 use arq::core::topology::{apply_shortcuts, propose_shortcuts};
 use arq::core::AssocPolicy;
-use arq::gnutella::sim::Topology;
-use arq::gnutella::LinkPlan;
+use arq::gnutella::sim::{SimConfig, Topology};
+use arq::overlay::ChurnConfig;
 use arq::simkern::time::Duration;
 use arq::simkern::Json;
 use std::sync::Arc;
 
 /// E7 — end-to-end traffic comparison across policies.
 pub fn e7_traffic(scale: Scale, seed: u64) -> ExperimentReport {
-    let cfg = live_cfg(scale, seed);
-    let schemes = [
-        "flood",
-        "expanding-ring",
-        "k-walk",
-        "shortcuts",
-        "routing-index",
-        "assoc",
-    ];
-    let artifacts = execute(schemes.iter().map(|s| live_spec(&cfg, s)).collect());
+    let plan = plan_at(include_str!("../../../../plans/e7.toml"), "e7", scale, seed);
+    let (_, artifacts) = run_plan(&plan);
     let rows = artifacts
         .iter()
         .map(|a| {
@@ -53,14 +49,14 @@ pub fn e7_traffic(scale: Scale, seed: u64) -> ExperimentReport {
 /// E10 — consequent-selection ablation (§III-B.1): top-k by support vs
 /// random-k, k ∈ {1, 2, 3}.
 pub fn e10_topk(scale: Scale, seed: u64) -> ExperimentReport {
-    let cfg = live_cfg(scale, seed);
-    let variants: Vec<(usize, bool)> = vec![(1, true), (2, true), (3, true), (2, false)];
-    let artifacts = execute(
-        variants
-            .iter()
-            .map(|&(k, top)| live_spec(&cfg, &format!("assoc(k={k},top={})", u8::from(top))))
-            .collect(),
+    let plan = plan_at(
+        include_str!("../../../../plans/e10.toml"),
+        "e10",
+        scale,
+        seed,
     );
+    let (_, artifacts) = run_plan(&plan);
+    let variants: Vec<(usize, bool)> = vec![(1, true), (2, true), (3, true), (2, false)];
     let label = |&(k, top): &(usize, bool)| {
         format!("k={k}, {}", if top { "top-by-support" } else { "random-k" })
     };
@@ -104,6 +100,26 @@ pub fn e10_topk(scale: Scale, seed: u64) -> ExperimentReport {
     }
 }
 
+/// The default live-simulation config E11 builds by hand — the same
+/// world the live plan bases describe (ttl 6, 20×200 catalog, churn);
+/// only the code-driven experiment still needs it as a value.
+fn live_cfg(scale: Scale, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::default_with(scale.live_nodes, scale.live_queries, seed);
+    cfg.topology = Topology::BarabasiAlbert { m: 3 };
+    cfg.ttl = 6;
+    cfg.catalog = CatalogConfig {
+        topics: 20,
+        files_per_topic: 200,
+        ..Default::default()
+    };
+    cfg.churn = Some(ChurnConfig {
+        mean_session: Duration::from_ticks(2_000_000),
+        mean_downtime: Duration::from_ticks(600_000),
+        pinned: vec![],
+    });
+    cfg
+}
+
 /// E11 — topology adaptation from learned rules (§VI). Phase 1 learns
 /// associations online ([`engine::run_live`] returns the concrete policy
 /// for the rule readout); phase 2 replays the same workload on the
@@ -125,7 +141,7 @@ pub fn e11_topology(scale: Scale, seed: u64) -> ExperimentReport {
     let after_mpl = arq::overlay::algo::mean_path_length(&adapted, 64);
     // Phase 2: same workload (same seed) on both overlays; the digest in
     // each artifact distinguishes them by edge count.
-    let artifacts = execute(vec![
+    let specs = vec![
         RunSpec::LiveSim {
             cfg: cfg.clone(),
             policy: "flood".into(),
@@ -138,7 +154,8 @@ pub fn e11_topology(scale: Scale, seed: u64) -> ExperimentReport {
             graph: Some(Arc::new(adapted)),
             obs: None,
         },
-    ]);
+    ];
+    let artifacts = engine::execute(&specs).expect("flood is registered");
     let hops = |a: &arq::core::RunArtifact| {
         a.metrics()
             .expect("live spec")
@@ -173,13 +190,13 @@ pub fn e11_topology(scale: Scale, seed: u64) -> ExperimentReport {
 /// E13 — hybrid shortcuts + rules pipeline (§VI): association rules as
 /// the "last chance to avoid flooding" behind interest shortcuts.
 pub fn e13_hybrid(scale: Scale, seed: u64) -> ExperimentReport {
-    let cfg = live_cfg(scale, seed);
-    let artifacts = execute(
-        ["flood", "shortcuts", "assoc", "hybrid"]
-            .iter()
-            .map(|s| live_spec(&cfg, s))
-            .collect(),
+    let plan = plan_at(
+        include_str!("../../../../plans/e13.toml"),
+        "e13",
+        scale,
+        seed,
     );
+    let (_, artifacts) = run_plan(&plan);
     let rows = artifacts
         .iter()
         .map(|a| {
@@ -214,44 +231,45 @@ pub fn e13_hybrid(scale: Scale, seed: u64) -> ExperimentReport {
 /// plain association routing, and the failure-adaptive variant. Every
 /// run keeps the same bounded-retry lifecycle so the policies are
 /// compared on equal recovery budgets; the zero-loss rows are asserted
-/// byte-identical to baselines that have no fault layer at all.
+/// byte-identical to baselines that have no fault layer at all. The
+/// grid expands faults-major, so the historical policy-major rows are
+/// recovered by param lookup.
 pub fn e16_degradation(scale: Scale, seed: u64) -> ExperimentReport {
     const POLICIES: [&str; 3] = ["flood", "assoc", "assoc-adaptive"];
     const LOSSES: [f64; 4] = [0.0, 0.05, 0.15, 0.30];
-    let mut cfg = live_cfg(scale, seed);
-    cfg.retry = Some(
-        engine::make_retry_policy("retry(deadline=2000,attempts=3,maxttl=8)")
-            .expect("retry spec is well-formed"),
+    let plan = plan_at(
+        include_str!("../../../../plans/e16.toml"),
+        "e16",
+        scale,
+        seed,
     );
-    let mut specs = Vec::new();
-    for policy in POLICIES {
-        // Baseline: the fault layer absent entirely. The loss=0 row must
-        // reproduce it byte-for-byte (asserted below), which pins the
-        // fault layer's zero-cost-when-idle contract in every run.
-        specs.push(live_spec(&cfg, policy));
-        for loss in LOSSES {
-            let mut faulted = cfg.clone();
-            faulted.faults = Some(
-                engine::make_fault_plan(&format!("faults(loss={loss})"))
-                    .expect("fault spec is well-formed"),
-            );
-            specs.push(live_spec(&faulted, policy));
-        }
-    }
-    let artifacts = execute(specs);
-    let per_policy = 1 + LOSSES.len();
+    let (jobs, artifacts) = run_plan(&plan);
     let mut rows = Vec::new();
     let mut series = Vec::new();
-    for (p, chunk) in POLICIES.iter().zip(artifacts.chunks(per_policy)) {
-        let (baseline, sweep) = (&chunk[0], &chunk[1..]);
+    for p in POLICIES {
+        // Baseline: the fault layer absent entirely (`faults = "none"`).
+        // The loss=0 row must reproduce it byte-for-byte (asserted
+        // below), which pins the fault layer's zero-cost-when-idle
+        // contract in every run.
+        let baseline = by_params(&jobs, &artifacts, &[("policy", p), ("faults", "none")]);
+        let zero = by_params(
+            &jobs,
+            &artifacts,
+            &[("policy", p), ("faults", "faults(loss=0)")],
+        );
         let base_json = arq::simkern::ToJson::to_json(baseline.metrics().expect("live spec"));
-        let zero_json = arq::simkern::ToJson::to_json(sweep[0].metrics().expect("live spec"));
+        let zero_json = arq::simkern::ToJson::to_json(zero.metrics().expect("live spec"));
         assert_eq!(
             base_json.to_string(),
             zero_json.to_string(),
             "zero-loss run diverged from the no-fault baseline for {p}"
         );
-        for (loss, a) in LOSSES.iter().zip(sweep) {
+        for loss in LOSSES {
+            let a = by_params(
+                &jobs,
+                &artifacts,
+                &[("policy", p), ("faults", &format!("faults(loss={loss})"))],
+            );
             let m = a.metrics().expect("live spec");
             let recall = if m.queries == 0 {
                 0.0
@@ -269,8 +287,8 @@ pub fn e16_degradation(scale: Scale, seed: u64) -> ExperimentReport {
                 ),
             ));
             series.push(Json::obj([
-                ("policy", Json::from(*p)),
-                ("loss", Json::from(*loss)),
+                ("policy", Json::from(p)),
+                ("loss", Json::from(loss)),
                 ("artifact", arq::simkern::ToJson::to_json(a)),
             ]));
         }
@@ -294,7 +312,8 @@ pub fn e16_degradation(scale: Scale, seed: u64) -> ExperimentReport {
 /// free-rider uplinks) at rising query rates. Reports query-latency
 /// percentiles and per-node byte budgets from the obs registry
 /// histograms; the zero-capacity rows are asserted byte-identical to
-/// baselines that have no link layer at all.
+/// baselines that have no link layer at all. The plan zips interval,
+/// link plan, and obs on one axis; rows are recovered by param lookup.
 pub fn e17_offered_load(scale: Scale, seed: u64) -> ExperimentReport {
     const POLICIES: [&str; 3] = ["flood", "assoc", "assoc-adaptive"];
     /// Mean inter-query intervals in ticks, highest load last. The
@@ -304,37 +323,13 @@ pub fn e17_offered_load(scale: Scale, seed: u64) -> ExperimentReport {
     const INTERVALS: [u64; 3] = [2_000, 500, 125];
     const CONGESTED: &str =
         "links(up=8,down=32,upbuf=2048,downbuf=8192,loss=0.02,jitter=20,riders=0.2,riderup=2)";
-    let mut cfg = live_cfg(scale, seed);
-    cfg.retry = Some(
-        engine::make_retry_policy("retry(deadline=2000,attempts=3,maxttl=8)")
-            .expect("retry spec is well-formed"),
+    let plan = plan_at(
+        include_str!("../../../../plans/e17.toml"),
+        "e17",
+        scale,
+        seed,
     );
-    let links = engine::make_link_plan(CONGESTED).expect("link spec is well-formed");
-    let mut specs = Vec::new();
-    for policy in POLICIES {
-        // Baseline: no link layer at all, then the same run under an
-        // all-zero (infinite-capacity) plan. The pair must be
-        // byte-identical (asserted below), pinning the link layer's
-        // zero-cost-when-idle contract inside every bench run.
-        specs.push(live_spec(&cfg, policy));
-        let mut noop = cfg.clone();
-        noop.links = Some(LinkPlan::default());
-        specs.push(live_spec(&noop, policy));
-        for interval in INTERVALS {
-            let mut loaded = cfg.clone();
-            loaded.mean_query_interval = Duration::from_ticks(interval);
-            loaded.links = Some(links);
-            specs.push(RunSpec::LiveSim {
-                cfg: loaded,
-                policy: policy.to_string(),
-                graph: None,
-                // Registry histograms only: the event log would dwarf
-                // the artifact under flood congestion.
-                obs: Some("obs(events=0,series=0)".into()),
-            });
-        }
-    }
-    let artifacts = execute(specs);
+    let (jobs, artifacts) = run_plan(&plan);
     let quantile = |a: &engine::RunArtifact, name: &str, p: f64| {
         a.obs
             .as_ref()
@@ -342,11 +337,15 @@ pub fn e17_offered_load(scale: Scale, seed: u64) -> ExperimentReport {
             .and_then(|h| h.quantile(p))
             .unwrap_or(0.0)
     };
-    let per_policy = 2 + INTERVALS.len();
     let mut rows = Vec::new();
     let mut series = Vec::new();
-    for (p, chunk) in POLICIES.iter().zip(artifacts.chunks(per_policy)) {
-        let (baseline, noop, sweep) = (&chunk[0], &chunk[1], &chunk[2..]);
+    for p in POLICIES {
+        // Baseline: no link layer at all (`links = "none"`), then the
+        // same run under an all-zero (infinite-capacity) plan. The pair
+        // must be byte-identical (asserted below), pinning the link
+        // layer's zero-cost-when-idle contract inside every run.
+        let baseline = by_params(&jobs, &artifacts, &[("policy", p), ("links", "none")]);
+        let noop = by_params(&jobs, &artifacts, &[("policy", p), ("links", "links")]);
         let base_json = arq::simkern::ToJson::to_json(baseline.metrics().expect("live spec"));
         let noop_json = arq::simkern::ToJson::to_json(noop.metrics().expect("live spec"));
         assert_eq!(
@@ -354,7 +353,16 @@ pub fn e17_offered_load(scale: Scale, seed: u64) -> ExperimentReport {
             noop_json.to_string(),
             "zero-capacity link run diverged from the no-link baseline for {p}"
         );
-        for (interval, a) in INTERVALS.iter().zip(sweep) {
+        for interval in INTERVALS {
+            let a = by_params(
+                &jobs,
+                &artifacts,
+                &[
+                    ("policy", p),
+                    ("interval", &interval.to_string()),
+                    ("links", CONGESTED),
+                ],
+            );
             let m = a.metrics().expect("live spec");
             let (p50, p95, p99) = (
                 quantile(a, "query_latency", 0.50),
@@ -374,8 +382,8 @@ pub fn e17_offered_load(scale: Scale, seed: u64) -> ExperimentReport {
                 ),
             ));
             series.push(Json::obj([
-                ("policy", Json::from(*p)),
-                ("interval", Json::from(*interval)),
+                ("policy", Json::from(p)),
+                ("interval", Json::from(interval)),
                 (
                     "latency_ticks",
                     Json::obj([
@@ -408,23 +416,22 @@ pub fn e17_offered_load(scale: Scale, seed: u64) -> ExperimentReport {
 
 /// E15 — the §II "re-design the network" category: a two-tier superpeer
 /// network with content indices, contrasted with flat flooding and
-/// association routing on the same node population.
+/// association routing on the same node population. The paper-scale
+/// superpeer count (nodes/20 = 40) is baked into the checked-in job;
+/// the wrapper rewrites it at other scales.
 pub fn e15_superpeer(scale: Scale, seed: u64) -> ExperimentReport {
     let n_super = (scale.live_nodes / 20).max(4);
-    let mut sp_cfg = live_cfg(scale, seed);
-    sp_cfg.churn = None; // fixed membership isolates the structural effect
-    sp_cfg.topology = Topology::SuperPeer {
-        n_super,
-        super_degree: 4,
-    };
-    sp_cfg.ttl = 8; // core flood + leaf hop
-    let mut flat_cfg = live_cfg(scale, seed);
-    flat_cfg.churn = None;
-    let artifacts = execute(vec![
-        live_spec(&flat_cfg, "flood"),
-        live_spec(&sp_cfg, &format!("superpeer(n={n_super})")),
-        live_spec(&flat_cfg, "assoc"),
-    ]);
+    let mut plan = plan_at(
+        include_str!("../../../../plans/e15.toml"),
+        "e15",
+        scale,
+        seed,
+    );
+    plan.set_job(1, "policy", format!("superpeer(n={n_super})"))
+        .expect("e15 job #1 exists");
+    plan.set_job(1, "topology", format!("superpeer(n={n_super},degree=4)"))
+        .expect("e15 job #1 exists");
+    let (_, artifacts) = run_plan(&plan);
     let extras = [
         " (flat overlay)".to_string(),
         format!(

@@ -4,12 +4,17 @@
 //! [`ExperimentReport`] holding the measured rows, rendered charts, and
 //! the raw series for `results/*.json`.
 //!
-//! No experiment constructs a `Strategy` or `ForwardingPolicy` directly:
-//! each one describes its runs as registry spec strings inside
-//! [`RunSpec`]s and hands them to the engine's deterministic parallel
-//! executor ([`arq::core::engine::execute`]). The CLI, the harness, and
-//! the tests therefore share one construction path, and the persisted
-//! artifact JSON is byte-identical at any worker count (`ARQ_THREADS`).
+//! No experiment constructs a `Strategy` or `ForwardingPolicy` — or
+//! even a spec list — directly: each one is a thin wrapper over a
+//! checked-in sweep plan (`plans/eN.toml`, compiled in via
+//! `include_str!`), rescaled to `(scale, seed)` through
+//! [`SweepPlan::set_base`], expanded by [`sweep::expand`], and fanned
+//! through the engine's deterministic parallel executor
+//! ([`arq::core::engine::execute`]). `arq sweep run plans/eN.toml`, the
+//! harness, and the tests therefore share one construction path, and
+//! the persisted artifact JSON is byte-identical at any worker count
+//! (`ARQ_THREADS`). Only E8 (wall-clock cost) and E11 (prebuilt
+//! adapted overlays) remain code-driven.
 //!
 //! The functions are grouped by the world they run in:
 //!
@@ -32,16 +37,11 @@ pub use trace::{
     e4_lazy, e5_adaptive, e6_incremental, e9_confidence,
 };
 
-use arq::content::CatalogConfig;
-use arq::core::engine::{self, RunArtifact, RunSpec, TraceSource};
+use arq::core::engine::{self, RunArtifact, RunSpec};
+use arq::core::sweep::{self, PlanKind, SweepJob, SweepPlan};
 use arq::gnutella::metrics::RunMetrics;
-use arq::gnutella::sim::{SimConfig, Topology};
-use arq::overlay::ChurnConfig;
 use arq::simkern::chart::ChartOptions;
-use arq::simkern::time::Duration;
 use arq::simkern::{Json, ToJson};
-use arq::trace::{SynthConfig, SynthTrace};
-use std::sync::Arc;
 
 /// Structured result of one experiment.
 #[derive(Debug, Clone)]
@@ -102,40 +102,56 @@ impl Scale {
     }
 }
 
-/// The paper's default drifting workload, synthesized once and shared
-/// (via `Arc`) across every spec of an experiment.
-fn shared_trace(scale: Scale, seed: u64) -> TraceSource {
-    TraceSource::Shared {
-        label: "paper-default".into(),
-        seed,
-        pairs: Arc::new(SynthTrace::new(SynthConfig::paper_default(scale.pairs(), seed)).pairs()),
+/// Loads a checked-in plan (`plans/*.toml`, compiled in via
+/// `include_str!`) and rescales it to `(scale, seed)`. Harness scaling
+/// never edits the plan files — it overrides base settings through the
+/// same API `arq sweep` users have.
+fn plan_at(text: &str, name: &str, scale: Scale, seed: u64) -> SweepPlan {
+    let mut plan =
+        SweepPlan::parse(text, &format!("plans/{name}.toml")).expect("checked-in plan parses");
+    plan.seed = seed;
+    plan.set_base("seed", seed).expect("seed is a plan key");
+    match plan.kind {
+        PlanKind::TraceEval => {
+            plan.set_base("pairs", scale.pairs())
+                .expect("pairs is a plan key");
+            plan.set_base("block", scale.block_size)
+                .expect("block is a plan key");
+        }
+        PlanKind::LiveSim => {
+            plan.set_base("nodes", scale.live_nodes)
+                .expect("nodes is a plan key");
+            plan.set_base("queries", scale.live_queries)
+                .expect("queries is a plan key");
+        }
     }
+    plan
 }
 
-/// A trace-evaluation spec over `trace` with a registry strategy string.
-fn eval_spec(trace: &TraceSource, strategy: &str, block_size: usize) -> RunSpec {
-    RunSpec::TraceEval {
-        trace: trace.clone(),
-        strategy: strategy.to_string(),
-        block_size,
-        obs: None,
-    }
+/// Expands a scaled plan and fans its jobs across the engine's
+/// executor — the single execution path behind every plan-driven
+/// experiment. Checked-in plans only use registered names, so failures
+/// are programming errors here.
+fn run_plan(plan: &SweepPlan) -> (Vec<SweepJob>, Vec<RunArtifact>) {
+    let jobs = sweep::expand(plan).expect("checked-in plan expands");
+    let specs: Vec<RunSpec> = jobs.iter().map(|j| j.spec.clone()).collect();
+    let artifacts = engine::execute(&specs).expect("experiment specs use registered names");
+    (jobs, artifacts)
 }
 
-/// A live-simulation spec over `cfg` with a registry policy string.
-fn live_spec(cfg: &SimConfig, policy: &str) -> RunSpec {
-    RunSpec::LiveSim {
-        cfg: cfg.clone(),
-        policy: policy.to_string(),
-        graph: None,
-        obs: None,
-    }
-}
-
-/// Fans the specs across the engine's executor. Experiments only submit
-/// registered names, so registry failures are programming errors here.
-fn execute(specs: Vec<RunSpec>) -> Vec<RunArtifact> {
-    engine::execute(&specs).expect("experiment specs use registered names")
+/// The artifact of the job assigning exactly these rendered param
+/// values — how wrappers keep their historical row order while the grid
+/// expands in sorted-axis order instead.
+fn by_params<'a>(
+    jobs: &[SweepJob],
+    artifacts: &'a [RunArtifact],
+    want: &[(&str, &str)],
+) -> &'a RunArtifact {
+    let i = jobs
+        .iter()
+        .position(|j| want.iter().all(|(k, v)| j.param(k).as_deref() == Some(*v)))
+        .unwrap_or_else(|| panic!("no job assigns {want:?}"));
+    &artifacts[i]
 }
 
 /// All artifacts as a JSON array — the standard `series` payload.
@@ -154,23 +170,6 @@ fn chart_opts() -> ChartOptions {
 
 fn fmt3(x: f64) -> String {
     format!("{x:.3}")
-}
-
-fn live_cfg(scale: Scale, seed: u64) -> SimConfig {
-    let mut cfg = SimConfig::default_with(scale.live_nodes, scale.live_queries, seed);
-    cfg.topology = Topology::BarabasiAlbert { m: 3 };
-    cfg.ttl = 6;
-    cfg.catalog = CatalogConfig {
-        topics: 20,
-        files_per_topic: 200,
-        ..Default::default()
-    };
-    cfg.churn = Some(ChurnConfig {
-        mean_session: Duration::from_ticks(2_000_000),
-        mean_downtime: Duration::from_ticks(600_000),
-        pinned: vec![],
-    });
-    cfg
 }
 
 fn metrics_row(m: &RunMetrics, extra: &str) -> (String, String) {

@@ -1,25 +1,24 @@
 //! Trace-driven experiments: rule-maintenance strategies replayed over
 //! synthesized query–reply pair streams (E1–E6, E9, E12, E14).
 //!
-//! Each experiment builds [`RunSpec::TraceEval`]s from registry strategy
-//! strings and fans them through the engine executor; multi-config
-//! sweeps share one pre-materialized trace across all their specs.
+//! Each experiment is a thin wrapper over its checked-in sweep plan
+//! (`plans/eN.toml`): the wrapper rescales the plan to `(scale, seed)`,
+//! expands it, executes the jobs, and renders the historical report
+//! rows. Scale-dependent spec strings (E6/E14's half-life and epsilon)
+//! are overridden through the plan API, never by editing the file.
 
 use super::{
-    artifacts_json, chart_opts, eval_spec, execute, fmt3, shared_trace, ExperimentReport, Scale,
+    artifacts_json, by_params, chart_opts, fmt3, plan_at, run_plan, ExperimentReport, Scale,
 };
-use arq::core::engine::TraceSource;
+use arq::core::sweep::Value;
 use arq::core::EvalRun;
 use arq::simkern::chart::{render, ChartOptions};
 use arq::simkern::{Json, TimeSeries, ToJson};
 
 /// E1 — Static Ruleset decay (§V-A).
 pub fn e1_static(scale: Scale, seed: u64) -> ExperimentReport {
-    let trace = TraceSource::PaperStatic {
-        pairs: scale.pairs(),
-        seed,
-    };
-    let artifacts = execute(vec![eval_spec(&trace, "static(s=10)", scale.block_size)]);
+    let plan = plan_at(include_str!("../../../../plans/e1.toml"), "e1", scale, seed);
+    let (_, artifacts) = run_plan(&plan);
     let run = artifacts[0].eval_run().expect("trace spec");
     let succ_floor = run.success.final_drop_below(0.05);
     let cov_at_30 = run.coverage.ys().get(29).copied().unwrap_or(f64::NAN);
@@ -54,11 +53,8 @@ pub fn e1_static(scale: Scale, seed: u64) -> ExperimentReport {
 
 /// E2 — Sliding Window over time (Figure 1).
 pub fn e2_sliding(scale: Scale, seed: u64) -> ExperimentReport {
-    let trace = TraceSource::PaperDefault {
-        pairs: scale.pairs(),
-        seed,
-    };
-    let artifacts = execute(vec![eval_spec(&trace, "sliding(s=10)", scale.block_size)]);
+    let plan = plan_at(include_str!("../../../../plans/e2.toml"), "e2", scale, seed);
+    let (_, artifacts) = run_plan(&plan);
     let run = artifacts[0].eval_run().expect("trace spec");
     let chart = render(
         "Figure 1: Sliding Window coverage (*) and success (+) over time",
@@ -82,18 +78,13 @@ pub fn e2_sliding(scale: Scale, seed: u64) -> ExperimentReport {
     }
 }
 
-/// E3 — Sliding Window block-size sweep (Figure 2). The five
-/// block sizes run concurrently through the engine executor, all over
-/// the same shared trace.
+/// E3 — Sliding Window block-size sweep (Figure 2). A single-axis plan
+/// whose values keep the historical block order, so the artifact list —
+/// and with it `results/e3.json` — keeps its historical bytes.
 pub fn e3_block_sizes(scale: Scale, seed: u64) -> ExperimentReport {
-    let trace = shared_trace(scale, seed);
+    let plan = plan_at(include_str!("../../../../plans/e3.toml"), "e3", scale, seed);
+    let (_, artifacts) = run_plan(&plan);
     let sizes = [2_500usize, 5_000, 10_000, 20_000, 50_000];
-    let artifacts = execute(
-        sizes
-            .iter()
-            .map(|&bs| eval_spec(&trace, "sliding(s=10)", bs))
-            .collect(),
-    );
     let mut rows = Vec::new();
     let mut curves: Vec<TimeSeries> = Vec::new();
     for (bs, artifact) in sizes.iter().zip(&artifacts) {
@@ -136,14 +127,14 @@ pub fn e3_block_sizes(scale: Scale, seed: u64) -> ExperimentReport {
 
 /// E3b — support-threshold sweep (§V-B text).
 pub fn e3b_thresholds(scale: Scale, seed: u64) -> ExperimentReport {
-    let trace = shared_trace(scale, seed);
-    let thresholds = [2u64, 5, 10, 20, 50];
-    let artifacts = execute(
-        thresholds
-            .iter()
-            .map(|&t| eval_spec(&trace, &format!("sliding(s={t})"), scale.block_size))
-            .collect(),
+    let plan = plan_at(
+        include_str!("../../../../plans/e3b.toml"),
+        "e3b",
+        scale,
+        seed,
     );
+    let (_, artifacts) = run_plan(&plan);
+    let thresholds = [2u64, 5, 10, 20, 50];
     let rows = thresholds
         .iter()
         .zip(&artifacts)
@@ -173,11 +164,8 @@ pub fn e3b_thresholds(scale: Scale, seed: u64) -> ExperimentReport {
 
 /// E4 — Lazy Sliding Window (Figure 3).
 pub fn e4_lazy(scale: Scale, seed: u64) -> ExperimentReport {
-    let trace = TraceSource::PaperDefault {
-        pairs: scale.pairs(),
-        seed,
-    };
-    let artifacts = execute(vec![eval_spec(&trace, "lazy(s=10,p=10)", scale.block_size)]);
+    let plan = plan_at(include_str!("../../../../plans/e4.toml"), "e4", scale, seed);
+    let (_, artifacts) = run_plan(&plan);
     let run = artifacts[0].eval_run().expect("trace spec");
     let chart = render(
         "Figure 3: Lazy Sliding Window (period 10) coverage (*) and success (+)",
@@ -203,14 +191,11 @@ pub fn e4_lazy(scale: Scale, seed: u64) -> ExperimentReport {
     }
 }
 
-/// E5 — Adaptive Sliding Window (Figure 4), histories 10 and 50 run
-/// concurrently through the executor.
+/// E5 — Adaptive Sliding Window (Figure 4), histories 10 and 50 on one
+/// plan axis.
 pub fn e5_adaptive(scale: Scale, seed: u64) -> ExperimentReport {
-    let trace = shared_trace(scale, seed);
-    let artifacts = execute(vec![
-        eval_spec(&trace, "adaptive(s=10,h=10,i=0.7)", scale.block_size),
-        eval_spec(&trace, "adaptive(s=10,h=50,i=0.7)", scale.block_size),
-    ]);
+    let plan = plan_at(include_str!("../../../../plans/e5.toml"), "e5", scale, seed);
+    let (_, artifacts) = run_plan(&plan);
     let run10 = artifacts[0].eval_run().expect("trace spec");
     let run50 = artifacts[1].eval_run().expect("trace spec");
     let chart = render(
@@ -253,14 +238,17 @@ pub fn e5_adaptive(scale: Scale, seed: u64) -> ExperimentReport {
     }
 }
 
-/// E6 — Incremental streaming maintainer (§VI).
+/// E6 — Incremental streaming maintainer (§VI). The half-life tracks
+/// the block size (2 blocks), so the strategy string is overridden at
+/// non-paper scales.
 pub fn e6_incremental(scale: Scale, seed: u64) -> ExperimentReport {
-    let trace = TraceSource::PaperDefault {
-        pairs: scale.pairs(),
-        seed,
-    };
-    let spec = format!("incremental(t=10,hl={})", 2 * scale.block_size);
-    let artifacts = execute(vec![eval_spec(&trace, &spec, scale.block_size)]);
+    let mut plan = plan_at(include_str!("../../../../plans/e6.toml"), "e6", scale, seed);
+    plan.set_base(
+        "strategy",
+        format!("incremental(t=10,hl={})", 2 * scale.block_size),
+    )
+    .expect("strategy is a plan key");
+    let (_, artifacts) = run_plan(&plan);
     let run = artifacts[0].eval_run().expect("trace spec");
     let chart = render(
         "Incremental stream maintainer: coverage (*) and success (+)",
@@ -282,14 +270,9 @@ pub fn e6_incremental(scale: Scale, seed: u64) -> ExperimentReport {
 
 /// E9 — confidence-based pruning ablation (§VI).
 pub fn e9_confidence(scale: Scale, seed: u64) -> ExperimentReport {
-    let trace = shared_trace(scale, seed);
+    let plan = plan_at(include_str!("../../../../plans/e9.toml"), "e9", scale, seed);
+    let (_, artifacts) = run_plan(&plan);
     let confs = [0.0f64, 0.05, 0.10, 0.20, 0.40];
-    let artifacts = execute(
-        confs
-            .iter()
-            .map(|&c| eval_spec(&trace, &format!("sliding(s=10,c={c})"), scale.block_size))
-            .collect(),
-    );
     let avg_rules = |run: &EvalRun| {
         run.rule_counts.iter().sum::<usize>() as f64 / run.rule_counts.len().max(1) as f64
     };
@@ -339,26 +322,34 @@ pub fn e9_confidence(scale: Scale, seed: u64) -> ExperimentReport {
 
 /// E12 — topic-dimension rules (§VI "query strings during rule
 /// generation"): `(src, topic)` antecedents vs plain host antecedents,
-/// across support thresholds. All six runs fan out together.
+/// across support thresholds. The grid expands strategy-major (sorted
+/// axes), so the historical threshold-major rows are recovered by
+/// param lookup.
 pub fn e12_topic_rules(scale: Scale, seed: u64) -> ExperimentReport {
-    let trace = shared_trace(scale, seed);
-    let thresholds = [3u64, 10, 30];
-    let artifacts = execute(
-        thresholds
-            .iter()
-            .flat_map(|&t| {
-                [
-                    eval_spec(&trace, &format!("sliding(s={t})"), scale.block_size),
-                    eval_spec(&trace, &format!("topic-sliding(s={t})"), scale.block_size),
-                ]
-            })
-            .collect(),
+    let plan = plan_at(
+        include_str!("../../../../plans/e12.toml"),
+        "e12",
+        scale,
+        seed,
     );
+    let (jobs, artifacts) = run_plan(&plan);
+    let thresholds = [3u64, 10, 30];
     let mut rows = Vec::new();
     let mut series = Vec::new();
-    for (t, pair) in thresholds.iter().zip(artifacts.chunks(2)) {
-        let plain = pair[0].eval_run().expect("trace spec");
-        let topic = pair[1].eval_run().expect("trace spec");
+    for t in thresholds {
+        let s = t.to_string();
+        let plain_a = by_params(
+            &jobs,
+            &artifacts,
+            &[("strategy", "sliding(s=10)"), ("strategy.s", &s)],
+        );
+        let topic_a = by_params(
+            &jobs,
+            &artifacts,
+            &[("strategy", "topic-sliding(s=10)"), ("strategy.s", &s)],
+        );
+        let plain = plain_a.eval_run().expect("trace spec");
+        let topic = topic_a.eval_run().expect("trace spec");
         rows.push((
             format!("host rules @ support {t}"),
             format!(
@@ -376,9 +367,9 @@ pub fn e12_topic_rules(scale: Scale, seed: u64) -> ExperimentReport {
             ),
         ));
         series.push(Json::obj([
-            ("threshold", Json::from(*t)),
-            ("plain", pair[0].to_json()),
-            ("topic", pair[1].to_json()),
+            ("threshold", Json::from(t)),
+            ("plain", plain_a.to_json()),
+            ("topic", topic_a.to_json()),
         ]));
     }
     ExperimentReport {
@@ -394,21 +385,31 @@ pub fn e12_topic_rules(scale: Scale, seed: u64) -> ExperimentReport {
 }
 
 /// E14 — streaming maintainers compared: exponential decay vs Lossy
-/// Counting (§VI stream mining, reference \[18\]).
+/// Counting (§VI stream mining, reference \[18\]). Both strategy
+/// strings depend on the block size, so the axis is overridden at any
+/// scale.
 pub fn e14_stream_maintainers(scale: Scale, seed: u64) -> ExperimentReport {
-    let trace = shared_trace(scale, seed);
-    let artifacts = execute(vec![
-        eval_spec(
-            &trace,
-            &format!("incremental(t=10,hl={})", 2 * scale.block_size),
-            scale.block_size,
-        ),
-        eval_spec(
-            &trace,
-            &format!("lossy(t=10,eps={})", 1.0 / (2.0 * scale.block_size as f64)),
-            scale.block_size,
-        ),
-    ]);
+    let mut plan = plan_at(
+        include_str!("../../../../plans/e14.toml"),
+        "e14",
+        scale,
+        seed,
+    );
+    plan.set_axis_values(
+        "strategy",
+        vec![
+            vec![Value::from(format!(
+                "incremental(t=10,hl={})",
+                2 * scale.block_size
+            ))],
+            vec![Value::from(format!(
+                "lossy(t=10,eps={})",
+                1.0 / (2.0 * scale.block_size as f64)
+            ))],
+        ],
+    )
+    .expect("e14 has a strategy axis");
+    let (_, artifacts) = run_plan(&plan);
     let decay = artifacts[0].eval_run().expect("trace spec");
     let lossy = artifacts[1].eval_run().expect("trace spec");
     ExperimentReport {

@@ -12,6 +12,21 @@ pub fn render_markdown(reports: &[ExperimentReport], header: &str) -> String {
     out.push_str(header);
     for r in reports {
         let _ = writeln!(out, "\n## {} — {}\n", r.id, r.title);
+        // Every experiment except the code-driven pair (E8 wall-clock
+        // cost, E11 prebuilt adapted overlays) is a wrapper over a
+        // checked-in sweep plan and can be rerun standalone.
+        if matches!(r.id.as_str(), "E8" | "E11") {
+            let _ = writeln!(
+                out,
+                "*Code-driven (no sweep plan — see `crates/bench/src/experiments/`).*\n"
+            );
+        } else {
+            let plan = format!("plans/{}.toml", r.id.to_lowercase());
+            let _ = writeln!(
+                out,
+                "**Plan:** [`{plan}`]({plan}) — rerun standalone with `arq sweep run {plan}`.\n"
+            );
+        }
         let _ = writeln!(out, "**Paper:** {}\n", r.paper_claim);
         let _ = writeln!(out, "| metric | measured |");
         let _ = writeln!(out, "|---|---|");
@@ -66,8 +81,13 @@ mod tests {
         let md = render_markdown(&[report()], "# Header\n");
         assert!(md.starts_with("# Header"));
         assert!(md.contains("## E0 — smoke"));
+        assert!(md.contains("arq sweep run plans/e0.toml"));
         assert!(md.contains("| metric | 1.0 |"));
         assert!(md.contains("<chart>"));
+        let mut code_driven = report();
+        code_driven.id = "E8".into();
+        let md = render_markdown(&[code_driven], "# Header\n");
+        assert!(md.contains("Code-driven (no sweep plan"));
     }
 
     #[test]

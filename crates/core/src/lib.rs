@@ -40,6 +40,7 @@ pub mod hybrid;
 pub mod online;
 pub mod policy;
 pub mod strategy;
+pub mod sweep;
 pub mod threshold;
 pub mod topology;
 
@@ -52,4 +53,5 @@ pub use strategy::{
     AdaptiveSlidingWindow, BlockMiner, IncrementalStream, LazySlidingWindow, LossyStream,
     SlidingWindow, StaticRuleset, Strategy, TopicSlidingWindow,
 };
+pub use sweep::{SweepJob, SweepPlan};
 pub use threshold::ThresholdCalc;

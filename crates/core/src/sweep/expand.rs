@@ -1,0 +1,772 @@
+//! Plan → job-list expansion.
+//!
+//! [`expand`] turns a validated [`SweepPlan`] into a deterministic,
+//! stably-ordered list of [`SweepJob`]s. Axes are processed in sorted
+//! key order — never file order — so two plan files that differ only in
+//! the order of their `[[axis]]` blocks expand to the *same* job list.
+//! Under the grid sampler the jobs are the row-major cross product of
+//! every axis's points (the first sorted axis varies slowest, each
+//! axis's points keep their declared order); under the latin-hypercube
+//! sampler there are exactly `samples` jobs, each axis visiting each of
+//! its strata exactly once in a permutation drawn from a stream seeded
+//! by `(plan hash, seed)` — re-expanding the same plan always yields the
+//! same design. Explicit `[[job]]` entries are appended after the
+//! sampled jobs in file order.
+//!
+//! Key application builds each job's [`RunSpec`] from the engine's own
+//! defaults (`SimConfig::default_with`) plus the base settings plus the
+//! job's assignments. Spec-parameter keys (`strategy.s`, `faults.loss`)
+//! patch the single parameter through the registry's spec grammar and
+//! re-emit, so the expanded spec strings are byte-identical to what the
+//! hand-coded experiments interpolated.
+
+use super::plan::{fmt_num, validate_key, Axis, PlanError, PlanKind, Sampler, SweepPlan, Value};
+use crate::engine::registry::{self};
+use crate::engine::spec::{RunSpec, TraceSource};
+use crate::engine::{executor, make_fault_plan, make_link_plan, make_retry_policy};
+use arq_gnutella::sim::{SimConfig, Topology};
+use arq_overlay::ChurnConfig;
+use arq_simkern::rng::StreamFactory;
+use arq_simkern::time::Duration;
+use arq_trace::record::PairRecord;
+use arq_trace::{SynthConfig, SynthTrace};
+use std::sync::Arc;
+
+/// One expanded unit of a sweep: its stable position, the assignments
+/// that distinguish it from the base (axis order), and the fully built
+/// run spec.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Stable position in the expanded job list.
+    pub index: usize,
+    /// The varying assignments (axis keys in sorted-axis order, or the
+    /// explicit `[[job]]` entries), each as `(key, value)`.
+    pub params: Vec<(String, Value)>,
+    /// The run this job executes.
+    pub spec: RunSpec,
+}
+
+impl SweepJob {
+    /// The value assigned to `key` by this job's params, rendered the
+    /// way spec strings render it — for report rows and row lookup.
+    pub fn param(&self, key: &str) -> Option<String> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.render())
+    }
+}
+
+/// Expands a plan into its deterministic job list. See the module docs
+/// for the ordering contract.
+pub fn expand(plan: &SweepPlan) -> Result<Vec<SweepJob>, PlanError> {
+    let mut axes: Vec<&Axis> = plan.axes.iter().collect();
+    axes.sort_by_key(|a| a.key_string());
+
+    // The per-job assignment lists, before base application.
+    let mut assignment_sets: Vec<Vec<(String, Value)>> = Vec::new();
+    match plan.sampler {
+        Sampler::Grid => {
+            for axis in &axes {
+                if axis.range.is_some() {
+                    return Err(PlanError::whole(
+                        &plan.path,
+                        format!(
+                            "axis `{}` is a min/max range, which requires `sampler = \"lhs\"`",
+                            axis.key_string()
+                        ),
+                    ));
+                }
+            }
+            let counts: Vec<usize> = axes.iter().map(|a| a.values.len()).collect();
+            let total: usize = counts.iter().product();
+            if !axes.is_empty() {
+                for flat in 0..total {
+                    // Row-major: the last sorted axis varies fastest.
+                    let mut rem = flat;
+                    let mut picks = vec![0usize; axes.len()];
+                    for ax in (0..axes.len()).rev() {
+                        picks[ax] = rem % counts[ax];
+                        rem /= counts[ax];
+                    }
+                    let mut assignments = Vec::new();
+                    for (axis, &pick) in axes.iter().zip(&picks) {
+                        for (key, value) in axis.keys.iter().zip(&axis.values[pick]) {
+                            assignments.push((key.clone(), value.clone()));
+                        }
+                    }
+                    assignment_sets.push(assignments);
+                }
+            }
+        }
+        Sampler::Lhs { samples } => {
+            // Each axis gets an independent permutation of 0..samples,
+            // derived from (plan hash, seed) and the axis key alone —
+            // the design is a function of the plan, not of evaluation
+            // order or thread count.
+            let factory = StreamFactory::new(plan.hash());
+            let mut columns: Vec<Vec<Vec<(String, Value)>>> = Vec::new();
+            for axis in &axes {
+                let mut rng = factory.stream_n(&format!("lhs:{}", axis.key_string()), plan.seed);
+                let mut perm: Vec<usize> = (0..samples).collect();
+                rng.shuffle(&mut perm);
+                let mut column = Vec::with_capacity(samples);
+                for &stratum in &perm {
+                    let assignments: Vec<(String, Value)> = match axis.range {
+                        Some((lo, hi)) => {
+                            // Midpoint of the stratum: permutation-valid
+                            // and reproducible without randomness within
+                            // the cell.
+                            let v = lo + (stratum as f64 + 0.5) / samples as f64 * (hi - lo);
+                            vec![(axis.keys[0].clone(), Value::Num(v))]
+                        }
+                        None => {
+                            if axis.values.len() != samples {
+                                return Err(PlanError::whole(
+                                    &plan.path,
+                                    format!(
+                                        "lhs axis `{}` has {} values but the design has \
+                                         {samples} samples (use a min/max range, or match \
+                                         the counts)",
+                                        axis.key_string(),
+                                        axis.values.len()
+                                    ),
+                                ));
+                            }
+                            axis.keys
+                                .iter()
+                                .zip(&axis.values[stratum])
+                                .map(|(k, v)| (k.clone(), v.clone()))
+                                .collect()
+                        }
+                    };
+                    column.push(assignments);
+                }
+                columns.push(column);
+            }
+            if !axes.is_empty() {
+                for i in 0..samples {
+                    let mut assignments = Vec::new();
+                    for column in &columns {
+                        assignments.extend(column[i].iter().cloned());
+                    }
+                    assignment_sets.push(assignments);
+                }
+            }
+        }
+    }
+    // Explicit jobs after the sampled ones; a plan with neither axes nor
+    // jobs is a single base run.
+    for job in &plan.jobs {
+        assignment_sets.push(job.clone());
+    }
+    if assignment_sets.is_empty() {
+        assignment_sets.push(Vec::new());
+    }
+
+    let mut shared = SharedTraces::default();
+    let mut jobs = Vec::with_capacity(assignment_sets.len());
+    for (index, assignments) in assignment_sets.into_iter().enumerate() {
+        let spec = build_spec(plan, &assignments, &mut shared).map_err(|mut e| {
+            e.message = format!("job #{index}: {}", e.message);
+            e
+        })?;
+        executor::validate(&spec)
+            .map_err(|re| PlanError::whole(&plan.path, format!("job #{index}: {re}")))?;
+        jobs.push(SweepJob {
+            index,
+            params: assignments,
+            spec,
+        });
+    }
+    Ok(jobs)
+}
+
+/// A shared-trace cache key: `(pairs, seed)`.
+type TraceKey = (usize, u64);
+
+/// Pre-materialized shared traces, keyed by `(pairs, seed)` so a sweep
+/// synthesizes each distinct workload once however many jobs share it.
+#[derive(Default)]
+struct SharedTraces {
+    entries: Vec<(TraceKey, Arc<Vec<PairRecord>>)>,
+}
+
+impl SharedTraces {
+    fn get(&mut self, pairs: usize, seed: u64) -> Arc<Vec<PairRecord>> {
+        if let Some((_, trace)) = self
+            .entries
+            .iter()
+            .find(|((p, s), _)| *p == pairs && *s == seed)
+        {
+            return Arc::clone(trace);
+        }
+        let trace = Arc::new(SynthTrace::new(SynthConfig::paper_default(pairs, seed)).pairs());
+        self.entries.push(((pairs, seed), Arc::clone(&trace)));
+        trace
+    }
+}
+
+/// Everything a job's keys can set, starting from the plan defaults.
+struct Draft {
+    // Shared
+    seed: u64,
+    obs: Option<String>,
+    // Trace-eval
+    trace: String,
+    pairs: usize,
+    block: usize,
+    strategy: String,
+    // Live-sim
+    policy: String,
+    nodes: usize,
+    queries: usize,
+    ttl: Option<u32>,
+    interval: Option<u64>,
+    topology: Option<String>,
+    catalog_topics: Option<usize>,
+    catalog_files: Option<usize>,
+    churn_none: bool,
+    churn_session: Option<u64>,
+    churn_downtime: Option<u64>,
+    faults: Option<String>,
+    links: Option<String>,
+    retry: Option<String>,
+}
+
+impl Draft {
+    fn new(seed: u64) -> Draft {
+        Draft {
+            seed,
+            obs: None,
+            trace: "paper-default".to_string(),
+            pairs: 3_660_000,
+            block: 10_000,
+            strategy: "sliding(s=10)".to_string(),
+            policy: "flood".to_string(),
+            nodes: 800,
+            queries: 4_000,
+            ttl: None,
+            interval: None,
+            topology: None,
+            catalog_topics: None,
+            catalog_files: None,
+            churn_none: false,
+            churn_session: None,
+            churn_downtime: None,
+            faults: None,
+            links: None,
+            retry: None,
+        }
+    }
+}
+
+fn build_spec(
+    plan: &SweepPlan,
+    assignments: &[(String, Value)],
+    shared: &mut SharedTraces,
+) -> Result<RunSpec, PlanError> {
+    let mut draft = Draft::new(plan.seed);
+    for (key, value) in plan.base.iter().chain(assignments) {
+        apply(plan.kind, &mut draft, key, value)
+            .map_err(|m| PlanError::whole(&plan.path, format!("key `{key}`: {m}")))?;
+    }
+    finalize(plan.kind, draft, shared).map_err(|m| PlanError::whole(&plan.path, m))
+}
+
+/// Coerces a plan value to a non-negative integer.
+fn uint(value: &Value, what: &str) -> Result<u64, String> {
+    value
+        .as_num()
+        .filter(|v| v.fract() == 0.0 && *v >= 0.0)
+        .map(|v| v as u64)
+        .ok_or_else(|| {
+            format!(
+                "{what} must be a non-negative integer, got {}",
+                value.render()
+            )
+        })
+}
+
+fn spec_string(value: &Value, what: &str) -> Result<String, String> {
+    value
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{what} must be a spec string, got {}", value.render()))
+}
+
+/// `Some(spec)` unless the value is the literal `"none"`.
+fn optional_spec(value: &Value, what: &str) -> Result<Option<String>, String> {
+    let s = spec_string(value, what)?;
+    Ok(if s == "none" { None } else { Some(s) })
+}
+
+/// Patches one parameter of a registry spec string, preserving the
+/// other parameters in their written order and appending new ones; a
+/// `None`/absent current spec starts from the bare default name.
+fn patch_spec(
+    current: Option<&str>,
+    default_name: &str,
+    param: &str,
+    value: &Value,
+) -> Result<String, String> {
+    let v = value.as_num().ok_or_else(|| {
+        format!(
+            "parameter `{param}` needs a numeric value, got {}",
+            value.render()
+        )
+    })?;
+    let base = match current {
+        Some(s) => s.to_string(),
+        None => default_name.to_string(),
+    };
+    let parsed = registry::parse_spec(&base).map_err(|e| e.to_string())?;
+    let mut params = parsed.params;
+    match params.iter_mut().find(|(k, _)| k == param) {
+        Some(slot) => slot.1 = v,
+        None => params.push((param.to_string(), v)),
+    }
+    let kv: Vec<String> = params
+        .iter()
+        .map(|(k, v)| format!("{k}={}", fmt_num(*v)))
+        .collect();
+    Ok(format!("{}({})", parsed.name, kv.join(",")))
+}
+
+fn apply(kind: PlanKind, draft: &mut Draft, key: &str, value: &Value) -> Result<(), String> {
+    // Key names were validated at parse time; this match is total over
+    // the vocabulary, with the dotted spec-parameter fall-through last.
+    debug_assert!(validate_key(kind, key).is_ok(), "unvalidated key `{key}`");
+    match (kind, key) {
+        (_, "seed") => draft.seed = uint(value, "`seed`")?,
+        (_, "obs") => draft.obs = optional_spec(value, "`obs`")?,
+        (PlanKind::TraceEval, "trace") => {
+            draft.trace = spec_string(value, "`trace`")?;
+        }
+        (PlanKind::TraceEval, "pairs") => draft.pairs = uint(value, "`pairs`")? as usize,
+        (PlanKind::TraceEval, "block") => draft.block = uint(value, "`block`")? as usize,
+        (PlanKind::TraceEval, "strategy") => draft.strategy = spec_string(value, "`strategy`")?,
+        (PlanKind::LiveSim, "policy") => draft.policy = spec_string(value, "`policy`")?,
+        (PlanKind::LiveSim, "nodes") => draft.nodes = uint(value, "`nodes`")? as usize,
+        (PlanKind::LiveSim, "queries") => draft.queries = uint(value, "`queries`")? as usize,
+        (PlanKind::LiveSim, "ttl") => draft.ttl = Some(uint(value, "`ttl`")? as u32),
+        (PlanKind::LiveSim, "interval") => draft.interval = Some(uint(value, "`interval`")?),
+        (PlanKind::LiveSim, "topology") => draft.topology = Some(spec_string(value, "`topology`")?),
+        (PlanKind::LiveSim, "catalog.topics") => {
+            draft.catalog_topics = Some(uint(value, "`catalog.topics`")? as usize)
+        }
+        (PlanKind::LiveSim, "catalog.files") => {
+            draft.catalog_files = Some(uint(value, "`catalog.files`")? as usize)
+        }
+        (PlanKind::LiveSim, "churn") => {
+            if value.as_str() != Some("none") {
+                return Err(format!(
+                    "`churn` only accepts \"none\" (use churn.session / churn.downtime to \
+                     enable churn), got {}",
+                    value.render()
+                ));
+            }
+            draft.churn_none = true;
+            draft.churn_session = None;
+            draft.churn_downtime = None;
+        }
+        (PlanKind::LiveSim, "churn.session") => {
+            draft.churn_session = Some(uint(value, "`churn.session`")?);
+            draft.churn_none = false;
+        }
+        (PlanKind::LiveSim, "churn.downtime") => {
+            draft.churn_downtime = Some(uint(value, "`churn.downtime`")?);
+            draft.churn_none = false;
+        }
+        (PlanKind::LiveSim, "faults") => draft.faults = optional_spec(value, "`faults`")?,
+        (PlanKind::LiveSim, "links") => draft.links = optional_spec(value, "`links`")?,
+        (PlanKind::LiveSim, "retry") => draft.retry = optional_spec(value, "`retry`")?,
+        (kind, dotted) => {
+            let (head, param) = dotted
+                .split_once('.')
+                .expect("non-dotted keys are handled above");
+            match (kind, head) {
+                (PlanKind::TraceEval, "strategy") => {
+                    draft.strategy = patch_spec(Some(&draft.strategy), "sliding", param, value)?
+                }
+                (PlanKind::LiveSim, "policy") => {
+                    draft.policy = patch_spec(Some(&draft.policy), "flood", param, value)?
+                }
+                (PlanKind::LiveSim, "faults") => {
+                    draft.faults =
+                        Some(patch_spec(draft.faults.as_deref(), "faults", param, value)?)
+                }
+                (PlanKind::LiveSim, "links") => {
+                    draft.links = Some(patch_spec(draft.links.as_deref(), "links", param, value)?)
+                }
+                (PlanKind::LiveSim, "retry") => {
+                    draft.retry = Some(patch_spec(draft.retry.as_deref(), "retry", param, value)?)
+                }
+                _ => unreachable!("key `{dotted}` passed validation but has no application"),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses a topology spec: `ba(m=3)`, `er(p=0.01)`, `ws(k=6,beta=0.1)`,
+/// or `superpeer(n=40,degree=4)`.
+fn parse_topology(spec: &str) -> Result<Topology, String> {
+    let parsed = registry::parse_spec(spec).map_err(|e| e.to_string())?;
+    let lookup = |key: &str, default: f64| -> Result<f64, String> {
+        for (k, v) in &parsed.params {
+            if k == key {
+                return Ok(*v);
+            }
+            let valid: Vec<&str> = match parsed.name.as_str() {
+                "ba" => vec!["m"],
+                "er" => vec!["p"],
+                "ws" => vec!["k", "beta"],
+                _ => vec!["n", "degree"],
+            };
+            if !valid.contains(&k.as_str()) {
+                return Err(format!(
+                    "topology `{}`: unknown parameter `{k}` (valid: {})",
+                    parsed.name,
+                    valid.join(", ")
+                ));
+            }
+        }
+        Ok(default)
+    };
+    match parsed.name.as_str() {
+        "ba" => Ok(Topology::BarabasiAlbert {
+            m: lookup("m", 3.0)? as usize,
+        }),
+        "er" => Ok(Topology::ErdosRenyi {
+            p: lookup("p", 0.01)?,
+        }),
+        "ws" => Ok(Topology::WattsStrogatz {
+            k: lookup("k", 6.0)? as usize,
+            beta: lookup("beta", 0.1)?,
+        }),
+        "superpeer" => Ok(Topology::SuperPeer {
+            n_super: lookup("n", 16.0)? as usize,
+            super_degree: lookup("degree", 4.0)? as usize,
+        }),
+        other => Err(format!(
+            "unknown topology `{other}` (valid: ba, er, ws, superpeer)"
+        )),
+    }
+}
+
+fn finalize(kind: PlanKind, draft: Draft, shared: &mut SharedTraces) -> Result<RunSpec, String> {
+    match kind {
+        PlanKind::TraceEval => {
+            let trace = match draft.trace.as_str() {
+                "paper-default" => TraceSource::PaperDefault {
+                    pairs: draft.pairs,
+                    seed: draft.seed,
+                },
+                "paper-static" => TraceSource::PaperStatic {
+                    pairs: draft.pairs,
+                    seed: draft.seed,
+                },
+                "shared-paper-default" => TraceSource::Shared {
+                    label: "paper-default".to_string(),
+                    seed: draft.seed,
+                    pairs: shared.get(draft.pairs, draft.seed),
+                },
+                other => {
+                    return Err(format!(
+                        "unknown trace `{other}` (valid: paper-default, paper-static, \
+                         shared-paper-default)"
+                    ))
+                }
+            };
+            Ok(RunSpec::TraceEval {
+                trace,
+                strategy: draft.strategy,
+                block_size: draft.block,
+                obs: draft.obs,
+            })
+        }
+        PlanKind::LiveSim => {
+            let mut cfg = SimConfig::default_with(draft.nodes, draft.queries, draft.seed);
+            if let Some(ttl) = draft.ttl {
+                cfg.ttl = ttl;
+            }
+            if let Some(interval) = draft.interval {
+                cfg.mean_query_interval = Duration::from_ticks(interval);
+            }
+            if let Some(topology) = &draft.topology {
+                cfg.topology =
+                    parse_topology(topology).map_err(|m| format!("key `topology`: {m}"))?;
+            }
+            if let Some(topics) = draft.catalog_topics {
+                cfg.catalog.topics = topics;
+            }
+            if let Some(files) = draft.catalog_files {
+                cfg.catalog.files_per_topic = files;
+            }
+            if !draft.churn_none
+                && (draft.churn_session.is_some() || draft.churn_downtime.is_some())
+            {
+                cfg.churn = Some(ChurnConfig {
+                    mean_session: Duration::from_ticks(draft.churn_session.unwrap_or(2_000_000)),
+                    mean_downtime: Duration::from_ticks(draft.churn_downtime.unwrap_or(600_000)),
+                    pinned: vec![],
+                });
+            }
+            if let Some(faults) = &draft.faults {
+                cfg.faults =
+                    Some(make_fault_plan(faults).map_err(|e| format!("key `faults`: {e}"))?);
+            }
+            if let Some(links) = &draft.links {
+                cfg.links = Some(make_link_plan(links).map_err(|e| format!("key `links`: {e}"))?);
+            }
+            if let Some(retry) = &draft.retry {
+                cfg.retry =
+                    Some(make_retry_policy(retry).map_err(|e| format!("key `retry`: {e}"))?);
+            }
+            Ok(RunSpec::LiveSim {
+                cfg,
+                policy: draft.policy,
+                graph: None,
+                obs: draft.obs,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_trace_plan(extra: &str) -> SweepPlan {
+        let text = format!(
+            "name = \"t\"\nkind = \"trace-eval\"\nseed = 3\n\n[base]\npairs = 12_000\n\
+             block = 2000\nstrategy = \"sliding(s=10)\"\n{extra}"
+        );
+        SweepPlan::parse(&text, "plans/t.toml").unwrap()
+    }
+
+    #[test]
+    fn a_plan_with_no_axes_is_a_single_base_job() {
+        let jobs = expand(&tiny_trace_plan("")).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert!(jobs[0].params.is_empty());
+        assert_eq!(
+            jobs[0].spec.describe(),
+            "trace-eval|trace=paper-default(pairs=12000,seed=3)|strategy=sliding(s=10)|block=2000"
+        );
+    }
+
+    #[test]
+    fn grid_is_row_major_over_sorted_axes() {
+        let plan = tiny_trace_plan(
+            "\n[[axis]]\nkey = \"strategy.s\"\nvalues = [5, 10]\n\
+             \n[[axis]]\nkey = \"block\"\nvalues = [1000, 2000, 3000]\n",
+        );
+        let jobs = expand(&plan).unwrap();
+        // Sorted axes: block < strategy.s → block slowest.
+        assert_eq!(jobs.len(), 6);
+        let picks: Vec<(String, String)> = jobs
+            .iter()
+            .map(|j| (j.param("block").unwrap(), j.param("strategy.s").unwrap()))
+            .collect();
+        assert_eq!(
+            picks,
+            [
+                ("1000", "5"),
+                ("1000", "10"),
+                ("2000", "5"),
+                ("2000", "10"),
+                ("3000", "5"),
+                ("3000", "10")
+            ]
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+        );
+        assert!(jobs[0].spec.describe().contains("strategy=sliding(s=5)"));
+    }
+
+    #[test]
+    fn spec_param_patches_match_legacy_interpolation() {
+        let plan = tiny_trace_plan("\n[[axis]]\nkey = \"strategy.c\"\nvalues = [0.0, 0.05]\n");
+        let jobs = expand(&plan).unwrap();
+        assert!(jobs[0].spec.describe().contains("sliding(s=10,c=0)"));
+        assert!(jobs[1].spec.describe().contains("sliding(s=10,c=0.05)"));
+    }
+
+    #[test]
+    fn shared_traces_are_synthesized_once() {
+        let plan = tiny_trace_plan("trace = \"shared-paper-default\"\n\n[[axis]]\nkey = \"block\"\nvalues = [1000, 2000]\n");
+        let jobs = expand(&plan).unwrap();
+        let arcs: Vec<Arc<Vec<PairRecord>>> = jobs
+            .iter()
+            .map(|j| match &j.spec {
+                RunSpec::TraceEval { trace, .. } => trace.materialize(),
+                RunSpec::LiveSim { .. } => unreachable!(),
+            })
+            .collect();
+        assert!(Arc::ptr_eq(&arcs[0], &arcs[1]));
+        assert!(jobs[0]
+            .spec
+            .describe()
+            .contains("shared(paper-default,pairs=12000,seed=3)"));
+    }
+
+    #[test]
+    fn live_defaults_are_engine_defaults() {
+        let plan = SweepPlan::parse(
+            "name = \"l\"\nkind = \"live-sim\"\nseed = 5\n\n[base]\nnodes = 60\nqueries = 100\n",
+            "plans/l.toml",
+        )
+        .unwrap();
+        let jobs = expand(&plan).unwrap();
+        let RunSpec::LiveSim { cfg, .. } = &jobs[0].spec else {
+            panic!("live plan built a trace spec")
+        };
+        let default = SimConfig::default_with(60, 100, 5);
+        assert_eq!(format!("{cfg:?}"), format!("{default:?}"));
+    }
+
+    #[test]
+    fn live_knobs_apply() {
+        let plan = SweepPlan::parse(
+            "name = \"l\"\nkind = \"live-sim\"\nseed = 5\n\n[base]\nnodes = 60\nqueries = 100\n\
+             ttl = 6\ninterval = 500\ncatalog.topics = 5\ncatalog.files = 40\n\
+             churn.session = 2_000_000\nchurn.downtime = 600_000\n\
+             retry = \"retry(deadline=2000,attempts=3,maxttl=8)\"\n\
+             topology = \"superpeer(n=4,degree=4)\"\nfaults = \"faults(loss=0.05)\"\n",
+            "plans/l.toml",
+        )
+        .unwrap();
+        let jobs = expand(&plan).unwrap();
+        let RunSpec::LiveSim { cfg, .. } = &jobs[0].spec else {
+            panic!("live plan built a trace spec")
+        };
+        assert_eq!(cfg.ttl, 6);
+        assert_eq!(cfg.mean_query_interval, Duration::from_ticks(500));
+        assert_eq!(cfg.catalog.topics, 5);
+        assert_eq!(cfg.catalog.files_per_topic, 40);
+        assert!(matches!(
+            cfg.topology,
+            Topology::SuperPeer {
+                n_super: 4,
+                super_degree: 4
+            }
+        ));
+        let churn = cfg.churn.as_ref().expect("churn configured");
+        assert_eq!(churn.mean_session, Duration::from_ticks(2_000_000));
+        assert_eq!(cfg.faults.as_ref().unwrap().loss, 0.05);
+        assert_eq!(cfg.retry.as_ref().unwrap().max_attempts, 3);
+    }
+
+    #[test]
+    fn none_clears_optional_layers() {
+        let plan = SweepPlan::parse(
+            "name = \"l\"\nkind = \"live-sim\"\n\n[base]\nnodes = 60\nqueries = 100\n\
+             churn.session = 1000\n\n[[axis]]\nkey = \"churn\"\nvalues = [\"none\"]\n\
+             \n[[axis]]\nkey = \"faults\"\nvalues = [\"none\", \"faults(loss=0.1)\"]\n",
+            "plans/l.toml",
+        )
+        .unwrap();
+        let jobs = expand(&plan).unwrap();
+        assert_eq!(jobs.len(), 2);
+        for job in &jobs {
+            let RunSpec::LiveSim { cfg, .. } = &job.spec else {
+                unreachable!()
+            };
+            assert!(cfg.churn.is_none());
+        }
+        let RunSpec::LiveSim { cfg, .. } = &jobs[0].spec else {
+            unreachable!()
+        };
+        assert!(cfg.faults.is_none());
+    }
+
+    #[test]
+    fn bad_registry_specs_surface_with_plan_context() {
+        let plan = tiny_trace_plan("\n[[axis]]\nkey = \"strategy\"\nvalues = [\"slidng\"]\n");
+        let e = expand(&plan).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("plans/t.toml"), "{msg}");
+        assert!(msg.contains("unknown strategy"), "{msg}");
+        assert!(msg.contains("job #0"), "{msg}");
+    }
+
+    #[test]
+    fn lhs_design_is_permutation_valid_and_plan_determined() {
+        let text = "name = \"l\"\nkind = \"trace-eval\"\nseed = 9\nsampler = \"lhs\"\n\
+                    samples = 8\n\n[base]\npairs = 8_000\nblock = 1000\n\n\
+                    [[axis]]\nkey = \"strategy.s\"\nmin = 2\nmax = 50\n\n\
+                    [[axis]]\nkey = \"block\"\nvalues = [500, 1000, 1500, 2000, 2500, 3000, 3500, 4000]\n";
+        let plan = SweepPlan::parse(text, "plans/l.toml").unwrap();
+        let jobs = expand(&plan).unwrap();
+        assert_eq!(jobs.len(), 8);
+        // Every block value appears exactly once; every support stratum
+        // is hit exactly once.
+        let mut blocks: Vec<String> = jobs.iter().map(|j| j.param("block").unwrap()).collect();
+        blocks.sort();
+        let mut expect: Vec<String> = (1..=8).map(|i| (i * 500).to_string()).collect();
+        expect.sort();
+        assert_eq!(blocks, expect);
+        let mut strata: Vec<usize> = jobs
+            .iter()
+            .map(|j| {
+                let s: f64 = j.param("strategy.s").unwrap().parse().unwrap();
+                ((s - 2.0) / 48.0 * 8.0).floor() as usize
+            })
+            .collect();
+        strata.sort_unstable();
+        assert_eq!(strata, (0..8).collect::<Vec<_>>());
+        // Re-expansion reproduces the design bit-for-bit.
+        let again = expand(&SweepPlan::parse(text, "plans/l.toml").unwrap()).unwrap();
+        for (a, b) in jobs.iter().zip(&again) {
+            assert_eq!(a.spec.describe(), b.spec.describe());
+        }
+        // A different seed is a different design.
+        let reseeded =
+            SweepPlan::parse(&text.replace("seed = 9", "seed = 10"), "plans/l.toml").unwrap();
+        let other = expand(&reseeded).unwrap();
+        assert!(
+            jobs.iter()
+                .zip(&other)
+                .any(|(a, b)| a.param("block") != b.param("block")),
+            "reseeding left the design unchanged"
+        );
+    }
+
+    #[test]
+    fn grid_rejects_range_axes() {
+        let plan = SweepPlan::parse(
+            "name = \"g\"\nkind = \"trace-eval\"\n\n[[axis]]\nkey = \"strategy.s\"\n\
+             min = 2\nmax = 50\n",
+            "plans/g.toml",
+        )
+        .unwrap();
+        let e = expand(&plan).unwrap_err();
+        assert!(
+            e.to_string().contains("requires `sampler = \"lhs\"`"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn explicit_jobs_expand_in_file_order() {
+        let plan = SweepPlan::parse(
+            "name = \"j\"\nkind = \"live-sim\"\n\n[base]\nnodes = 60\nqueries = 100\n\n\
+             [[job]]\npolicy = \"flood\"\n\n[[job]]\npolicy = \"superpeer(n=4)\"\n\
+             topology = \"superpeer(n=4,degree=4)\"\nttl = 8\n\n[[job]]\npolicy = \"assoc\"\n",
+            "plans/j.toml",
+        )
+        .unwrap();
+        let jobs = expand(&plan).unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[1].param("policy").unwrap(), "superpeer(n=4)");
+        let RunSpec::LiveSim { cfg, .. } = &jobs[1].spec else {
+            unreachable!()
+        };
+        assert_eq!(cfg.ttl, 8);
+        let RunSpec::LiveSim { cfg, .. } = &jobs[2].spec else {
+            unreachable!()
+        };
+        assert_eq!(cfg.ttl, 5);
+    }
+}

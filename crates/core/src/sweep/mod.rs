@@ -1,0 +1,39 @@
+//! Declarative sweep plans and reproducibility runbooks.
+//!
+//! A [`SweepPlan`] — a checked-in TOML (or JSON) file under `plans/` —
+//! declares a base run (trace evaluation or live simulation, in
+//! registry-spec vocabulary) plus *axes* to vary: whole spec strings
+//! (`policy`, `faults`, `links`, …), single spec parameters
+//! (`strategy.s`, `faults.loss`), or simulator knobs (`block`,
+//! `interval`, `nodes`). [`expand`] turns the plan into a deterministic,
+//! stably-ordered [`SweepJob`] list — a grid (cross product) or a seeded
+//! latin-hypercube design — whose order is invariant under axis
+//! reordering in the file and whose LHS permutations are fully
+//! determined by `(plan hash, seed)`.
+//!
+//! [`run_sweep`] fans the jobs over the engine's deterministic executor
+//! (same `ARQ_THREADS` budget split), journaling every completed job —
+//! one fsync'd JSONL record — so an interrupted sweep (`kill -9`
+//! included) resumes by skipping exactly the finished jobs. The outputs,
+//! written via `simkern::write_atomic`, are:
+//!
+//! * `report.json` — the [`SweepReport`]: one canonical-JSON row per job
+//!   (expanded spec string, seed, artifact digest, headline metrics);
+//! * `runbook.json` — the manifest: plan hash, arq version, seeds, and
+//!   per-job artifact digests;
+//! * `journal.jsonl` — the completion journal the report is assembled
+//!   from, which is what makes a resumed sweep byte-identical to an
+//!   uninterrupted one.
+//!
+//! Plan-file errors match registry-spec quality: unknown keys list the
+//! valid keys, malformed values carry the plan path and byte offset.
+//!
+//! [`SweepReport`]: run_sweep
+
+mod expand;
+mod plan;
+mod run;
+
+pub use expand::{expand, SweepJob};
+pub use plan::{Axis, PlanError, PlanKind, Sampler, SweepPlan, Value};
+pub use run::{artifact_content_digest, run_sweep, SweepError, SweepOutcome};

@@ -1,0 +1,1243 @@
+//! The sweep-plan model and its TOML-subset / JSON parser.
+//!
+//! A plan file has four parts: top-level metadata (`name`, `kind`,
+//! `seed`, `sampler`, `samples`), a `[base]` table of run settings,
+//! `[[axis]]` tables declaring what varies, and optional `[[job]]`
+//! tables for explicit (non-product) configurations. Keys share one
+//! vocabulary with the base table, so an axis can override anything the
+//! base can set.
+//!
+//! The parser is a deliberate TOML subset — comments, `key = value`,
+//! `[section]` / `[[section]]`, strings, numbers (with `_` separators),
+//! and (nested, multi-line) arrays — because the workspace is
+//! dependency-free. Dotted keys (`catalog.topics`, `strategy.s`) are
+//! kept literal: the dot is part of the key name. Files whose first
+//! non-space byte is `{` parse as JSON instead via `simkern::json`.
+//!
+//! Every error carries the plan path; syntax errors carry the byte
+//! offset of the offending construct, and unknown keys list the valid
+//! vocabulary — the same quality bar as registry-spec errors.
+
+use arq_simkern::json::{self, Json};
+use arq_simkern::rng::fnv1a;
+
+/// The default sweep seed: the paper's submission date, matching the
+/// experiment harness's default.
+pub const DEFAULT_SEED: u64 = 20_060_814;
+
+/// Base/axis keys valid in a `kind = "trace-eval"` plan.
+pub const TRACE_KEYS: &[&str] = &["trace", "pairs", "seed", "block", "strategy", "obs"];
+
+/// Base/axis keys valid in a `kind = "live-sim"` plan.
+pub const LIVE_KEYS: &[&str] = &[
+    "policy",
+    "nodes",
+    "queries",
+    "seed",
+    "ttl",
+    "interval",
+    "topology",
+    "catalog.topics",
+    "catalog.files",
+    "churn",
+    "churn.session",
+    "churn.downtime",
+    "faults",
+    "links",
+    "retry",
+    "obs",
+];
+
+/// Spec-string keys that additionally accept `key.<param>` overrides
+/// (patching one parameter of the spec instead of replacing it).
+const TRACE_SPEC_KEYS: &[&str] = &["strategy"];
+const LIVE_SPEC_KEYS: &[&str] = &["policy", "faults", "links", "retry"];
+
+/// A plan file failed to parse or validate. Carries the plan path and,
+/// for syntax-level failures, the byte offset of the offending
+/// construct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanError {
+    /// The plan file the error is about.
+    pub path: String,
+    /// Byte offset of the offending construct, when locatable.
+    pub offset: Option<usize>,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl PlanError {
+    pub(crate) fn at(path: &str, offset: usize, message: impl Into<String>) -> PlanError {
+        PlanError {
+            path: path.to_string(),
+            offset: Some(offset),
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn whole(path: &str, message: impl Into<String>) -> PlanError {
+        PlanError {
+            path: path.to_string(),
+            offset: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "plan `{}` at byte {off}: {}", self.path, self.message),
+            None => write!(f, "plan `{}`: {}", self.path, self.message),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A plan value: a number or a string. Spec strings and mode switches
+/// (`"none"`) are strings; everything else is numeric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A numeric value (integers included — rendered without `.0`).
+    Num(f64),
+    /// A string value (spec strings, trace/topology names, `"none"`).
+    Str(String),
+}
+
+impl Value {
+    /// Renders the value the way registry spec strings format numbers:
+    /// integer-valued floats print without a decimal point.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Num(v) => fmt_num(*v),
+            Value::Str(s) => s.clone(),
+        }
+    }
+
+    /// The numeric value, if this is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// The string value, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Num(_) => None,
+        }
+    }
+
+    /// The JSON form (used by report rows and runbooks).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Value::Num(v) if v.fract() == 0.0 && v.abs() < 9.0e15 => Json::Int(*v as i128),
+            Value::Num(v) => Json::Float(*v),
+            Value::Str(s) => Json::from(s),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Num(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::Num(v as f64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Num(v as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// Formats a number the way `format!("{v}")` formats the corresponding
+/// integer when the value is integral — matching how the legacy
+/// experiments interpolate parameters into spec strings (`hl=20000`,
+/// `loss=0.05`, `c=0`).
+pub(crate) fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// How a plan's axes expand into jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sampler {
+    /// The full cross product of every axis's points.
+    Grid,
+    /// A seeded latin-hypercube design of `samples` jobs: each axis is
+    /// stratified into `samples` strata and visited exactly once, in an
+    /// order fully determined by `(plan hash, seed)`.
+    Lhs {
+        /// Number of jobs (and strata per axis).
+        samples: usize,
+    },
+}
+
+impl Sampler {
+    /// Canonical label (used in describe strings and reports).
+    pub fn describe(&self) -> String {
+        match self {
+            Sampler::Grid => "grid".to_string(),
+            Sampler::Lhs { samples } => format!("lhs(samples={samples})"),
+        }
+    }
+}
+
+/// Which world the plan's runs live in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Trace-driven rule-maintenance evaluation.
+    TraceEval,
+    /// Live-network simulation.
+    LiveSim,
+}
+
+impl PlanKind {
+    /// The `kind = "..."` label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanKind::TraceEval => "trace-eval",
+            PlanKind::LiveSim => "live-sim",
+        }
+    }
+}
+
+/// One varying dimension of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    /// The keys this axis assigns. One key for a plain axis; several for
+    /// a zipped axis whose points assign them jointly.
+    pub keys: Vec<String>,
+    /// The axis's points, one inner vector per point, aligned with
+    /// `keys`. Empty when the axis is a continuous `min`/`max` range.
+    pub values: Vec<Vec<Value>>,
+    /// Continuous range for latin-hypercube sampling (single-key axes
+    /// only).
+    pub range: Option<(f64, f64)>,
+}
+
+impl Axis {
+    /// The axis's identity for ordering and [`SweepPlan::set_axis_values`]
+    /// lookup: its keys joined with `+`.
+    pub fn key_string(&self) -> String {
+        self.keys.join("+")
+    }
+}
+
+/// A parsed, validated sweep plan. See the [module docs](crate::sweep)
+/// for the file format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPlan {
+    /// Plan name (output directory default, report header).
+    pub name: String,
+    /// Which world the runs live in.
+    pub kind: PlanKind,
+    /// Sweep seed: the default run seed and the LHS design seed.
+    pub seed: u64,
+    /// Grid or latin-hypercube expansion.
+    pub sampler: Sampler,
+    /// Base settings, in file order.
+    pub base: Vec<(String, Value)>,
+    /// Varying axes, in file order (expansion sorts by key).
+    pub axes: Vec<Axis>,
+    /// Explicit job overrides, appended after the sampled jobs.
+    pub jobs: Vec<Vec<(String, Value)>>,
+    /// The plan file path, carried into every later error.
+    pub path: String,
+}
+
+impl SweepPlan {
+    /// Parses and validates a plan from `text`. `path` is the file name
+    /// used in error messages and provenance; it is not read from.
+    pub fn parse(text: &str, path: &str) -> Result<SweepPlan, PlanError> {
+        let raw = if text.trim_start().starts_with('{') {
+            raw_from_json(text, path)?
+        } else {
+            parse_toml_subset(text, path)?
+        };
+        build_plan(raw, path)
+    }
+
+    /// Reads and parses the plan file at `path`.
+    pub fn load(path: &str) -> Result<SweepPlan, PlanError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| PlanError::whole(path, format!("cannot read plan: {e}")))?;
+        SweepPlan::parse(&text, path)
+    }
+
+    /// Sets (or adds) a base setting — how harness wrappers scale a
+    /// checked-in plan without editing the file.
+    pub fn set_base(&mut self, key: &str, value: impl Into<Value>) -> Result<(), PlanError> {
+        validate_key(self.kind, key).map_err(|m| PlanError::whole(&self.path, m))?;
+        let value = value.into();
+        match self.base.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value,
+            None => self.base.push((key.to_string(), value)),
+        }
+        Ok(())
+    }
+
+    /// Replaces the points of the axis identified by `key_string`
+    /// (single key, or zipped keys joined with `+`).
+    pub fn set_axis_values(
+        &mut self,
+        key_string: &str,
+        values: Vec<Vec<Value>>,
+    ) -> Result<(), PlanError> {
+        let Some(axis) = self.axes.iter_mut().find(|a| a.key_string() == key_string) else {
+            let have: Vec<String> = self.axes.iter().map(Axis::key_string).collect();
+            return Err(PlanError::whole(
+                &self.path,
+                format!(
+                    "no axis `{key_string}` to override (axes: {})",
+                    have.join(", ")
+                ),
+            ));
+        };
+        for point in &values {
+            if point.len() != axis.keys.len() {
+                return Err(PlanError::whole(
+                    &self.path,
+                    format!(
+                        "axis `{key_string}` points must assign {} value(s), got {}",
+                        axis.keys.len(),
+                        point.len()
+                    ),
+                ));
+            }
+        }
+        axis.values = values;
+        axis.range = None;
+        Ok(())
+    }
+
+    /// Sets (or adds) a key in the `index`-th explicit `[[job]]` entry.
+    pub fn set_job(
+        &mut self,
+        index: usize,
+        key: &str,
+        value: impl Into<Value>,
+    ) -> Result<(), PlanError> {
+        validate_key(self.kind, key).map_err(|m| PlanError::whole(&self.path, m))?;
+        let n = self.jobs.len();
+        let Some(job) = self.jobs.get_mut(index) else {
+            return Err(PlanError::whole(
+                &self.path,
+                format!("no job #{index} to override (plan has {n})"),
+            ));
+        };
+        let value = value.into();
+        match job.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value,
+            None => job.push((key.to_string(), value)),
+        }
+        Ok(())
+    }
+
+    /// Canonical description of the whole plan: base settings sorted by
+    /// key, axes sorted by key string. Two plans that expand to the same
+    /// jobs in the same order describe identically, however their file
+    /// happens to order sections.
+    pub fn describe(&self) -> String {
+        let mut base: Vec<&(String, Value)> = self.base.iter().collect();
+        base.sort_by(|a, b| a.0.cmp(&b.0));
+        let base: Vec<String> = base
+            .iter()
+            .map(|(k, v)| format!("{k}={}", v.render()))
+            .collect();
+        let mut axes: Vec<&Axis> = self.axes.iter().collect();
+        axes.sort_by_key(|a| a.key_string());
+        let axes: Vec<String> = axes
+            .iter()
+            .map(|a| {
+                let points = match a.range {
+                    Some((lo, hi)) => format!("range[{},{}]", fmt_num(lo), fmt_num(hi)),
+                    None => {
+                        let pts: Vec<String> = a
+                            .values
+                            .iter()
+                            .map(|p| {
+                                let vs: Vec<String> = p.iter().map(Value::render).collect();
+                                vs.join("+")
+                            })
+                            .collect();
+                        pts.join(";")
+                    }
+                };
+                format!("{}:{points}", a.key_string())
+            })
+            .collect();
+        let jobs: Vec<String> = self
+            .jobs
+            .iter()
+            .map(|j| {
+                let kv: Vec<String> = j
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", v.render()))
+                    .collect();
+                kv.join(",")
+            })
+            .collect();
+        format!(
+            "sweep|name={}|kind={}|seed={}|sampler={}|base={{{}}}|axes=[{}]|jobs=[{}]",
+            self.name,
+            self.kind.label(),
+            self.seed,
+            self.sampler.describe(),
+            base.join(","),
+            axes.join(" "),
+            jobs.join(" "),
+        )
+    }
+
+    /// FNV-1a digest of [`Self::describe`] — the plan's identity in
+    /// journals, runbooks, and LHS stream derivation.
+    pub fn hash(&self) -> u64 {
+        fnv1a(self.describe().as_bytes())
+    }
+}
+
+/// Validates a base/axis/job key against the plan kind's vocabulary.
+pub(crate) fn validate_key(kind: PlanKind, key: &str) -> Result<(), String> {
+    let (keys, spec_keys) = match kind {
+        PlanKind::TraceEval => (TRACE_KEYS, TRACE_SPEC_KEYS),
+        PlanKind::LiveSim => (LIVE_KEYS, LIVE_SPEC_KEYS),
+    };
+    if keys.contains(&key) {
+        return Ok(());
+    }
+    if let Some((head, param)) = key.split_once('.') {
+        if spec_keys.contains(&head) && !param.is_empty() {
+            return Ok(());
+        }
+    }
+    let overrides: Vec<String> = spec_keys.iter().map(|k| format!("{k}.<param>")).collect();
+    Err(format!(
+        "unknown key `{key}` for a {} plan (valid: {}; plus {} overrides)",
+        kind.label(),
+        keys.join(", "),
+        overrides.join(", "),
+    ))
+}
+
+/// A key/value entry with the byte offset of its key (when the source
+/// format provides one — JSON plans do not).
+#[derive(Debug, Clone)]
+struct Entry {
+    key: String,
+    value: Json,
+    offset: Option<usize>,
+}
+
+/// The raw sectioned form both parsers produce.
+#[derive(Debug, Clone, Default)]
+struct RawPlan {
+    top: Vec<Entry>,
+    base: Vec<Entry>,
+    axes: Vec<Vec<Entry>>,
+    jobs: Vec<Vec<Entry>>,
+}
+
+// ---------------------------------------------------------------------
+// TOML-subset parser
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    text: &'a str,
+    pos: usize,
+    path: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, offset: usize, message: impl Into<String>) -> PlanError {
+        PlanError::at(self.path, offset, message)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.text[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    /// Skips whitespace (including newlines) and `#` comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Skips spaces and tabs only (within a line).
+    fn skip_inline(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t')) {
+            self.bump();
+        }
+    }
+
+    fn is_key_char(c: char) -> bool {
+        c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.')
+    }
+
+    fn parse_key(&mut self) -> Result<(String, usize), PlanError> {
+        let start = self.pos;
+        while self.peek().is_some_and(Self::is_key_char) {
+            self.bump();
+        }
+        if self.pos == start {
+            let got = self
+                .peek()
+                .map_or("end of file".to_string(), |c| format!("`{c}`"));
+            return Err(self.err(start, format!("expected a key, found {got}")));
+        }
+        Ok((self.text[start..self.pos].to_string(), start))
+    }
+
+    fn parse_string(&mut self) -> Result<Json, PlanError> {
+        let open = self.pos;
+        self.bump(); // consume the opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err(open, "unterminated string".to_string())),
+                Some('\n') => {
+                    return Err(self.err(open, "unterminated string (newline before closing `\"`)"))
+                }
+                Some('"') => return Ok(Json::Str(s)),
+                Some('\\') => match self.bump() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    other => {
+                        return Err(self.err(
+                            self.pos.saturating_sub(1),
+                            format!(
+                                "unsupported escape `\\{}` (only \\\" and \\\\)",
+                                other.map_or(String::new(), String::from)
+                            ),
+                        ))
+                    }
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, PlanError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E' | '_'))
+        {
+            self.bump();
+        }
+        let raw = &self.text[start..self.pos];
+        let cleaned: String = raw.chars().filter(|&c| c != '_').collect();
+        if let Ok(i) = cleaned.parse::<i128>() {
+            return Ok(Json::Int(i));
+        }
+        cleaned
+            .parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.err(start, format!("cannot parse `{raw}` as a number")))
+    }
+
+    fn parse_array(&mut self) -> Result<Json, PlanError> {
+        let open = self.pos;
+        self.bump(); // consume `[`
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            match self.peek() {
+                None => return Err(self.err(open, "unterminated array (missing `]`)")),
+                Some(']') => {
+                    self.bump();
+                    return Ok(Json::Arr(items));
+                }
+                Some(',') => {
+                    self.bump();
+                }
+                _ => items.push(self.parse_value()?),
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, PlanError> {
+        match self.peek() {
+            Some('"') => self.parse_string(),
+            Some('[') => self.parse_array(),
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => self.parse_number(),
+            Some('t') | Some('f') => Err(self.err(
+                self.pos,
+                "booleans are not used in sweep plans (use a string or number)",
+            )),
+            other => Err(self.err(
+                self.pos,
+                format!(
+                    "expected a value (string, number, or array), found {}",
+                    other.map_or("end of file".to_string(), |c| format!("`{c}`"))
+                ),
+            )),
+        }
+    }
+}
+
+fn parse_toml_subset(text: &str, path: &str) -> Result<RawPlan, PlanError> {
+    let mut cur = Cursor { text, pos: 0, path };
+    let mut raw = RawPlan::default();
+    // Which section subsequent `key = value` lines land in.
+    enum Target {
+        Top,
+        Base,
+        Axis,
+        Job,
+    }
+    let mut target = Target::Top;
+    loop {
+        cur.skip_trivia();
+        let Some(c) = cur.peek() else { break };
+        if c == '[' {
+            let at = cur.pos;
+            cur.bump();
+            let double = cur.peek() == Some('[');
+            if double {
+                cur.bump();
+            }
+            cur.skip_inline();
+            let (name, name_at) = cur.parse_key()?;
+            cur.skip_inline();
+            for _ in 0..(1 + usize::from(double)) {
+                if cur.bump() != Some(']') {
+                    return Err(cur.err(at, format!("unterminated section header `[{name}`")));
+                }
+            }
+            target = match (name.as_str(), double) {
+                ("base", false) => Target::Base,
+                ("axis", true) => {
+                    raw.axes.push(Vec::new());
+                    Target::Axis
+                }
+                ("job", true) => {
+                    raw.jobs.push(Vec::new());
+                    Target::Job
+                }
+                ("axis", false) | ("job", false) => {
+                    return Err(cur.err(
+                        name_at,
+                        format!("section `{name}` is an array of tables: write `[[{name}]]`"),
+                    ))
+                }
+                ("base", true) => {
+                    return Err(cur.err(name_at, "section `base` is a table: write `[base]`"))
+                }
+                _ => {
+                    return Err(cur.err(
+                        name_at,
+                        format!("unknown section `[{name}]` (valid: [base], [[axis]], [[job]])"),
+                    ))
+                }
+            };
+            continue;
+        }
+        let (key, key_at) = cur.parse_key()?;
+        cur.skip_inline();
+        if cur.bump() != Some('=') {
+            return Err(cur.err(key_at, format!("expected `=` after key `{key}`")));
+        }
+        cur.skip_inline();
+        let value = cur.parse_value()?;
+        let entry = Entry {
+            key,
+            value,
+            offset: Some(key_at),
+        };
+        match target {
+            Target::Top => raw.top.push(entry),
+            Target::Base => raw.base.push(entry),
+            Target::Axis => raw.axes.last_mut().expect("axis section open").push(entry),
+            Target::Job => raw.jobs.last_mut().expect("job section open").push(entry),
+        }
+    }
+    Ok(raw)
+}
+
+// ---------------------------------------------------------------------
+// JSON front end
+// ---------------------------------------------------------------------
+
+fn raw_from_json(text: &str, path: &str) -> Result<RawPlan, PlanError> {
+    let doc = json::parse(text)
+        .map_err(|e| PlanError::at(path, e.offset, format!("JSON plan: {}", e.message)))?;
+    let Json::Obj(fields) = doc else {
+        return Err(PlanError::whole(path, "JSON plan must be an object"));
+    };
+    let entries = |v: &Json, what: &str| -> Result<Vec<Entry>, PlanError> {
+        match v {
+            Json::Obj(fields) => Ok(fields
+                .iter()
+                .map(|(k, v)| Entry {
+                    key: k.clone(),
+                    value: v.clone(),
+                    offset: None,
+                })
+                .collect()),
+            _ => Err(PlanError::whole(
+                path,
+                format!("`{what}` must be an object"),
+            )),
+        }
+    };
+    let mut raw = RawPlan::default();
+    for (key, value) in &fields {
+        match key.as_str() {
+            "base" => raw.base = entries(value, "base")?,
+            "axes" | "jobs" => {
+                let Json::Arr(items) = value else {
+                    return Err(PlanError::whole(
+                        path,
+                        format!("`{key}` must be an array of objects"),
+                    ));
+                };
+                let dest = if key == "axes" {
+                    &mut raw.axes
+                } else {
+                    &mut raw.jobs
+                };
+                for (i, item) in items.iter().enumerate() {
+                    dest.push(entries(item, &format!("{key}[{i}]"))?);
+                }
+            }
+            _ => raw.top.push(Entry {
+                key: key.clone(),
+                value: value.clone(),
+                offset: None,
+            }),
+        }
+    }
+    Ok(raw)
+}
+
+// ---------------------------------------------------------------------
+// Raw → validated plan
+// ---------------------------------------------------------------------
+
+fn scalar(path: &str, entry: &Entry) -> Result<Value, PlanError> {
+    match &entry.value {
+        Json::Int(i) => Ok(Value::Num(*i as f64)),
+        Json::Float(v) => Ok(Value::Num(*v)),
+        Json::Str(s) => Ok(Value::Str(s.clone())),
+        other => Err(PlanError {
+            path: path.to_string(),
+            offset: entry.offset,
+            message: format!("key `{}` needs a string or number, got {other}", entry.key),
+        }),
+    }
+}
+
+fn build_plan(raw: RawPlan, path: &str) -> Result<SweepPlan, PlanError> {
+    let whole = |m: String| PlanError::whole(path, m);
+    let mut name = None;
+    let mut kind = None;
+    let mut seed = DEFAULT_SEED;
+    let mut sampler_label: Option<(String, Option<usize>)> = None;
+    let mut samples: Option<usize> = None;
+    for e in &raw.top {
+        let located = |m: String| PlanError {
+            path: path.to_string(),
+            offset: e.offset,
+            message: m,
+        };
+        match e.key.as_str() {
+            "name" => {
+                name = Some(
+                    scalar(path, e)?
+                        .as_str()
+                        .ok_or_else(|| located("`name` must be a string".into()))?
+                        .to_string(),
+                )
+            }
+            "kind" => {
+                let v = scalar(path, e)?;
+                kind = Some(match v.as_str() {
+                    Some("trace-eval") => PlanKind::TraceEval,
+                    Some("live-sim") => PlanKind::LiveSim,
+                    _ => {
+                        return Err(located(format!(
+                            "`kind` must be \"trace-eval\" or \"live-sim\", got {}",
+                            v.render()
+                        )))
+                    }
+                });
+            }
+            "seed" => {
+                seed = scalar(path, e)?
+                    .as_num()
+                    .filter(|v| v.fract() == 0.0 && *v >= 0.0)
+                    .ok_or_else(|| located("`seed` must be a non-negative integer".into()))?
+                    as u64;
+            }
+            "sampler" => {
+                let v = scalar(path, e)?;
+                sampler_label = Some((
+                    v.as_str()
+                        .ok_or_else(|| located("`sampler` must be \"grid\" or \"lhs\"".into()))?
+                        .to_string(),
+                    e.offset,
+                ));
+            }
+            "samples" => {
+                samples = Some(
+                    scalar(path, e)?
+                        .as_num()
+                        .filter(|v| v.fract() == 0.0 && *v >= 1.0)
+                        .ok_or_else(|| located("`samples` must be a positive integer".into()))?
+                        as usize,
+                );
+            }
+            other => {
+                return Err(located(format!(
+                    "unknown top-level key `{other}` (valid: name, kind, seed, sampler, samples)"
+                )))
+            }
+        }
+    }
+    let name = name.ok_or_else(|| whole("missing required top-level key `name`".into()))?;
+    let kind = kind.ok_or_else(|| whole("missing required top-level key `kind`".into()))?;
+    let sampler = match sampler_label.as_ref().map(|(s, o)| (s.as_str(), o)) {
+        None | Some(("grid", _)) => {
+            if samples.is_some() {
+                return Err(whole("`samples` requires `sampler = \"lhs\"`".into()));
+            }
+            Sampler::Grid
+        }
+        Some(("lhs", _)) => Sampler::Lhs {
+            samples: samples
+                .ok_or_else(|| whole("`sampler = \"lhs\"` requires a `samples` count".into()))?,
+        },
+        Some((other, offset)) => {
+            return Err(PlanError {
+                path: path.to_string(),
+                offset: *offset,
+                message: format!("unknown sampler `{other}` (valid: grid, lhs)"),
+            })
+        }
+    };
+
+    let keyed = |entries: &[Entry]| -> Result<Vec<(String, Value)>, PlanError> {
+        entries
+            .iter()
+            .map(|e| {
+                validate_key(kind, &e.key).map_err(|m| PlanError {
+                    path: path.to_string(),
+                    offset: e.offset,
+                    message: m,
+                })?;
+                Ok((e.key.clone(), scalar(path, e)?))
+            })
+            .collect()
+    };
+    let base = keyed(&raw.base)?;
+    let jobs: Vec<Vec<(String, Value)>> = raw
+        .jobs
+        .iter()
+        .map(|j| keyed(j))
+        .collect::<Result<_, _>>()?;
+
+    let mut axes = Vec::new();
+    for entries in &raw.axes {
+        axes.push(build_axis(entries, kind, path)?);
+    }
+
+    Ok(SweepPlan {
+        name,
+        kind,
+        seed,
+        sampler,
+        base,
+        axes,
+        jobs,
+        path: path.to_string(),
+    })
+}
+
+fn build_axis(entries: &[Entry], kind: PlanKind, path: &str) -> Result<Axis, PlanError> {
+    let mut keys: Option<(Vec<String>, Option<usize>)> = None;
+    let mut values_json: Option<(Json, Option<usize>)> = None;
+    let mut min = None;
+    let mut max = None;
+    for e in entries {
+        let located = |m: String| PlanError {
+            path: path.to_string(),
+            offset: e.offset,
+            message: m,
+        };
+        match e.key.as_str() {
+            "key" => {
+                let v = scalar(path, e)?;
+                let k = v
+                    .as_str()
+                    .ok_or_else(|| located("axis `key` must be a string".into()))?;
+                keys = Some((vec![k.to_string()], e.offset));
+            }
+            "keys" => {
+                let Json::Arr(items) = &e.value else {
+                    return Err(located("axis `keys` must be an array of strings".into()));
+                };
+                let mut ks = Vec::new();
+                for item in items {
+                    let Json::Str(s) = item else {
+                        return Err(located("axis `keys` must be an array of strings".into()));
+                    };
+                    ks.push(s.clone());
+                }
+                if ks.is_empty() {
+                    return Err(located("axis `keys` must not be empty".into()));
+                }
+                keys = Some((ks, e.offset));
+            }
+            "values" => values_json = Some((e.value.clone(), e.offset)),
+            "min" => {
+                min = Some(
+                    scalar(path, e)?
+                        .as_num()
+                        .ok_or_else(|| located("axis `min` must be a number".into()))?,
+                )
+            }
+            "max" => {
+                max = Some(
+                    scalar(path, e)?
+                        .as_num()
+                        .ok_or_else(|| located("axis `max` must be a number".into()))?,
+                )
+            }
+            other => {
+                return Err(located(format!(
+                    "unknown axis field `{other}` (valid: key, keys, values, min, max)"
+                )))
+            }
+        }
+    }
+    let (keys, keys_at) =
+        keys.ok_or_else(|| PlanError::whole(path, "axis needs a `key` (or `keys`)"))?;
+    for k in &keys {
+        validate_key(kind, k).map_err(|m| PlanError {
+            path: path.to_string(),
+            offset: keys_at,
+            message: m,
+        })?;
+    }
+    let range = match (min, max) {
+        (Some(lo), Some(hi)) if hi > lo => Some((lo, hi)),
+        (Some(lo), Some(hi)) => {
+            return Err(PlanError::whole(
+                path,
+                format!("axis `{}`: min {lo} must be below max {hi}", keys.join("+")),
+            ))
+        }
+        (None, None) => None,
+        _ => {
+            return Err(PlanError::whole(
+                path,
+                format!("axis `{}` has only one of min/max", keys.join("+")),
+            ))
+        }
+    };
+    if range.is_some() && keys.len() != 1 {
+        return Err(PlanError::whole(
+            path,
+            "a min/max range axis must have a single key",
+        ));
+    }
+    let mut values = Vec::new();
+    if let Some((json_values, at)) = values_json {
+        if range.is_some() {
+            return Err(PlanError::whole(
+                path,
+                format!(
+                    "axis `{}` has both `values` and a min/max range",
+                    keys.join("+")
+                ),
+            ));
+        }
+        let located = |m: String| PlanError {
+            path: path.to_string(),
+            offset: at,
+            message: m,
+        };
+        let Json::Arr(points) = json_values else {
+            return Err(located("axis `values` must be an array".into()));
+        };
+        if points.is_empty() {
+            return Err(located(format!("axis `{}` has no values", keys.join("+"))));
+        }
+        for point in points {
+            let assigned: Vec<Value> = if keys.len() == 1 {
+                vec![json_scalar(&point).map_err(&located)?]
+            } else {
+                let Json::Arr(items) = &point else {
+                    return Err(located(format!(
+                        "zipped axis `{}` points must be arrays of {} values",
+                        keys.join("+"),
+                        keys.len()
+                    )));
+                };
+                if items.len() != keys.len() {
+                    return Err(located(format!(
+                        "zipped axis `{}` point has {} values, needs {}",
+                        keys.join("+"),
+                        items.len(),
+                        keys.len()
+                    )));
+                }
+                items
+                    .iter()
+                    .map(json_scalar)
+                    .collect::<Result<_, _>>()
+                    .map_err(&located)?
+            };
+            values.push(assigned);
+        }
+    } else if range.is_none() {
+        return Err(PlanError::whole(
+            path,
+            format!(
+                "axis `{}` needs `values` (or a min/max range under the lhs sampler)",
+                keys.join("+")
+            ),
+        ));
+    }
+    Ok(Axis {
+        keys,
+        values,
+        range,
+    })
+}
+
+fn json_scalar(v: &Json) -> Result<Value, String> {
+    match v {
+        Json::Int(i) => Ok(Value::Num(*i as f64)),
+        Json::Float(f) => Ok(Value::Num(*f)),
+        Json::Str(s) => Ok(Value::Str(s.clone())),
+        other => Err(format!(
+            "axis values must be strings or numbers, got {other}"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E3ISH: &str = r#"
+# A block-size sweep.
+name = "e3ish"
+kind = "trace-eval"
+seed = 7
+
+[base]
+trace = "shared-paper-default"
+pairs = 120_000
+strategy = "sliding(s=10)"
+
+[[axis]]
+key = "block"
+values = [2500, 5000, 10000]
+"#;
+
+    #[test]
+    fn toml_subset_round_trips() {
+        let plan = SweepPlan::parse(E3ISH, "plans/e3ish.toml").unwrap();
+        assert_eq!(plan.name, "e3ish");
+        assert_eq!(plan.kind, PlanKind::TraceEval);
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.sampler, Sampler::Grid);
+        assert_eq!(plan.base[1], ("pairs".into(), Value::Num(120_000.0)));
+        assert_eq!(plan.axes.len(), 1);
+        assert_eq!(plan.axes[0].keys, vec!["block"]);
+        assert_eq!(plan.axes[0].values.len(), 3);
+    }
+
+    #[test]
+    fn json_plans_parse_identically() {
+        let json = r#"{
+            "name": "e3ish", "kind": "trace-eval", "seed": 7,
+            "base": {"trace": "shared-paper-default", "pairs": 120000,
+                     "strategy": "sliding(s=10)"},
+            "axes": [{"key": "block", "values": [2500, 5000, 10000]}]
+        }"#;
+        let a = SweepPlan::parse(E3ISH, "p.toml").unwrap();
+        let b = SweepPlan::parse(json, "p.json").unwrap();
+        assert_eq!(a.describe(), b.describe());
+        assert_eq!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn describe_is_invariant_under_section_reordering() {
+        let reordered = r#"
+name = "e3ish"
+kind = "trace-eval"
+seed = 7
+
+[[axis]]
+key = "block"
+values = [2500, 5000, 10000]
+
+[base]
+strategy = "sliding(s=10)"
+pairs = 120_000
+trace = "shared-paper-default"
+"#;
+        let a = SweepPlan::parse(E3ISH, "p.toml").unwrap();
+        let b = SweepPlan::parse(reordered, "p.toml").unwrap();
+        assert_eq!(a.describe(), b.describe());
+        assert_eq!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn unknown_keys_list_the_valid_vocabulary() {
+        let bad = E3ISH.replace("key = \"block\"", "key = \"blok\"");
+        let e = SweepPlan::parse(&bad, "plans/bad.toml").unwrap_err();
+        assert_eq!(e.path, "plans/bad.toml");
+        let msg = e.to_string();
+        assert!(msg.contains("unknown key `blok`"), "{msg}");
+        for key in TRACE_KEYS {
+            assert!(msg.contains(key), "`{key}` missing from: {msg}");
+        }
+        assert!(msg.contains("strategy.<param>"), "{msg}");
+    }
+
+    #[test]
+    fn malformed_values_carry_path_and_byte_offset() {
+        let bad = E3ISH.replace("values = [2500, 5000, 10000]", "values = [2500, 5000");
+        let e = SweepPlan::parse(&bad, "plans/bad.toml").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("plans/bad.toml"), "{msg}");
+        assert!(msg.contains("at byte"), "{msg}");
+        assert!(msg.contains("unterminated array"), "{msg}");
+        let offset = e.offset.expect("syntax errors are located");
+        assert_eq!(&bad[offset..offset + 1], "[");
+
+        let bad = E3ISH.replace("pairs = 120_000", "pairs = 12q");
+        let e = SweepPlan::parse(&bad, "plans/bad.toml").unwrap_err();
+        assert!(e.offset.is_some(), "{e}");
+
+        let e = json::parse("{\"name\": }").unwrap_err();
+        assert!(e.offset > 0);
+        let e = SweepPlan::parse("{\"name\": }", "plans/bad.json").unwrap_err();
+        assert!(e.to_string().contains("at byte"), "{e}");
+    }
+
+    #[test]
+    fn unknown_sections_and_samplers_are_rejected() {
+        let e = SweepPlan::parse("name = \"x\"\nkind = \"trace-eval\"\n[bass]\n", "p.toml")
+            .unwrap_err();
+        assert!(e.to_string().contains("unknown section `[bass]`"), "{e}");
+        let e = SweepPlan::parse(
+            "name = \"x\"\nkind = \"trace-eval\"\nsampler = \"lhss\"\n",
+            "p.toml",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("unknown sampler `lhss`"), "{e}");
+        let e = SweepPlan::parse("name = \"x\"\nkind = \"sim\"\n", "p.toml").unwrap_err();
+        assert!(e.to_string().contains("trace-eval"), "{e}");
+        let e = SweepPlan::parse("name = \"x\"\n", "p.toml").unwrap_err();
+        assert!(e.to_string().contains("missing required"), "{e}");
+    }
+
+    #[test]
+    fn lhs_needs_samples_and_grid_rejects_them() {
+        let e = SweepPlan::parse(
+            "name = \"x\"\nkind = \"trace-eval\"\nsampler = \"lhs\"\n",
+            "p.toml",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("requires a `samples`"), "{e}");
+        let e = SweepPlan::parse(
+            "name = \"x\"\nkind = \"trace-eval\"\nsamples = 4\n",
+            "p.toml",
+        )
+        .unwrap_err();
+        assert!(
+            e.to_string().contains("requires `sampler = \"lhs\"`"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn zipped_axes_validate_point_arity() {
+        let plan = r#"
+name = "z"
+kind = "live-sim"
+[[axis]]
+keys = ["interval", "links"]
+values = [[2000, "none"], [500]]
+"#;
+        let e = SweepPlan::parse(plan, "p.toml").unwrap_err();
+        assert!(e.to_string().contains("has 1 values, needs 2"), "{e}");
+    }
+
+    #[test]
+    fn mutation_api_validates_keys() {
+        let mut plan = SweepPlan::parse(E3ISH, "p.toml").unwrap();
+        plan.set_base("pairs", 64_000usize).unwrap();
+        assert!(plan.describe().contains("pairs=64000"));
+        let e = plan.set_base("pears", 1usize).unwrap_err();
+        assert!(e.to_string().contains("unknown key `pears`"), "{e}");
+        plan.set_axis_values("block", vec![vec![Value::Num(100.0)]])
+            .unwrap();
+        assert_eq!(plan.axes[0].values.len(), 1);
+        let e = plan
+            .set_axis_values("blok", vec![vec![Value::Num(1.0)]])
+            .unwrap_err();
+        assert!(e.to_string().contains("no axis `blok`"), "{e}");
+    }
+
+    #[test]
+    fn value_rendering_matches_legacy_interpolation() {
+        assert_eq!(Value::Num(20_000.0).render(), "20000");
+        assert_eq!(Value::Num(0.05).render(), "0.05");
+        assert_eq!(Value::Num(0.0).render(), "0");
+        assert_eq!(Value::Num(5e-5).render(), "0.00005");
+        assert_eq!(
+            Value::Str("faults(loss=0.3)".into()).render(),
+            "faults(loss=0.3)"
+        );
+    }
+}

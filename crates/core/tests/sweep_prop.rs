@@ -1,0 +1,227 @@
+//! Hand-rolled property tests for the sweep planner: determinism and
+//! ordering invariants checked over many generated plans, with no
+//! external property-testing crate (the workspace builds offline).
+//!
+//! The generators draw plan shapes from a seeded [`Rng64`] stream, so
+//! every case is reproducible from the printed case seed.
+
+use arq_core::sweep::{self, SweepPlan, Value};
+use arq_simkern::rng::Rng64;
+
+/// The full observable expansion of a plan: every job's params and spec
+/// describe string, in order. Two plans expand identically iff these
+/// strings are equal.
+fn expansion_fingerprint(plan: &SweepPlan) -> Vec<String> {
+    sweep::expand(plan)
+        .expect("generated plan expands")
+        .iter()
+        .map(|j| {
+            let params: Vec<String> = j
+                .params
+                .iter()
+                .map(|(k, v)| format!("{k}={}", v.render()))
+                .collect();
+            format!("#{} [{}] {}", j.index, params.join(","), j.spec.describe())
+        })
+        .collect()
+}
+
+/// Renders a grid plan over the given axes, with the `[[axis]]` blocks
+/// in the order supplied.
+fn grid_plan_text(axes: &[(&str, &[i64])]) -> String {
+    let mut text = String::from(
+        "name = \"prop\"\nkind = \"trace-eval\"\nseed = 11\n\n[base]\npairs = 12_000\n\
+         block = 2000\nstrategy = \"sliding(s=10)\"\n",
+    );
+    for (key, values) in axes {
+        let vals: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        text.push_str(&format!(
+            "\n[[axis]]\nkey = \"{key}\"\nvalues = [{}]\n",
+            vals.join(", ")
+        ));
+    }
+    text
+}
+
+/// Grid expansion is a pure function of the plan: re-parsing and
+/// re-expanding the same text always yields the same job list, and the
+/// job list never depends on the order of `[[axis]]` blocks in the file.
+#[test]
+fn grid_expansion_is_deterministic_and_axis_order_invariant() {
+    let mut rng = Rng64::seed_from(0xA5EED);
+    for case in 0..50u32 {
+        // Draw 1..=3 axes from a small vocabulary, in random file order.
+        let vocabulary: [(&str, &[i64]); 3] = [
+            ("block", &[1_000, 2_000, 3_000]),
+            ("strategy.s", &[5, 10]),
+            ("strategy.c", &[0, 1]),
+        ];
+        let n_axes = 1 + (rng.next_u64() % 3) as usize;
+        let mut order: Vec<usize> = (0..3).collect();
+        // Fisher–Yates on the vocabulary order.
+        for i in (1..order.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let picked: Vec<(&str, &[i64])> = order[..n_axes].iter().map(|&i| vocabulary[i]).collect();
+        let mut reversed = picked.clone();
+        reversed.reverse();
+
+        let a = SweepPlan::parse(&grid_plan_text(&picked), "plans/prop.toml").unwrap();
+        let b = SweepPlan::parse(&grid_plan_text(&picked), "plans/prop.toml").unwrap();
+        let c = SweepPlan::parse(&grid_plan_text(&reversed), "plans/prop.toml").unwrap();
+
+        let fa = expansion_fingerprint(&a);
+        assert_eq!(
+            fa,
+            expansion_fingerprint(&b),
+            "case {case}: re-expansion diverged"
+        );
+        assert_eq!(
+            fa,
+            expansion_fingerprint(&c),
+            "case {case}: axis file order changed the job list"
+        );
+        assert_eq!(
+            a.hash(),
+            c.hash(),
+            "case {case}: axis file order changed the plan hash"
+        );
+        // Every grid point appears exactly once.
+        let expect: usize = picked.iter().map(|(_, v)| v.len()).product();
+        assert_eq!(fa.len(), expect, "case {case}: wrong grid size");
+        let mut dedup = fa.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), expect, "case {case}: duplicate grid point");
+    }
+}
+
+fn lhs_plan_text(seed: u64, samples: usize) -> String {
+    // One continuous range axis (the float-valued confidence pruning
+    // parameter) and one discrete axis with exactly `samples` points.
+    let blocks: Vec<String> = (1..=samples).map(|i| (i * 500).to_string()).collect();
+    format!(
+        "name = \"prop-lhs\"\nkind = \"trace-eval\"\nseed = {seed}\nsampler = \"lhs\"\n\
+         samples = {samples}\n\n[base]\npairs = 12_000\nblock = 2000\n\n\
+         [[axis]]\nkey = \"strategy.c\"\nmin = 0\nmax = 0.5\n\n\
+         [[axis]]\nkey = \"block\"\nvalues = [{}]\n",
+        blocks.join(", ")
+    )
+}
+
+/// Latin-hypercube designs are permutation-valid (every axis visits
+/// every stratum exactly once) and fully determined by `(plan hash,
+/// seed)`: same text → same design, different seed → different design
+/// (for at least one of the probed seeds).
+#[test]
+fn lhs_designs_are_permutation_valid_and_seed_determined() {
+    let mut any_seed_changed_design = false;
+    let mut previous: Option<Vec<String>> = None;
+    for seed in 1..=20u64 {
+        for samples in [3usize, 5, 8] {
+            let text = lhs_plan_text(seed, samples);
+            let plan = SweepPlan::parse(&text, "plans/prop-lhs.toml").unwrap();
+            let jobs = sweep::expand(&plan).unwrap();
+            assert_eq!(jobs.len(), samples);
+            // Range axis: every stratum of [0, 0.5) hit exactly once.
+            let mut strata: Vec<usize> = jobs
+                .iter()
+                .map(|j| {
+                    let v: f64 = j.param("strategy.c").unwrap().parse().unwrap();
+                    ((v / 0.5) * samples as f64).floor() as usize
+                })
+                .collect();
+            strata.sort_unstable();
+            assert_eq!(
+                strata,
+                (0..samples).collect::<Vec<_>>(),
+                "seed {seed} samples {samples}: axis strategy.c is not a permutation"
+            );
+            // Discrete axis: every declared value used exactly once.
+            let mut blocks: Vec<usize> = jobs
+                .iter()
+                .map(|j| j.param("block").unwrap().parse::<usize>().unwrap() / 500)
+                .collect();
+            blocks.sort_unstable();
+            assert_eq!(
+                blocks,
+                (1..=samples).collect::<Vec<_>>(),
+                "seed {seed} samples {samples}: axis block is not a permutation"
+            );
+            // Same text, fresh parse → identical design.
+            let again = SweepPlan::parse(&text, "plans/prop-lhs.toml").unwrap();
+            assert_eq!(
+                expansion_fingerprint(&plan),
+                expansion_fingerprint(&again),
+                "seed {seed} samples {samples}: re-expansion diverged"
+            );
+            if samples == 8 {
+                let fp = expansion_fingerprint(&plan);
+                if let Some(prev) = &previous {
+                    if *prev != fp {
+                        any_seed_changed_design = true;
+                    }
+                }
+                previous = Some(fp);
+            }
+        }
+    }
+    assert!(
+        any_seed_changed_design,
+        "twenty consecutive seeds produced identical LHS designs"
+    );
+}
+
+/// The journaled sweep runner is byte-deterministic in the worker
+/// count: the same plan run at 1, 2, and 8 threads produces identical
+/// `report.json` and `runbook.json` bytes.
+#[test]
+fn sweep_reports_are_thread_count_invariant() {
+    let plan = SweepPlan::parse(
+        &grid_plan_text(&[("strategy.s", &[3, 5, 10])]),
+        "plans/prop.toml",
+    )
+    .unwrap();
+    let jobs = sweep::expand(&plan).unwrap();
+    let mut reference: Option<(String, String)> = None;
+    for threads in [1usize, 2, 8] {
+        let dir =
+            std::env::temp_dir().join(format!("arq-sweep-prop-{}-{threads}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let outcome = sweep::run_sweep(&plan, &jobs, &dir, false, 0, threads).unwrap();
+        let pair = (outcome.report.to_string(), outcome.runbook.to_string());
+        std::fs::remove_dir_all(&dir).ok();
+        match &reference {
+            None => reference = Some(pair),
+            Some(r) => {
+                assert_eq!(r.0, pair.0, "report bytes changed at {threads} threads");
+                assert_eq!(r.1, pair.1, "runbook bytes changed at {threads} threads");
+            }
+        }
+    }
+}
+
+/// Base overrides through the plan API behave like editing the file:
+/// `set_base` feeds the same expansion as a plan parsed with that value,
+/// and `set_axis_values` replaces an axis's points wholesale.
+#[test]
+fn plan_api_overrides_match_textual_edits() {
+    let text = grid_plan_text(&[("strategy.s", &[5, 10])]);
+    let mut via_api = SweepPlan::parse(&text, "plans/prop.toml").unwrap();
+    via_api.set_base("pairs", 8_000usize).unwrap();
+    via_api
+        .set_axis_values(
+            "strategy.s",
+            vec![vec![Value::from(7.0)], vec![Value::from(9.0)]],
+        )
+        .unwrap();
+    let edited =
+        grid_plan_text(&[("strategy.s", &[7, 9])]).replace("pairs = 12_000", "pairs = 8_000");
+    let via_text = SweepPlan::parse(&edited, "plans/prop.toml").unwrap();
+    assert_eq!(
+        expansion_fingerprint(&via_api),
+        expansion_fingerprint(&via_text)
+    );
+    assert_eq!(via_api.hash(), via_text.hash());
+}

@@ -65,6 +65,69 @@ pub fn write_atomic_str(path: impl AsRef<Path>, text: &str) -> io::Result<()> {
     write_atomic(path, text.as_bytes())
 }
 
+/// An append-only, crash-tolerant line journal.
+///
+/// Each [`Journal::append`] writes one newline-terminated record and
+/// fsyncs before returning, so a record that `append` acknowledged
+/// survives `kill -9`. A crash *during* an append can leave at most one
+/// torn record at the tail — a prefix with no terminating newline —
+/// which [`Journal::read_lines`] silently drops. Readers therefore see
+/// exactly the set of acknowledged records, which is the property sweep
+/// resume relies on: a journaled job is done, an unjournaled job is not,
+/// and there is no third state.
+///
+/// Records must not contain `\n` themselves (compact JSON satisfies
+/// this); `append` rejects embedded newlines instead of corrupting the
+/// framing.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Creates (truncating any previous contents) a journal at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Journal> {
+        Ok(Journal {
+            file: File::create(path)?,
+        })
+    }
+
+    /// Opens an existing journal for appending.
+    pub fn open_append(path: impl AsRef<Path>) -> io::Result<Journal> {
+        Ok(Journal {
+            file: fs::OpenOptions::new().append(true).open(path)?,
+        })
+    }
+
+    /// Appends one record and fsyncs. On return the record is durable.
+    pub fn append(&mut self, record: &str) -> io::Result<()> {
+        if record.contains('\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "journal records must be single lines",
+            ));
+        }
+        let mut line = String::with_capacity(record.len() + 1);
+        line.push_str(record);
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+
+    /// Reads every *complete* (newline-terminated) record at `path`. A
+    /// torn tail from a crash mid-append is dropped, not an error.
+    pub fn read_lines(path: impl AsRef<Path>) -> io::Result<Vec<String>> {
+        let text = fs::read_to_string(path)?;
+        let mut lines = Vec::new();
+        let mut rest = text.as_str();
+        while let Some(nl) = rest.find('\n') {
+            lines.push(rest[..nl].to_string());
+            rest = &rest[nl + 1..];
+        }
+        Ok(lines)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +165,49 @@ mod tests {
     fn rejects_directory_targets() {
         let dir = tmp_dir();
         assert!(write_atomic_str(dir.join(".."), "x").is_err());
+    }
+
+    #[test]
+    fn journal_appends_and_reads_back() {
+        let path = tmp_dir().join(format!("journal-{}.jsonl", std::process::id()));
+        let mut j = Journal::create(&path).unwrap();
+        j.append("{\"job\":0}").unwrap();
+        j.append("{\"job\":1}").unwrap();
+        drop(j);
+        let mut j = Journal::open_append(&path).unwrap();
+        j.append("{\"job\":2}").unwrap();
+        assert_eq!(
+            Journal::read_lines(&path).unwrap(),
+            vec!["{\"job\":0}", "{\"job\":1}", "{\"job\":2}"]
+        );
+        // Re-creating truncates.
+        Journal::create(&path).unwrap();
+        assert!(Journal::read_lines(&path).unwrap().is_empty());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_drops_a_torn_tail() {
+        let path = tmp_dir().join(format!("torn-{}.jsonl", std::process::id()));
+        let mut j = Journal::create(&path).unwrap();
+        j.append("complete").unwrap();
+        drop(j);
+        // Simulate a crash mid-append: a record with no newline.
+        use std::io::Write as _;
+        let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"torn-partial-reco").unwrap();
+        drop(f);
+        assert_eq!(Journal::read_lines(&path).unwrap(), vec!["complete"]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_rejects_embedded_newlines() {
+        let path = tmp_dir().join(format!("reject-{}.jsonl", std::process::id()));
+        let mut j = Journal::create(&path).unwrap();
+        assert!(j.append("two\nlines").is_err());
+        assert!(Journal::read_lines(&path).unwrap().is_empty());
+        let _ = fs::remove_file(&path);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod stats;
 pub mod time;
 pub mod timer;
 
-pub use fsio::{write_atomic, write_atomic_str};
+pub use fsio::{write_atomic, write_atomic_str, Journal};
 pub use json::{Json, ToJson};
 pub use queue::{EventQueue, HeapQueue, SchedulePastError};
 pub use rng::{Rng64, SplitMix64, StreamFactory};

@@ -1,0 +1,192 @@
+//! Crash-safety of `arq sweep`, exercised at the process level: a sweep
+//! killed with SIGKILL mid-run and resumed must skip exactly the jobs
+//! its journal recorded and converge to `report.json` / `runbook.json`
+//! bytes identical to an uninterrupted run.
+//!
+//! This is the binary-level twin of the in-process resume test in
+//! `arq_core::sweep` — it additionally covers process startup, the
+//! fsync'd journal surviving a hard kill, and the `arq sweep resume`
+//! CLI surface.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn arq_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_arq")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("arq-sweep-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = Command::new(arq_bin()).args(args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "arq {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// A small trace-eval grid: six jobs, each cheap enough for a debug
+/// test but slowed per-job via `--spin` in the victim run.
+const PLAN: &str = r#"name = "resume-test"
+kind = "trace-eval"
+seed = 7
+
+[base]
+pairs = 24_000
+block = 2000
+strategy = "sliding(s=10)"
+
+[[axis]]
+key = "strategy.s"
+values = [2, 3, 5, 8, 13, 21]
+"#;
+
+/// Journal lines so far: one header line plus one line per finished job.
+fn journal_lines(path: &std::path::Path) -> usize {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text.lines().filter(|l| !l.trim().is_empty()).count(),
+        Err(_) => 0,
+    }
+}
+
+#[test]
+fn sigkill_and_resume_reach_the_uninterrupted_bytes() {
+    let dir = temp_dir("kill");
+    let plan_path = dir.join("resume-test.toml");
+    std::fs::write(&plan_path, PLAN).unwrap();
+    let plan_s = plan_path.to_str().unwrap();
+    let ref_dir = dir.join("reference");
+    let crash_dir = dir.join("crashed");
+
+    // Uninterrupted reference run (no spin, fast).
+    let ref_report = run_ok(&["sweep", "run", plan_s, "--out", ref_dir.to_str().unwrap()]);
+    assert!(
+        ref_report.contains("(6 run, 0 skipped)"),
+        "reference ran everything: {ref_report}"
+    );
+    let want_report = std::fs::read(ref_dir.join("report.json")).unwrap();
+    let want_runbook = std::fs::read(ref_dir.join("runbook.json")).unwrap();
+
+    // Victim run: one worker so jobs journal strictly in sequence, and a
+    // per-job spin so the kill lands with work still outstanding.
+    let mut victim = Command::new(arq_bin())
+        .args([
+            "sweep",
+            "run",
+            plan_s,
+            "--out",
+            crash_dir.to_str().unwrap(),
+            "--spin",
+            "2000",
+        ])
+        .env("ARQ_THREADS", "1")
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Wait for the journal to record the header and at least two
+    // finished jobs, then SIGKILL — no drain, no report, exactly a
+    // crash.
+    let journal = crash_dir.join("journal.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while journal_lines(&journal) < 3 {
+        assert!(
+            Instant::now() < deadline,
+            "victim never journaled two finished jobs"
+        );
+        assert!(
+            victim.try_wait().unwrap().is_none(),
+            "victim finished before it could be killed; raise --spin"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    victim.kill().unwrap();
+    victim.wait().unwrap();
+
+    let completed = journal_lines(&journal).saturating_sub(1);
+    assert!(
+        (2..6).contains(&completed),
+        "kill should land mid-sweep, found {completed} journaled jobs"
+    );
+    assert!(
+        !crash_dir.join("report.json").exists(),
+        "a killed sweep must not leave a report behind"
+    );
+
+    // Resume: exactly the journaled jobs are skipped, the rest run, and
+    // the assembled outputs are byte-identical to the reference's.
+    let resumed = run_ok(&[
+        "sweep",
+        "resume",
+        plan_s,
+        "--out",
+        crash_dir.to_str().unwrap(),
+    ]);
+    let expect = format!("({} run, {completed} skipped)", 6 - completed);
+    assert!(
+        resumed.contains(&expect),
+        "resume must skip exactly the journaled jobs (expected `{expect}`): {resumed}"
+    );
+    let got_report = std::fs::read(crash_dir.join("report.json")).unwrap();
+    let got_runbook = std::fs::read(crash_dir.join("runbook.json")).unwrap();
+    assert_eq!(
+        got_report, want_report,
+        "resumed report diverged from the uninterrupted run"
+    );
+    assert_eq!(
+        got_runbook, want_runbook,
+        "resumed runbook diverged from the uninterrupted run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `resume` on an already-complete sweep is a no-op that still
+/// reassembles byte-identical outputs, and `run` (without resume) on the
+/// same directory starts over from scratch.
+#[test]
+fn resume_is_idempotent_and_run_restarts() {
+    let dir = temp_dir("idem");
+    let plan_path = dir.join("resume-test.toml");
+    std::fs::write(&plan_path, PLAN).unwrap();
+    let plan_s = plan_path.to_str().unwrap();
+    let out_dir = dir.join("out");
+    let out_s = out_dir.to_str().unwrap();
+
+    run_ok(&["sweep", "run", plan_s, "--out", out_s]);
+    let first = std::fs::read(out_dir.join("report.json")).unwrap();
+
+    let again = run_ok(&["sweep", "resume", plan_s, "--out", out_s]);
+    assert!(
+        again.contains("(0 run, 6 skipped)"),
+        "resume of a finished sweep re-runs nothing: {again}"
+    );
+    assert_eq!(
+        std::fs::read(out_dir.join("report.json")).unwrap(),
+        first,
+        "idempotent resume changed report bytes"
+    );
+
+    let fresh = run_ok(&["sweep", "run", plan_s, "--out", out_s]);
+    assert!(
+        fresh.contains("(6 run, 0 skipped)"),
+        "plain run must restart from scratch: {fresh}"
+    );
+    assert_eq!(
+        std::fs::read(out_dir.join("report.json")).unwrap(),
+        first,
+        "restarted run changed report bytes"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
