@@ -23,7 +23,8 @@ use arq_core::engine;
 use arq_core::engine::{RunArtifact, RunSpec, TraceSource};
 use arq_core::evaluate;
 use arq_core::sweep;
-use arq_gnutella::sim::SimConfig;
+use arq_gnutella::sim::{SimConfig, Topology};
+use arq_overlay::ChurnConfig;
 use arq_simkern::chart::{render, ChartOptions};
 use arq_simkern::{Json, ToJson};
 use arq_trace::csvio;
@@ -125,14 +126,21 @@ COMMANDS:
   simulate    run a live overlay simulation with a forwarding policy
               (alias: live)
               [--nodes N] [--queries N] [--policy SPEC] [--seed S]
-              [--faults SPEC] [--retry SPEC] [--links SPEC] [--sharded]
+              [--faults SPEC] [--retry SPEC] [--links SPEC] [--adapt SPEC]
+              [--sharded]
               --sharded runs the windowed sharded scale engine with
               ARQ_THREADS workers (byte-identical at any worker count)
               instead of the exact serial engine
               policies: flood | expanding-ring | k-walk | shortcuts |
                         routing-index | superpeer | assoc | assoc-adaptive |
-                        hybrid
-              SPEC accepts registry parameters too, e.g. assoc(k=2,hl=500)
+                        hybrid | community
+              SPEC accepts registry parameters too, e.g.
+              assoc(k=4,hl=500,minconf=0.6) forwards to up to 4
+              consequents whose confidence clears 0.6
+              --adapt turns on live topology adaptation on a tumbling
+              schedule, e.g. 'every=50000,budget=8,degree=2' (rewires
+              the overlay toward learned rules, retiring shortcuts on
+              rule decay or endpoint crash)
               --faults injects deterministic failures, e.g. 'loss=0.05'
               or 'faults(loss=0.05,crash=0.01,silent=0.02)'; --retry adds
               the bounded-retry lifecycle, e.g. 'deadline=2000,attempts=3';
@@ -144,8 +152,8 @@ COMMANDS:
               --exp e3 runs the E3 block-size sweep preset; otherwise
               [--strategy SPEC] [--pairs N] [--block N] for a trace
               evaluation, or --policy SPEC [--nodes N] [--queries N]
-              [--faults SPEC] [--retry SPEC] [--links SPEC] for a live
-              simulation
+              [--faults SPEC] [--retry SPEC] [--links SPEC] [--adapt SPEC]
+              for a live simulation
               [--seed S] [--obs SPEC] [--trace-events FILE] [--out FILE]
               runs are instrumented with obs(events=1,series=1,fanout=16)
               unless --obs overrides; --trace-events streams the event
@@ -166,13 +174,16 @@ COMMANDS:
               trace, a full evaluation (sequential vs pipelined), an
               E16-shaped live-sim sweep (1 vs N workers), and the
               windowed sharded sim engine at --scale-nodes scale
-              (nodes x queries/sec, serial vs sharded), and an E17-shaped
+              (nodes x queries/sec, serial vs sharded), an E17-shaped
               offered-load sweep under byte-accurate congested links
-              (latency percentiles + per-node byte budgets per policy);
-              every parallel artifact is checked byte-identical to the
-              serial one; also times sweep-plan orchestration (journaled
-              run_sweep vs direct execution of the same jobs); the JSON
-              lands in BENCH_9.json unless --out overrides
+              (latency percentiles + per-node byte budgets per policy),
+              and an E18-shaped routing sweep (top-k + confidence-pruned
+              policies with live topology adaptation under churn and
+              loss); every parallel artifact is checked byte-identical
+              to the serial one; also times sweep-plan orchestration
+              (journaled run_sweep vs direct execution of the same
+              jobs); the JSON lands in BENCH_10.json unless --out
+              overrides
   gen-events  render a synthetic trace as a framed event stream for serve
               [--pairs N] [--seed S] [--route-every N] --out FILE
               frames are `<len>\\n<json>\\n`; every pair becomes a
@@ -452,6 +463,11 @@ fn simulate(args: &[String]) -> Result<String, CliError> {
             engine::make_link_plan(&wrap_spec("links", spec)).map_err(|e| err(e.to_string()))?,
         );
     }
+    if let Some(spec) = flags.get("adapt") {
+        cfg.adapt = Some(
+            engine::make_adapt_plan(&wrap_spec("adapt", spec)).map_err(|e| err(e.to_string()))?,
+        );
+    }
     let linked = cfg.links.is_some();
     let faulted = cfg.faults.is_some() || cfg.retry.is_some() || linked;
     let (metrics, stats, _, _) = if flags.has("sharded") {
@@ -561,6 +577,12 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         if let Some(spec) = flags.get("links") {
             cfg.links = Some(
                 engine::make_link_plan(&wrap_spec("links", spec))
+                    .map_err(|e| err(e.to_string()))?,
+            );
+        }
+        if let Some(spec) = flags.get("adapt") {
+            cfg.adapt = Some(
+                engine::make_adapt_plan(&wrap_spec("adapt", spec))
                     .map_err(|e| err(e.to_string()))?,
             );
         }
@@ -946,9 +968,9 @@ fn ratio(before: f64, after: f64) -> f64 {
 /// rebuilt engine (calendar queue + SoA node state) against it.
 const BENCH_5_SIM_SERIAL_SECS: f64 = 0.883298658;
 
-/// `arq bench` — the perf-baseline harness behind `BENCH_9.json`.
+/// `arq bench` — the perf-baseline harness behind `BENCH_10.json`.
 ///
-/// Seven measurements of the sharded/pipelined hot path:
+/// Eight measurements of the sharded/pipelined hot path:
 ///
 /// 1. **mining** (E3-shaped): per-block rule mining over the calibrated
 ///    drifting trace — reference `mine_pairs` (HashMap tally) vs the
@@ -970,12 +992,19 @@ const BENCH_5_SIM_SERIAL_SECS: f64 = 0.883298658;
 ///    seeded loss — recording query-latency percentiles and per-node
 ///    byte budgets from the obs histograms, with the parallel artifacts
 ///    checked byte-identical to the serial ones;
-/// 6. **serve**: the streaming service under overload — sustained
+/// 6. **routing** (E18-shaped): the routing-science sweep — top-k +
+///    confidence-pruned association policies, the hybrid, and the
+///    community/super-peer router, all with live topology adaptation on
+///    a two-tier overlay under churn and loss — recording per-policy
+///    routing quality (success, traffic, pruned consequents, shortcut
+///    lifecycle counters), with the parallel artifacts checked
+///    byte-identical to the serial ones;
+/// 7. **serve**: the streaming service under overload — sustained
 ///    capacity is measured with lossless backpressure, then 1x/4x/16x
 ///    that rate is offered through a paced reader in `--shed` mode,
 ///    recording route-lookup p50/p99, shed rates, and refresh skips
 ///    (the bounded-latency-under-overload contract);
-/// 7. **sweep**: plan expansion plus the per-job orchestration overhead
+/// 8. **sweep**: plan expansion plus the per-job orchestration overhead
 ///    of the journaled sweep runner — the same jobs through `run_sweep`
 ///    (fsync'd journal, report assembly) vs directly through the
 ///    executor, with a resume pass asserting every job is skipped.
@@ -985,7 +1014,7 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     let seed: u64 = flags.parse_num("seed", RUN_SEED)?;
     let threads: usize = flags.parse_num("threads", engine::thread_count())?;
     let threads = threads.max(1);
-    let out = flags.get("out").unwrap_or("BENCH_9.json").to_string();
+    let out = flags.get("out").unwrap_or("BENCH_10.json").to_string();
     let iters: usize = flags.parse_num("iters", if quick { 1 } else { 3 })?;
     let total_pairs: usize = flags.parse_num("pairs", if quick { 200_000 } else { 600_000 })?;
     let block_size: usize = flags.parse_num("block", 50_000)?;
@@ -1302,7 +1331,100 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         LINK_INTERVALS.len()
     );
 
-    // 6. The streaming service under overload: measure sustained
+    // 6. E18-shaped routing-science sweep: top-k + confidence-pruned
+    //    association policies, the hybrid, and the community router, all
+    //    with live topology adaptation on a two-tier overlay under
+    //    churn and loss, through the parallel executor at 1 vs N workers
+    //    with the byte-identity check. Registry-only obs carries the
+    //    shortcut lifecycle counters into the persisted rows.
+    const ROUTING_POLICIES: [&str; 4] = [
+        "assoc(k=4,minconf=0.6)",
+        "assoc-adaptive(k=4,minconf=0.6)",
+        "hybrid(cap=5,k=4,minconf=0.6)",
+        "community(n=16,k=4,minconf=0.6)",
+    ];
+    let mut routing_specs = Vec::new();
+    for policy in ROUTING_POLICIES {
+        let mut cfg = SimConfig::default_with(nodes, queries, seed);
+        cfg.topology = Topology::SuperPeer {
+            n_super: 16,
+            super_degree: 4,
+        };
+        cfg.ttl = 8;
+        cfg.churn = Some(ChurnConfig {
+            mean_session: arq_simkern::time::Duration::from_ticks(500_000),
+            mean_downtime: arq_simkern::time::Duration::from_ticks(600_000),
+            pinned: vec![],
+        });
+        cfg.faults =
+            Some(engine::make_fault_plan("faults(loss=0.1)").map_err(|e| err(e.to_string()))?);
+        cfg.retry = Some(
+            engine::make_retry_policy("retry(deadline=2000,attempts=3,maxttl=8)")
+                .map_err(|e| err(e.to_string()))?,
+        );
+        cfg.adapt = Some(
+            engine::make_adapt_plan("adapt(every=50000,budget=8,degree=2)")
+                .map_err(|e| err(e.to_string()))?,
+        );
+        routing_specs.push(RunSpec::LiveSim {
+            cfg,
+            policy: policy.to_string(),
+            graph: None,
+            obs: Some("obs(events=0,series=0)".into()),
+        });
+    }
+    let routing_serial_arts =
+        engine::execute_with_threads(&routing_specs, 1).map_err(|e| err(e.to_string()))?;
+    let routing_arts =
+        engine::execute_with_threads(&routing_specs, threads).map_err(|e| err(e.to_string()))?;
+    let routing_identical = arts_json(&routing_serial_arts) == arts_json(&routing_arts);
+    let routing_secs = best_secs(iters, || {
+        std::hint::black_box(
+            engine::execute_with_threads(&routing_specs, threads).expect("validated specs"),
+        );
+    });
+    let obs_counter = |a: &RunArtifact, name: &str| {
+        a.obs
+            .as_ref()
+            .and_then(|o| o.registry.counter_value(name))
+            .unwrap_or(0)
+    };
+    let mut routing_rows = Vec::new();
+    for (policy, a) in ROUTING_POLICIES.iter().zip(&routing_arts) {
+        let m = a.metrics().expect("live spec");
+        routing_rows.push(Json::Obj(vec![
+            ("policy".into(), Json::from(*policy)),
+            ("success_rate".into(), Json::from(m.success_rate)),
+            (
+                "messages_per_query".into(),
+                Json::from(m.messages_per_query),
+            ),
+            (
+                "pruned_consequents".into(),
+                Json::from(a.stat("pruned_consequents").unwrap_or(0.0)),
+            ),
+            (
+                "shortcut_added".into(),
+                Json::from(obs_counter(a, "shortcut_added")),
+            ),
+            (
+                "shortcut_retired".into(),
+                Json::from(obs_counter(a, "shortcut_retired")),
+            ),
+            (
+                "shortcut_rejected".into(),
+                Json::from(obs_counter(a, "shortcut_rejected")),
+            ),
+        ]));
+    }
+    let _ = writeln!(
+        report,
+        "routing  E18-shaped, {} specs, {nodes} nodes x {queries} queries: \
+         {threads} workers {routing_secs:.3}s (artifacts identical: {routing_identical})",
+        routing_specs.len()
+    );
+
+    // 7. The streaming service under overload: measure sustained
     //    capacity with lossless backpressure, then offer 1x/4x/16x that
     //    rate in shed mode and record lookup p99 + shed rates. A fixed
     //    per-pair spin gives mining a defined cost (emulating a heavier
@@ -1374,7 +1496,7 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         ]));
     }
 
-    // 7. Sweep orchestration overhead: the same jobs through the
+    // 8. Sweep orchestration overhead: the same jobs through the
     //    journaled sweep runner (plan expansion, fsync'd journal,
     //    report assembly) vs directly through the executor, plus a
     //    resume pass that must skip every completed job. Measures what
@@ -1463,7 +1585,7 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         ));
     }
     let doc = Json::Obj(vec![
-        ("bench".into(), Json::from("BENCH_9")),
+        ("bench".into(), Json::from("BENCH_10")),
         ("quick".into(), Json::from(quick)),
         ("threads".into(), Json::from(threads)),
         ("seed".into(), Json::from(seed)),
@@ -1528,6 +1650,21 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
                 ("secs".into(), Json::from(link_secs)),
                 ("artifacts_identical".into(), Json::from(link_identical)),
                 ("rows".into(), Json::Arr(link_rows)),
+            ]),
+        ),
+        (
+            "routing".into(),
+            Json::Obj(vec![
+                (
+                    "workload".into(),
+                    Json::from("e18-shaped routing-science sweep with topology adaptation"),
+                ),
+                ("specs".into(), Json::from(routing_specs.len())),
+                ("nodes".into(), Json::from(nodes)),
+                ("queries".into(), Json::from(queries)),
+                ("secs".into(), Json::from(routing_secs)),
+                ("artifacts_identical".into(), Json::from(routing_identical)),
+                ("rows".into(), Json::Arr(routing_rows)),
             ]),
         ),
         (
@@ -1936,7 +2073,7 @@ mod tests {
 
     #[test]
     fn simulate_policies() {
-        for p in ["flood", "assoc", "hybrid"] {
+        for p in ["flood", "assoc", "hybrid", "community(n=8)"] {
             let out = run(&args(&format!(
                 "simulate --nodes 60 --queries 150 --policy {p} --seed 9"
             )))
@@ -1996,6 +2133,70 @@ mod tests {
         assert!(e.0.contains("upbuf"), "{e}");
         let e = run(&args("simulate --links up=0")).unwrap_err();
         assert!(e.0.contains("`up` must be positive"), "{e}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_minconf_and_adapt_specs() {
+        // A bad `minconf=` surfaces the registry's typed spec error, not
+        // a panic from deep inside rule generation — for every policy
+        // that understands the knob.
+        for p in [
+            "assoc(k=4,minconf=1.5)",
+            "assoc-adaptive(minconf=-0.1)",
+            "hybrid(minconf=2)",
+            "community(minconf=1.01)",
+        ] {
+            let e = run(&args(&format!(
+                "simulate --nodes 40 --queries 50 --policy {p}"
+            )))
+            .unwrap_err();
+            assert!(e.0.contains("`minconf` must be in [0, 1]"), "{p}: {e}");
+        }
+        // Bad adapt plans are rejected by field name at parse time.
+        let e = run(&args("simulate --adapt every=0")).unwrap_err();
+        assert!(e.0.contains("`every` must be positive"), "{e}");
+        let e = run(&args("simulate --adapt budgit=4")).unwrap_err();
+        assert!(e.0.contains("unknown parameter"), "{e}");
+        assert!(e.0.contains("budget"), "{e}");
+        // The happy path: confidence-pruned top-k routing with live
+        // topology adaptation runs in both engines.
+        let out = run(&args(
+            "simulate --nodes 60 --queries 150 --seed 9 --policy assoc(k=4,minconf=0.6) \
+             --adapt every=20000,budget=8,degree=2",
+        ))
+        .unwrap();
+        assert!(out.contains("messages/query"), "{out}");
+        let out = run(&args(
+            "simulate --sharded --nodes 60 --queries 150 --seed 9 \
+             --policy assoc(k=4,minconf=0.6) --adapt every=20000,budget=8,degree=2",
+        ))
+        .unwrap();
+        assert!(out.contains("messages/query"), "{out}");
+    }
+
+    #[test]
+    fn e18_plan_reports_are_thread_count_invariant() {
+        // The checked-in E18 plan (rescaled to smoke size) must land a
+        // byte-identical report.json at any worker count.
+        let mut plan =
+            sweep::SweepPlan::parse(include_str!("../../../plans/e18.toml"), "plans/e18.toml")
+                .unwrap();
+        plan.set_base("nodes", 60usize).unwrap();
+        plan.set_base("queries", 120usize).unwrap();
+        let jobs = sweep::expand(&plan).unwrap();
+        assert_eq!(jobs.len(), 28, "7 policies x 2 worlds x 2 adapt modes");
+        let mut reports = Vec::new();
+        for threads in [1usize, 4, 20] {
+            let dir = tmp(&format!("e18-threads-{threads}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let outcome =
+                sweep::run_sweep(&plan, &jobs, std::path::Path::new(&dir), false, 0, threads)
+                    .unwrap();
+            reports.push(std::fs::read(&outcome.report_path).unwrap());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        assert_eq!(reports[0], reports[1], "1-thread vs 4-thread report");
+        assert_eq!(reports[0], reports[2], "1-thread vs 20-thread report");
     }
 
     #[test]
@@ -2129,7 +2330,7 @@ mod tests {
         assert!(report.contains("rules identical: true"), "{report}");
         assert!(report.contains("artifacts identical: true"), "{report}");
         let doc = arq_simkern::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
-        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("BENCH_9"));
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("BENCH_10"));
         for section in ["mining", "pipeline", "sim"] {
             let s = doc
                 .get(section)
@@ -2210,6 +2411,33 @@ mod tests {
                 .and_then(Json::as_f64)
                 .is_some_and(|b| b > 0.0)),
             "no congestive drops in the link sweep"
+        );
+        // The E18-shaped routing sweep persists per-policy routing
+        // quality with the shortcut lifecycle counters, byte-identical
+        // across worker counts.
+        let routing = doc.get("routing").expect("routing section");
+        assert_eq!(
+            routing.get("artifacts_identical"),
+            Some(&Json::Bool(true)),
+            "routing sweep diverged across thread counts"
+        );
+        let rrows = routing
+            .get("rows")
+            .and_then(Json::as_array)
+            .expect("routing rows");
+        assert_eq!(rrows.len(), 4, "4 confidence-pruned policies");
+        for row in rrows {
+            assert!(row.get("policy").and_then(Json::as_str).is_some());
+            assert!(row.get("success_rate").and_then(Json::as_f64).is_some());
+            assert!(row.get("shortcut_added").and_then(Json::as_f64).is_some());
+        }
+        // Adaptation must actually rewire somewhere in the sweep.
+        assert!(
+            rrows.iter().any(|r| r
+                .get("shortcut_added")
+                .and_then(Json::as_f64)
+                .is_some_and(|s| s > 0.0)),
+            "no shortcuts added anywhere in the routing sweep"
         );
         // The serve section records capacity plus one row per offered
         // load, with lookup latency bounded (a finite p99) and the 16x

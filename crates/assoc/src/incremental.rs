@@ -187,6 +187,39 @@ impl DecayedPairCounts {
         ranked.into_iter().take(k).map(|(h, _)| h).collect()
     }
 
+    /// [`Self::top_k`] with an additional minimum-confidence gate: the
+    /// confidence of `{src} → {via}` is its decayed count divided by the
+    /// decayed total over *all* of `src`'s consequents, and consequents
+    /// below `min_confidence` are pruned before ranking. Confidence is
+    /// computed on the fly from the stored entries — calling this never
+    /// changes counter state, so snapshot/restore and sweep schedules
+    /// are unaffected. `min_confidence = 0.0` reduces exactly to
+    /// [`Self::top_k`].
+    pub fn top_k_confident(
+        &self,
+        src: HostId,
+        k: usize,
+        threshold: f64,
+        min_confidence: f64,
+    ) -> Vec<HostId> {
+        let Some(inner) = self.counts.get(&src) else {
+            return Vec::new();
+        };
+        let total: f64 = inner.values().map(|&e| self.decayed(e)).sum();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        let mut ranked: Vec<(HostId, f64)> = inner
+            .iter()
+            .map(|(&via, &e)| (via, self.decayed(e)))
+            .filter(|&(_, v)| {
+                v >= threshold - THRESHOLD_EPS && v / total >= min_confidence - THRESHOLD_EPS
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.into_iter().take(k).map(|(h, _)| h).collect()
+    }
+
     /// Removes entries whose decayed value is below `floor`.
     pub fn sweep(&mut self, floor: f64) {
         let clock = self.clock;
@@ -332,6 +365,71 @@ mod tests {
         assert_eq!(c.top_k(HostId(1), 2, 1.0), vec![HostId(30), HostId(20)]);
         assert_eq!(c.top_k(HostId(1), 10, 3.0), vec![HostId(30), HostId(20)]);
         assert!(c.top_k(HostId(9), 3, 1.0).is_empty());
+    }
+
+    #[test]
+    fn top_k_confident_prunes_low_confidence_consequents() {
+        let mut c = DecayedPairCounts::new(1e9);
+        for _ in 0..70 {
+            c.observe(HostId(1), HostId(10)); // confidence 0.7
+        }
+        for _ in 0..20 {
+            c.observe(HostId(1), HostId(20)); // confidence 0.2
+        }
+        for _ in 0..10 {
+            c.observe(HostId(1), HostId(30)); // confidence 0.1
+        }
+        // No gate: identical to plain top_k.
+        assert_eq!(
+            c.top_k_confident(HostId(1), 10, 1.0, 0.0),
+            c.top_k(HostId(1), 10, 1.0)
+        );
+        // A 0.15 gate drops only the 0.1 consequent; an exact-threshold
+        // confidence (0.2) must survive the epsilon.
+        assert_eq!(
+            c.top_k_confident(HostId(1), 10, 1.0, 0.2),
+            vec![HostId(10), HostId(20)]
+        );
+        assert_eq!(c.top_k_confident(HostId(1), 10, 1.0, 0.5), vec![HostId(10)]);
+        // Unknown source: empty, no panic.
+        assert!(c.top_k_confident(HostId(9), 3, 1.0, 0.5).is_empty());
+    }
+
+    /// Seeded property sweep (always on, unlike the `proptest`-gated
+    /// twin in `tests/prop.rs`): top-(k+1) extends top-k, and no
+    /// admitted consequent sits below the support or confidence gates.
+    #[test]
+    fn top_k_monotone_and_gated_over_random_streams() {
+        let mut rng = arq_simkern::Rng64::seed_from(0xA55A_2026);
+        for case in 0..50u64 {
+            let mut c = DecayedPairCounts::new(if case % 2 == 0 { 1e12 } else { 40.0 });
+            for _ in 0..(50 + rng.below(400)) {
+                c.observe(
+                    HostId(rng.below(5) as u32),
+                    HostId(100 + rng.below(6) as u32),
+                );
+            }
+            let support = 1.0 + rng.below(4) as f64;
+            let minconf = rng.f64();
+            for s in 0..5u32 {
+                let src = HostId(s);
+                let total: f64 = (0..6u32).map(|v| c.count(src, HostId(100 + v))).sum();
+                for k in 1..5usize {
+                    let small = c.top_k_confident(src, k, support, minconf);
+                    let large = c.top_k_confident(src, k + 1, support, minconf);
+                    assert!(large.len() >= small.len());
+                    assert_eq!(&large[..small.len()], &small[..], "top-k not a prefix");
+                    for &via in &large {
+                        let v = c.count(src, via);
+                        assert!(v >= support - 2.0 * THRESHOLD_EPS, "sub-support admitted");
+                        assert!(
+                            v / total >= minconf - 2.0 * THRESHOLD_EPS,
+                            "sub-confidence admitted"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -164,6 +164,37 @@ impl LossyPairCounts {
         self.count(src, via) >= threshold
     }
 
+    /// [`Self::top_k`] with an additional minimum-confidence gate: the
+    /// confidence of `{src} → {via}` is its reported count over the
+    /// reported total across *all* of `src`'s consequents. Both numbers
+    /// are the Manku–Motwani lower bounds already stored, so the gate is
+    /// computed on the fly and never mutates counter state.
+    /// `min_confidence = 0.0` reduces exactly to [`Self::top_k`].
+    pub fn top_k_confident(
+        &self,
+        src: HostId,
+        k: usize,
+        threshold: u64,
+        min_confidence: f64,
+    ) -> Vec<HostId> {
+        let Some(inner) = self.counts.get(&src) else {
+            return Vec::new();
+        };
+        let total: u64 = inner.values().map(|e| e.count).sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut ranked: Vec<(HostId, u64)> = inner
+            .iter()
+            .filter(|(_, e)| {
+                e.count >= threshold && e.count as f64 / total as f64 >= min_confidence - 1e-9
+            })
+            .map(|(&via, e)| (via, e.count))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.into_iter().take(k).map(|(h, _)| h).collect()
+    }
+
     /// Captures the complete counter state for checkpointing; the exact
     /// inverse of [`Self::restore`].
     pub fn snapshot(&self) -> LossySnapshot {
@@ -283,6 +314,67 @@ mod tests {
         assert!(c.count(HostId(1), HostId(10)) > 0);
         assert!(c.count(HostId(2), HostId(20)) > 0);
         assert!(c.count(HostId(3), HostId(30)) > 0);
+    }
+
+    #[test]
+    fn top_k_confident_prunes_low_confidence_consequents() {
+        let mut c = LossyPairCounts::new(0.0001); // wide buckets: exact counts
+        for _ in 0..70 {
+            c.observe(HostId(1), HostId(10)); // confidence 0.7
+        }
+        for _ in 0..20 {
+            c.observe(HostId(1), HostId(20)); // confidence 0.2
+        }
+        for _ in 0..10 {
+            c.observe(HostId(1), HostId(30)); // confidence 0.1
+        }
+        assert_eq!(
+            c.top_k_confident(HostId(1), 10, 1, 0.0),
+            c.top_k(HostId(1), 10, 1)
+        );
+        assert_eq!(
+            c.top_k_confident(HostId(1), 10, 1, 0.2),
+            vec![HostId(10), HostId(20)]
+        );
+        assert_eq!(c.top_k_confident(HostId(1), 10, 1, 0.5), vec![HostId(10)]);
+        assert!(c.top_k_confident(HostId(9), 3, 1, 0.5).is_empty());
+    }
+
+    /// Seeded property sweep mirroring the decayed maintainer's: the
+    /// lossy `top_k_confident` is k-monotone and never admits a
+    /// consequent below the support or confidence gates.
+    #[test]
+    fn top_k_monotone_and_gated_over_random_streams() {
+        let mut rng = arq_simkern::Rng64::seed_from(0x0001_0551_2026);
+        for _ in 0..50u64 {
+            let mut c = LossyPairCounts::new(0.001);
+            for _ in 0..(50 + rng.below(400)) {
+                c.observe(
+                    HostId(rng.below(5) as u32),
+                    HostId(100 + rng.below(6) as u32),
+                );
+            }
+            let support = 1 + rng.below(4);
+            let minconf = rng.f64();
+            for s in 0..5u32 {
+                let src = HostId(s);
+                let total: u64 = (0..6u32).map(|v| c.count(src, HostId(100 + v))).sum();
+                for k in 1..5usize {
+                    let small = c.top_k_confident(src, k, support, minconf);
+                    let large = c.top_k_confident(src, k + 1, support, minconf);
+                    assert!(large.len() >= small.len());
+                    assert_eq!(&large[..small.len()], &small[..], "top-k not a prefix");
+                    for &via in &large {
+                        let v = c.count(src, via);
+                        assert!(v >= support, "sub-support admitted");
+                        assert!(
+                            v as f64 / total as f64 >= minconf - 1e-9,
+                            "sub-confidence admitted"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use crate::apriori::FrequentItemset;
 use crate::transaction::ItemId;
+use arq_simkern::{Json, ToJson};
 use std::collections::HashMap;
 
 /// One association rule with its measures.
@@ -37,6 +38,63 @@ pub struct Rule {
     pub lift: f64,
     /// Conviction (`f64::INFINITY` for confidence = 1).
     pub conviction: f64,
+}
+
+/// The string tag standing in for an infinite conviction in JSON, where
+/// IEEE ∞ has no literal (a raw `Json::Float(INFINITY)` would serialize
+/// as `null` and destroy the value on a round-trip).
+const CONVICTION_INF: &str = "inf";
+
+impl ToJson for Rule {
+    fn to_json(&self) -> Json {
+        let items = |v: &[ItemId]| Json::Arr(v.iter().map(|i| Json::from(i.0)).collect());
+        Json::obj([
+            ("antecedent", items(&self.antecedent)),
+            ("consequent", items(&self.consequent)),
+            ("count", Json::from(self.count)),
+            ("support", Json::from(self.support)),
+            ("confidence", Json::from(self.confidence)),
+            ("lift", Json::from(self.lift)),
+            (
+                "conviction",
+                if self.conviction.is_finite() {
+                    Json::from(self.conviction)
+                } else {
+                    Json::Str(CONVICTION_INF.to_string())
+                },
+            ),
+        ])
+    }
+}
+
+impl Rule {
+    /// Reads a rule back from its [`ToJson`] form. Accepts the tagged
+    /// `"inf"` conviction, plain numbers, and — for artifacts written
+    /// before the tag existed — `null`, which can only have come from an
+    /// exact implication's `f64::INFINITY`.
+    pub fn from_json(json: &Json) -> Option<Rule> {
+        let items = |key: &str| -> Option<Vec<ItemId>> {
+            json.get(key)?
+                .as_array()?
+                .iter()
+                .map(|v| v.as_f64().map(|f| ItemId(f as u32)))
+                .collect()
+        };
+        let conviction = match json.get("conviction")? {
+            Json::Null => f64::INFINITY,
+            Json::Str(tag) if tag == CONVICTION_INF => f64::INFINITY,
+            other => other.as_f64()?,
+        };
+        Some(Rule {
+            antecedent: items("antecedent")?,
+            consequent: items("consequent")?,
+            count: json.get("count")?.as_f64()? as u64,
+            support: json.get("support")?.as_f64()?,
+            confidence: json.get("confidence")?.as_f64()?,
+            lift: json.get("lift")?.as_f64()?,
+            conviction,
+        })
+    }
 }
 
 /// Generates all rules with `confidence >= min_confidence` from a set of
@@ -107,14 +165,15 @@ pub fn generate_rules(
             });
         }
     }
-    // Deterministic, most-interesting-first ordering.
+    // Deterministic, most-interesting-first ordering. `total_cmp` (not
+    // `partial_cmp().unwrap()`) so exact confidence ties — common when
+    // many itemsets share a count ratio — fall through to the item-wise
+    // tiebreak instead of depending on the unstable enumeration order.
     rules.sort_by(|a, b| {
         b.confidence
-            .partial_cmp(&a.confidence)
-            .unwrap()
-            .then(b.count.cmp(&a.count))
-            .then(a.antecedent.cmp(&b.antecedent))
-            .then(a.consequent.cmp(&b.consequent))
+            .total_cmp(&a.confidence)
+            .then_with(|| a.antecedent.cmp(&b.antecedent))
+            .then_with(|| a.consequent.cmp(&b.consequent))
     });
     rules
 }
@@ -215,5 +274,64 @@ mod tests {
     #[should_panic(expected = "empty database")]
     fn zero_transactions_rejected() {
         generate_rules(&[], 0, 0.5);
+    }
+
+    /// The market basket yields several exact implications (confidence
+    /// exactly 1.0) — with `partial_cmp` their relative order was
+    /// whatever the subset enumeration happened to produce. The total
+    /// order pins every tie to (antecedent, consequent) ascending.
+    #[test]
+    fn exact_confidence_ties_order_by_items() {
+        let db = market();
+        let frequent = apriori(&db, 2);
+        let rules = generate_rules(&frequent, db.len() as u64, 0.0);
+        let ties: Vec<&Rule> = rules.iter().filter(|r| r.confidence == 1.0).collect();
+        assert!(ties.len() >= 3, "expected several exact implications");
+        for pair in ties.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            assert!(
+                (a.antecedent.clone(), a.consequent.clone())
+                    < (b.antecedent.clone(), b.consequent.clone()),
+                "tied rules out of item order: {a:?} before {b:?}"
+            );
+        }
+        // And the full ranking is the documented lexicographic key.
+        let mut resorted = rules.clone();
+        resorted.sort_by(|a, b| {
+            b.confidence
+                .total_cmp(&a.confidence)
+                .then_with(|| a.antecedent.cmp(&b.antecedent))
+                .then_with(|| a.consequent.cmp(&b.consequent))
+        });
+        assert_eq!(rules, resorted);
+    }
+
+    /// An exact implication's infinite conviction must survive a JSON
+    /// round-trip (a raw float would serialize as `null`), and legacy
+    /// `null` convictions must still read back as ∞.
+    #[test]
+    fn conviction_round_trips_through_json() {
+        let db = market();
+        let frequent = apriori(&db, 2);
+        let rules = generate_rules(&frequent, db.len() as u64, 0.0);
+        let exact = rules.iter().find(|r| r.conviction.is_infinite()).unwrap();
+        let finite = rules.iter().find(|r| r.conviction.is_finite()).unwrap();
+        for r in [exact, finite] {
+            let text = r.to_json().to_string();
+            assert!(!text.contains("null"), "lossy serialization: {text}");
+            let back = Rule::from_json(&arq_simkern::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(&back, r, "round-trip changed the rule");
+        }
+        // Pre-tag artifacts serialized ∞ as `null`; keep them readable.
+        let mut legacy = exact.to_json();
+        if let Json::Obj(fields) = &mut legacy {
+            for (k, v) in fields.iter_mut() {
+                if k == "conviction" {
+                    *v = Json::Null;
+                }
+            }
+        }
+        let back = Rule::from_json(&legacy).unwrap();
+        assert!(back.conviction.is_infinite());
     }
 }

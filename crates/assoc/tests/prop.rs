@@ -231,6 +231,48 @@ proptest! {
         prop_assert_eq!(rc, rd);
     }
 
+    /// `top_k` is monotone in `k` (top-(k+1) extends top-k) and never
+    /// admits a consequent below the support or confidence gates, for
+    /// both maintainers.
+    #[test]
+    fn top_k_is_monotone_and_never_admits_subthreshold(
+        stream in proptest::collection::vec((0u32..6, 0u32..6), 1..800),
+        k in 1usize..6,
+        support in 1u64..5,
+        minconf_milli in 0u32..1000,
+    ) {
+        let minconf = f64::from(minconf_milli) / 1000.0;
+        let mut decayed = DecayedPairCounts::new(1e12);
+        let mut lossy = arq_assoc::LossyPairCounts::new(0.0001);
+        for &(s, v) in &stream {
+            decayed.observe(HostId(s), HostId(100 + v));
+            lossy.observe(HostId(s), HostId(100 + v));
+        }
+        for s in 0u32..6 {
+            let src = HostId(s);
+            // k-monotonicity: top-(k+1) starts with top-k.
+            let small = decayed.top_k_confident(src, k, support as f64, minconf);
+            let large = decayed.top_k_confident(src, k + 1, support as f64, minconf);
+            prop_assert_eq!(&large[..small.len().min(large.len())], &small[..]);
+            let lsmall = lossy.top_k_confident(src, k, support, minconf);
+            let llarge = lossy.top_k_confident(src, k + 1, support, minconf);
+            prop_assert_eq!(&llarge[..lsmall.len().min(llarge.len())], &lsmall[..]);
+            // No admitted consequent sits below either gate.
+            let dtotal: f64 = (0u32..6).map(|v| decayed.count(src, HostId(100 + v))).sum();
+            for &via in &large {
+                let c = decayed.count(src, via);
+                prop_assert!(c >= support as f64 - 1e-6);
+                prop_assert!(c / dtotal >= minconf - 1e-6);
+            }
+            let ltotal: u64 = (0u32..6).map(|v| lossy.count(src, HostId(100 + v))).sum();
+            for &via in &llarge {
+                let c = lossy.count(src, via);
+                prop_assert!(c >= support);
+                prop_assert!(c as f64 / ltotal as f64 >= minconf - 1e-9);
+            }
+        }
+    }
+
     /// Keyed mining with the plain `src` key is exactly `mine_pairs`.
     #[test]
     fn keyed_src_equals_plain(pairs in arb_pairs(), t in 1u64..6) {

@@ -1,0 +1,416 @@
+//! Community routing: a super-peer core that learns association rules.
+//!
+//! The hybrid the paper's §VII sketches as future work: keep the
+//! two-tier structure of superpeer search (leaves attach to an indexing
+//! superpeer; see [`crate::superpeer`]), but replace the core's
+//! flood-on-miss with the paper's association-rule router. Each
+//! superpeer watches the hits flowing back through it and learns
+//! `{upstream superpeer} → {core neighbor}` rules with decayed counts;
+//! an index miss first consults those rules and forwards to at most `k`
+//! confident consequents, flooding the core only when no rule applies.
+//!
+//! Use with [`arq_overlay::generate::superpeer`] topologies whose first
+//! `n_super` ids are the core, exactly like [`crate::SuperPeerPolicy`].
+
+use arq_assoc::DecayedPairCounts;
+use arq_content::{Catalog, FileId, WorkloadGen};
+use arq_gnutella::policy::{ForwardCtx, ForwardingPolicy};
+use arq_overlay::{Graph, NodeId};
+use arq_simkern::Rng64;
+use arq_trace::record::HostId;
+use std::collections::HashMap;
+
+fn host(n: NodeId) -> HostId {
+    HostId(n.0)
+}
+
+/// Two-tier index routing with an association-rule core.
+#[derive(Debug)]
+pub struct CommunityPolicy {
+    n_super: usize,
+    k: usize,
+    min_support: f64,
+    min_confidence: f64,
+    half_life: f64,
+    /// Per-superpeer index: file → leaves of *this* superpeer sharing it.
+    index: Vec<HashMap<FileId, Vec<NodeId>>>,
+    /// Per-superpeer rule learner over core traffic, created lazily.
+    learners: Vec<Option<DecayedPairCounts>>,
+    index_hits: u64,
+    rule_routes: u64,
+    core_floods: u64,
+}
+
+impl CommunityPolicy {
+    /// Creates the policy for a topology whose first `n_super` ids are
+    /// the superpeer core. `k`, `min_support`, `min_confidence`, and
+    /// `half_life` parameterize the core's rule router exactly like the
+    /// flat `assoc` policy.
+    pub fn new(
+        n_super: usize,
+        k: usize,
+        min_support: f64,
+        min_confidence: f64,
+        half_life: f64,
+    ) -> Self {
+        assert!(n_super >= 1, "need at least one superpeer");
+        assert!(k >= 1, "k must be at least 1");
+        assert!(min_support >= 1.0, "min_support below one observation");
+        assert!(
+            (0.0..=1.0).contains(&min_confidence),
+            "min_confidence outside [0, 1]"
+        );
+        CommunityPolicy {
+            n_super,
+            k,
+            min_support,
+            min_confidence,
+            half_life,
+            index: Vec::new(),
+            learners: Vec::new(),
+            index_hits: 0,
+            rule_routes: 0,
+            core_floods: 0,
+        }
+    }
+
+    fn is_super(&self, n: NodeId) -> bool {
+        (n.0 as usize) < self.n_super
+    }
+
+    /// Queries resolved from a superpeer's local index.
+    pub fn index_hits(&self) -> u64 {
+        self.index_hits
+    }
+
+    /// Core decisions routed by learned rules.
+    pub fn rule_routes(&self) -> u64 {
+        self.rule_routes
+    }
+
+    /// Core decisions that fell back to flooding the core.
+    pub fn core_floods(&self) -> u64 {
+        self.core_floods
+    }
+
+    fn learner(&mut self, sp: NodeId) -> &mut DecayedPairCounts {
+        let idx = sp.index();
+        if idx >= self.learners.len() {
+            self.learners.resize_with(idx + 1, || None);
+        }
+        self.learners[idx].get_or_insert_with(|| DecayedPairCounts::new(self.half_life))
+    }
+
+    fn rebuild(&mut self, graph: &Graph, workload: &WorkloadGen) {
+        self.index = vec![HashMap::new(); self.n_super];
+        for sp in 0..self.n_super {
+            let sp_node = NodeId(sp as u32);
+            if !graph.is_alive(sp_node) {
+                continue;
+            }
+            for leaf in graph.live_neighbors(sp_node) {
+                if self.is_super(leaf) {
+                    continue;
+                }
+                for file in workload.library(leaf.index()).iter() {
+                    self.index[sp].entry(file).or_default().push(leaf);
+                }
+            }
+        }
+    }
+}
+
+impl ForwardingPolicy for CommunityPolicy {
+    fn name(&self) -> &'static str {
+        "community"
+    }
+
+    fn init(&mut self, graph: &Graph, workload: &WorkloadGen, _catalog: &Catalog) {
+        self.rebuild(graph, workload);
+    }
+
+    fn on_topology_change(&mut self, graph: &Graph) {
+        for sp in 0..self.n_super {
+            let sp_node = NodeId(sp as u32);
+            for leaves in self.index[sp].values_mut() {
+                leaves.retain(|&l| graph.is_alive(l) && graph.has_edge(sp_node, l));
+            }
+            self.index[sp].retain(|_, leaves| !leaves.is_empty());
+        }
+    }
+
+    fn select(&mut self, ctx: &ForwardCtx<'_>, _rng: &mut Rng64) -> Vec<NodeId> {
+        if !self.is_super(ctx.node) {
+            // Leaf: only ever talks to its superpeer(s); never relays.
+            return if ctx.from.is_none() {
+                ctx.candidates
+                    .iter()
+                    .copied()
+                    .filter(|&n| self.is_super(n))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+        }
+        // Superpeer: answer from the index when possible.
+        let local: Vec<NodeId> = self
+            .index
+            .get(ctx.node.index())
+            .and_then(|idx| idx.get(&ctx.query.key.file))
+            .map(|leaves| {
+                leaves
+                    .iter()
+                    .copied()
+                    .filter(|n| ctx.candidates.contains(n))
+                    .collect()
+            })
+            .unwrap_or_default();
+        if !local.is_empty() {
+            self.index_hits += 1;
+            return local;
+        }
+        // Index miss: consult the core's learned rules before flooding.
+        // The antecedent is the upstream superpeer (or this superpeer's
+        // own identity for leaf-issued queries entering the core here).
+        let antecedent = host(match ctx.from {
+            Some(from) if self.is_super(from) => from,
+            _ => ctx.node,
+        });
+        let (k, min_support, min_confidence) = (self.k, self.min_support, self.min_confidence);
+        let ranked =
+            self.learner(ctx.node)
+                .top_k_confident(antecedent, k, min_support, min_confidence);
+        let routed: Vec<NodeId> = ranked
+            .into_iter()
+            .map(|h| NodeId(h.0))
+            .filter(|n| self.is_super(*n) && ctx.candidates.contains(n))
+            .collect();
+        if !routed.is_empty() {
+            self.rule_routes += 1;
+            return routed;
+        }
+        // No applicable rule: flood the core only.
+        self.core_floods += 1;
+        ctx.candidates
+            .iter()
+            .copied()
+            .filter(|&n| self.is_super(n))
+            .collect()
+    }
+
+    fn on_reply(
+        &mut self,
+        node: NodeId,
+        upstream: Option<NodeId>,
+        via: NodeId,
+        _key: arq_content::QueryKey,
+    ) {
+        // Only core traffic trains the core's router: the hit must flow
+        // back through a superpeer, from a core neighbor.
+        if !self.is_super(node) || !self.is_super(via) {
+            return;
+        }
+        let antecedent = host(match upstream {
+            Some(up) if self.is_super(up) => up,
+            _ => node,
+        });
+        self.learner(node).observe(antecedent, host(via));
+    }
+
+    fn stats(&self) -> Vec<(String, f64)> {
+        vec![
+            ("index_hits".into(), self.index_hits as f64),
+            ("rule_routes".into(), self.rule_routes as f64),
+            ("core_floods".into(), self.core_floods as f64),
+        ]
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arq_content::{CatalogConfig, QueryKey, Topic, WorkloadConfig};
+    use arq_gnutella::QueryMsg;
+    use arq_overlay::generate;
+    use arq_trace::record::Guid;
+
+    fn setup() -> (Graph, WorkloadGen, CommunityPolicy, Vec<NodeId>) {
+        let mut rng = Rng64::seed_from(5);
+        let catalog = Catalog::generate(
+            CatalogConfig {
+                topics: 4,
+                files_per_topic: 30,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let (graph, assignment) = generate::superpeer(30, 4, 2, &mut rng);
+        let workload = WorkloadGen::generate(
+            30,
+            &catalog,
+            WorkloadConfig {
+                files_per_node: 10,
+                free_rider_fraction: 0.0,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let mut policy = CommunityPolicy::new(4, 2, 3.0, 0.0, 1e9);
+        policy.init(&graph, &workload, &catalog);
+        (graph, workload, policy, assignment)
+    }
+
+    fn msg(file: FileId) -> QueryMsg {
+        QueryMsg {
+            guid: Guid(1),
+            key: QueryKey {
+                file,
+                topic: Topic(0),
+            },
+            ttl: 6,
+            hops: 0,
+        }
+    }
+
+    fn miss_file(graph: &Graph, workload: &WorkloadGen, sp: NodeId) -> FileId {
+        (0..10_000u32)
+            .map(FileId)
+            .find(|f| {
+                graph
+                    .live_neighbors(sp)
+                    .filter(|n| n.0 >= 4)
+                    .all(|n| !workload.library(n.index()).contains(*f))
+            })
+            .expect("some file is absent locally")
+    }
+
+    #[test]
+    fn leaf_issues_to_its_superpeer_only() {
+        let (graph, _, mut policy, assignment) = setup();
+        let mut rng = Rng64::seed_from(1);
+        let leaf = NodeId(10);
+        let candidates: Vec<NodeId> = graph.live_neighbors(leaf).collect();
+        let m = msg(FileId(0));
+        let ctx = ForwardCtx {
+            node: leaf,
+            from: None,
+            query: &m,
+            candidates: &candidates,
+        };
+        assert_eq!(policy.select(&ctx, &mut rng), vec![assignment[10]]);
+        // And never relays.
+        let ctx = ForwardCtx {
+            node: leaf,
+            from: Some(assignment[10]),
+            query: &m,
+            candidates: &[],
+        };
+        assert!(policy.select(&ctx, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn cold_core_floods_on_index_miss() {
+        let (graph, workload, mut policy, _) = setup();
+        let mut rng = Rng64::seed_from(2);
+        let missing = miss_file(&graph, &workload, NodeId(0));
+        let candidates: Vec<NodeId> = graph.live_neighbors(NodeId(0)).collect();
+        let m = msg(missing);
+        let ctx = ForwardCtx {
+            node: NodeId(0),
+            from: None,
+            query: &m,
+            candidates: &candidates,
+        };
+        let sel = policy.select(&ctx, &mut rng);
+        assert!(!sel.is_empty(), "core flood selected nobody");
+        assert!(sel.iter().all(|n| n.0 < 4), "flooded to leaves");
+        assert_eq!(policy.core_floods(), 1);
+        assert_eq!(policy.rule_routes(), 0);
+    }
+
+    #[test]
+    fn learned_rules_narrow_the_core_flood() {
+        let (graph, workload, mut policy, _) = setup();
+        let mut rng = Rng64::seed_from(3);
+        // Hits keep coming back through core neighbor 2 for queries
+        // entering superpeer 0 from superpeer 1.
+        for _ in 0..5 {
+            policy.on_reply(NodeId(0), Some(NodeId(1)), NodeId(2), msg(FileId(0)).key);
+        }
+        let missing = miss_file(&graph, &workload, NodeId(0));
+        let candidates: Vec<NodeId> = graph.live_neighbors(NodeId(0)).collect();
+        assert!(candidates.contains(&NodeId(2)), "core is a clique");
+        let m = msg(missing);
+        let ctx = ForwardCtx {
+            node: NodeId(0),
+            from: Some(NodeId(1)),
+            query: &m,
+            candidates: &candidates,
+        };
+        assert_eq!(policy.select(&ctx, &mut rng), vec![NodeId(2)]);
+        assert_eq!(policy.rule_routes(), 1);
+        assert_eq!(policy.core_floods(), 0);
+    }
+
+    #[test]
+    fn leaf_replies_do_not_train_the_core() {
+        let (graph, workload, mut policy, _) = setup();
+        let mut rng = Rng64::seed_from(4);
+        // Hits returning via a leaf must not become core rules.
+        for _ in 0..10 {
+            policy.on_reply(NodeId(0), Some(NodeId(1)), NodeId(12), msg(FileId(0)).key);
+        }
+        let missing = miss_file(&graph, &workload, NodeId(0));
+        let candidates: Vec<NodeId> = graph.live_neighbors(NodeId(0)).collect();
+        let m = msg(missing);
+        let ctx = ForwardCtx {
+            node: NodeId(0),
+            from: Some(NodeId(1)),
+            query: &m,
+            candidates: &candidates,
+        };
+        let sel = policy.select(&ctx, &mut rng);
+        assert!(sel.iter().all(|n| n.0 < 4));
+        assert_eq!(policy.rule_routes(), 0);
+        assert_eq!(policy.core_floods(), 1);
+    }
+
+    #[test]
+    fn confidence_gate_applies_in_the_core() {
+        let (graph, workload, mut policy_low, _) = setup();
+        let mut strict = CommunityPolicy::new(4, 2, 3.0, 0.9, 1e9);
+        let mut rng = Rng64::seed_from(6);
+        // Split evidence: 6 hits via 2, 5 via 3 — both supported, neither
+        // reaches 0.9 confidence.
+        for p in [&mut policy_low, &mut strict] {
+            for _ in 0..6 {
+                p.on_reply(NodeId(0), Some(NodeId(1)), NodeId(2), msg(FileId(0)).key);
+            }
+            for _ in 0..5 {
+                p.on_reply(NodeId(0), Some(NodeId(1)), NodeId(3), msg(FileId(0)).key);
+            }
+        }
+        let missing = miss_file(&graph, &workload, NodeId(0));
+        let candidates: Vec<NodeId> = graph.live_neighbors(NodeId(0)).collect();
+        let m = msg(missing);
+        let ctx = ForwardCtx {
+            node: NodeId(0),
+            from: Some(NodeId(1)),
+            query: &m,
+            candidates: &candidates,
+        };
+        // minconf=0: rules route to both consequents.
+        assert_eq!(
+            policy_low.select(&ctx, &mut rng),
+            vec![NodeId(2), NodeId(3)]
+        );
+        // minconf=0.9: everything pruned, core flood.
+        let sel = strict.select(&ctx, &mut rng);
+        assert!(sel.len() > 2, "strict gate should have flooded the core");
+        assert_eq!(strict.core_floods(), 1);
+    }
+}

@@ -414,6 +414,127 @@ pub fn e17_offered_load(scale: Scale, seed: u64) -> ExperimentReport {
     }
 }
 
+/// E18 — routing-science sweep (§VI): top-k consequent fan-out,
+/// minimum-confidence pruning, live topology adaptation, and the
+/// community/super-peer hybrid, all on one shared two-tier overlay so
+/// the policies differ only in how they route. The zipped axis flips
+/// the world from calm (no faults, slow churn) to stressed (10% loss,
+/// 4× faster churn); the adapt axis turns the tumbling
+/// topology-adaptation schedule on. Flood's rows are asserted
+/// byte-identical with adaptation on and off — a policy that proposes
+/// no shortcuts must not perturb the run.
+pub fn e18_routing(scale: Scale, seed: u64) -> ExperimentReport {
+    const POLICIES: [&str; 7] = [
+        "flood",
+        "assoc(k=1,minconf=0)",
+        "assoc(k=4,minconf=0)",
+        "assoc(k=4,minconf=0.6)",
+        "assoc-adaptive(k=4,minconf=0.6)",
+        "hybrid(cap=5,k=4,minconf=0.6)",
+        "community(n=16,k=4,minconf=0.6)",
+    ];
+    const WORLDS: [(&str, &str); 2] = [("calm", "none"), ("stressed", "faults(loss=0.1)")];
+    const ADAPTS: [(&str, &str); 2] = [
+        ("static", "none"),
+        ("adaptive", "adapt(every=50000,budget=8,degree=2)"),
+    ];
+    let plan = plan_at(
+        include_str!("../../../../plans/e18.toml"),
+        "e18",
+        scale,
+        seed,
+    );
+    let (jobs, artifacts) = run_plan(&plan);
+    let counter = |a: &engine::RunArtifact, name: &str| {
+        a.obs
+            .as_ref()
+            .and_then(|o| o.registry.counter_value(name))
+            .unwrap_or(0)
+    };
+    // A non-proposing policy under an active adapt plan is a no-op: the
+    // flood rows must reproduce their static twins byte-for-byte.
+    for (_, faults) in WORLDS {
+        let stat = by_params(
+            &jobs,
+            &artifacts,
+            &[("policy", "flood"), ("faults", faults), ("adapt", "none")],
+        );
+        let live = by_params(
+            &jobs,
+            &artifacts,
+            &[
+                ("policy", "flood"),
+                ("faults", faults),
+                ("adapt", ADAPTS[1].1),
+            ],
+        );
+        let stat_json = arq::simkern::ToJson::to_json(stat.metrics().expect("live spec"));
+        let live_json = arq::simkern::ToJson::to_json(live.metrics().expect("live spec"));
+        assert_eq!(
+            stat_json.to_string(),
+            live_json.to_string(),
+            "adaptation over flood (no proposals) perturbed the run under faults={faults}"
+        );
+    }
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for p in POLICIES {
+        for (world, faults) in WORLDS {
+            for (mode, adapt) in ADAPTS {
+                let a = by_params(
+                    &jobs,
+                    &artifacts,
+                    &[("policy", p), ("faults", faults), ("adapt", adapt)],
+                );
+                let m = a.metrics().expect("live spec");
+                let pruned = a
+                    .stat("pruned_consequents")
+                    .map_or(String::new(), |n| format!(", {n:.0} pruned"));
+                let usage = a
+                    .stat("rule_usage")
+                    .map_or(String::new(), |u| format!(", rule usage {u:.2}"));
+                let (added, retired, rejected) = (
+                    counter(a, "shortcut_added"),
+                    counter(a, "shortcut_retired"),
+                    counter(a, "shortcut_rejected"),
+                );
+                let shortcuts = if mode == "adaptive" {
+                    format!(", shortcuts +{added}/-{retired} ({rejected} rejected)")
+                } else {
+                    String::new()
+                };
+                rows.push((
+                    format!("{p} {world} {mode}"),
+                    format!(
+                        "{:.1} msg/query, success {:.3}{usage}{pruned}{shortcuts}",
+                        m.messages_per_query, m.success_rate
+                    ),
+                ));
+                series.push(Json::obj([
+                    ("policy", Json::from(p)),
+                    ("world", Json::from(world)),
+                    ("adapt", Json::from(mode)),
+                    ("shortcut_added", Json::from(added)),
+                    ("shortcut_retired", Json::from(retired)),
+                    ("shortcut_rejected", Json::from(rejected)),
+                    ("artifact", arq::simkern::ToJson::to_json(a)),
+                ]));
+            }
+        }
+    }
+    ExperimentReport {
+        id: "E18".into(),
+        title: "Routing science: top-k, confidence pruning, adaptation, community".into(),
+        paper_claim: "queries can be sent to the k neighbors with the highest support, pruned \
+                      by minimum confidence (§III-B.1), and making a forwarding target a new \
+                      neighbor would save one hop on future queries (§VI)"
+            .into(),
+        rows,
+        charts: vec![],
+        series: Json::Arr(series),
+    }
+}
+
 /// E15 — the §II "re-design the network" category: a two-tier superpeer
 /// network with content indices, contrasted with flat flooding and
 /// association routing on the same node population. The paper-scale

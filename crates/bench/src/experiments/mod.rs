@@ -20,7 +20,7 @@
 //!
 //! * [`trace`] — trace-driven evaluation (E1–E6, E9, E12, E14);
 //! * [`live`] — live-network simulation (E7, E10, E11, E13, E15, E16,
-//!   E17);
+//!   E17, E18);
 //! * [`cost`] — wall-clock cost measurement (E8).
 
 mod cost;
@@ -30,7 +30,7 @@ mod trace;
 pub use cost::e8_rulegen_cost;
 pub use live::{
     e10_topk, e11_topology, e13_hybrid, e15_superpeer, e16_degradation, e17_offered_load,
-    e7_traffic,
+    e18_routing, e7_traffic,
 };
 pub use trace::{
     e12_topic_rules, e14_stream_maintainers, e1_static, e2_sliding, e3_block_sizes, e3b_thresholds,
@@ -222,6 +222,7 @@ pub fn run_all(scale: Scale, seed: u64, only: Option<&[String]>) -> Vec<Experime
         ("e15", e15_superpeer),
         ("e16", e16_degradation),
         ("e17", e17_offered_load),
+        ("e18", e18_routing),
     ];
     table
         .into_iter()
@@ -286,6 +287,27 @@ mod tests {
         assert_eq!(r.rows.len(), 12);
         assert!(r.rows[0].0.starts_with("flood loss=0.00"));
         assert!(r.rows[0].1.contains("recall"));
+    }
+
+    // 7 policies × 2 worlds × 2 adapt modes; the flood-is-unperturbed
+    // assertion inside the experiment runs as part of this smoke test.
+    #[test]
+    fn e18_smoke() {
+        let r = e18_routing(tiny(), 3);
+        assert_eq!(r.id, "E18");
+        assert_eq!(r.rows.len(), 28);
+        assert!(r.rows[0].0.starts_with("flood calm static"));
+        assert!(r.rows[1].0.starts_with("flood calm adaptive"));
+        assert!(r.rows[1].1.contains("shortcuts +"), "{:?}", r.rows[1]);
+        // The confidence-pruned configs must actually report pruning
+        // somewhere once the learners warm up.
+        assert!(
+            r.rows
+                .iter()
+                .any(|(k, v)| k.contains("minconf=0.6") && v.contains("pruned")),
+            "no pruned_consequents stat surfaced: {:?}",
+            r.rows
+        );
     }
 
     #[test]

@@ -30,7 +30,8 @@ pub use executor::{
     run_one, run_one_with_threads, thread_count, validate, LiveRun, LiveRunObs,
 };
 pub use registry::{
-    make_fault_plan, make_link_plan, make_obs_plan, make_policy, make_retry_policy, make_strategy,
-    parse_spec, BuiltPolicy, ParsedSpec, RegistryError, POLICY_NAMES, STRATEGY_NAMES,
+    make_adapt_plan, make_fault_plan, make_link_plan, make_obs_plan, make_policy,
+    make_retry_policy, make_strategy, parse_spec, BuiltPolicy, ParsedSpec, RegistryError,
+    POLICY_NAMES, STRATEGY_NAMES,
 };
 pub use spec::{RunArtifact, RunOutput, RunSpec, TraceSource};

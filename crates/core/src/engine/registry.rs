@@ -19,10 +19,11 @@ use crate::strategy::{
     StaticRuleset, Strategy, TopicSlidingWindow,
 };
 use arq_baselines::{
-    expanding_ring, FloodPolicy, InterestShortcuts, KRandomWalk, RoutingIndices, SuperPeerPolicy,
+    expanding_ring, CommunityPolicy, FloodPolicy, InterestShortcuts, KRandomWalk, RoutingIndices,
+    SuperPeerPolicy,
 };
 use arq_gnutella::policy::ForwardingPolicy;
-use arq_gnutella::sim::{RetryPolicy, RingSchedule, SimConfig};
+use arq_gnutella::sim::{AdaptPlan, RetryPolicy, RingSchedule, SimConfig};
 use arq_gnutella::{FaultPlan, LinkPlan};
 use arq_obs::ObsConfig;
 use arq_simkern::time::Duration;
@@ -49,6 +50,7 @@ pub const POLICY_NAMES: &[&str] = &[
     "assoc",
     "assoc-adaptive",
     "hybrid",
+    "community",
 ];
 
 /// A spec failed to parse or named something unregistered.
@@ -314,11 +316,26 @@ impl BuiltPolicy {
 /// | `shortcuts` | `cap` per-topic shortcut cap (5), `k` fan-out (2) |
 /// | `routing-index` | `horizon` (3), `atten` attenuation (0.5), `k` fan-out (2) |
 /// | `superpeer` | `n` core size (16) |
-/// | `assoc` | `k` fan-out (2), `s` min decayed support (3), `hl` half-life (500), `top` top-by-support 1/0 (1) |
+/// | `assoc` | `k` fan-out (2), `s` min decayed support (3), `hl` half-life (500), `top` top-by-support 1/0 (1), `minconf` min confidence (0) |
 /// | `assoc-adaptive` | `assoc` params plus `demote` dead-rule factor (0.5), `fw` failure window (20), `ft` miss threshold (0.75) |
-/// | `hybrid` | `cap` (5), `k` (2), `s` (3), `hl` (500) |
+/// | `hybrid` | `cap` (5), `k` (2), `s` (3), `hl` (500), `minconf` (0) |
+/// | `community` | `n` core size (16), `k` (2), `s` (3), `hl` (500), `minconf` (0) |
+///
+/// `minconf` is validated here, at spec-parse time, so a bad value comes
+/// back as a [`RegistryError::BadSpec`] rather than a panic from the
+/// policy constructor deep inside a run.
 pub fn make_policy(spec: &str) -> Result<BuiltPolicy, RegistryError> {
     let parsed = parse_spec(spec)?;
+    let minconf = |p: &ParamTable| -> Result<f64, RegistryError> {
+        let v = p.f64("minconf");
+        if !(0.0..=1.0).contains(&v) {
+            return Err(RegistryError::BadSpec {
+                spec: spec.to_string(),
+                reason: format!("parameter `minconf` must be in [0, 1], got {v}"),
+            });
+        }
+        Ok(v)
+    };
     let plain = |policy: Box<dyn ForwardingPolicy + Send>| {
         let label = policy.name().to_string();
         BuiltPolicy {
@@ -392,12 +409,19 @@ pub fn make_policy(spec: &str) -> Result<BuiltPolicy, RegistryError> {
             let p = ParamTable::resolve(
                 spec,
                 &parsed,
-                &[("k", 2.0), ("s", 3.0), ("hl", 500.0), ("top", 1.0)],
+                &[
+                    ("k", 2.0),
+                    ("s", 3.0),
+                    ("hl", 500.0),
+                    ("top", 1.0),
+                    ("minconf", 0.0),
+                ],
                 &[],
             )?;
             plain(Box::new(AssocPolicy::new(AssocPolicyConfig {
                 k: p.usize("k")?,
                 min_support: p.f64("s"),
+                min_confidence: minconf(&p)?,
                 half_life: p.f64("hl"),
                 top_by_support: p.f64("top") != 0.0,
                 ..Default::default()
@@ -412,6 +436,7 @@ pub fn make_policy(spec: &str) -> Result<BuiltPolicy, RegistryError> {
                     ("s", 3.0),
                     ("hl", 500.0),
                     ("top", 1.0),
+                    ("minconf", 0.0),
                     ("demote", 0.5),
                     ("fw", 20.0),
                     ("ft", 0.75),
@@ -421,6 +446,7 @@ pub fn make_policy(spec: &str) -> Result<BuiltPolicy, RegistryError> {
             plain(Box::new(AssocPolicy::new(AssocPolicyConfig {
                 k: p.usize("k")?,
                 min_support: p.f64("s"),
+                min_confidence: minconf(&p)?,
                 half_life: p.f64("hl"),
                 top_by_support: p.f64("top") != 0.0,
                 demote: p.f64("demote"),
@@ -432,7 +458,13 @@ pub fn make_policy(spec: &str) -> Result<BuiltPolicy, RegistryError> {
             let p = ParamTable::resolve(
                 spec,
                 &parsed,
-                &[("cap", 5.0), ("k", 2.0), ("s", 3.0), ("hl", 500.0)],
+                &[
+                    ("cap", 5.0),
+                    ("k", 2.0),
+                    ("s", 3.0),
+                    ("hl", 500.0),
+                    ("minconf", 0.0),
+                ],
                 &[],
             )?;
             plain(Box::new(HybridPolicy::new(
@@ -441,10 +473,32 @@ pub fn make_policy(spec: &str) -> Result<BuiltPolicy, RegistryError> {
                 AssocPolicyConfig {
                     k: p.usize("k")?,
                     min_support: p.f64("s"),
+                    min_confidence: minconf(&p)?,
                     half_life: p.f64("hl"),
                     top_by_support: true,
                     ..Default::default()
                 },
+            )))
+        }
+        "community" => {
+            let p = ParamTable::resolve(
+                spec,
+                &parsed,
+                &[
+                    ("n", 16.0),
+                    ("k", 2.0),
+                    ("s", 3.0),
+                    ("hl", 500.0),
+                    ("minconf", 0.0),
+                ],
+                &[],
+            )?;
+            plain(Box::new(CommunityPolicy::new(
+                p.usize("n")?,
+                p.usize("k")?,
+                p.f64("s"),
+                minconf(&p)?,
+                p.f64("hl"),
             )))
         }
         other => return Err(RegistryError::UnknownPolicy(other.to_string())),
@@ -539,6 +593,39 @@ pub fn make_link_plan(spec: &str) -> Result<LinkPlan, RegistryError> {
         jitter: p.u64("jitter")?,
         riders: p.f64("riders"),
         rider_up: p.f64("riderup"),
+    };
+    plan.validate().map_err(|e| RegistryError::BadSpec {
+        spec: spec.to_string(),
+        reason: e.to_string(),
+    })?;
+    Ok(plan)
+}
+
+/// Constructs an [`AdaptPlan`] from a spec string:
+/// `adapt(every=50000,budget=8,degree=2)`.
+///
+/// `every` is the tumbling adaptation-round interval in ticks; `budget`
+/// caps shortcut additions per round; `degree` caps shortcut edges per
+/// asker node. Bare `adapt` uses the defaults. All three must be
+/// positive; plan-level validation surfaces as a [`RegistryError::BadSpec`].
+pub fn make_adapt_plan(spec: &str) -> Result<AdaptPlan, RegistryError> {
+    let parsed = parse_spec(spec)?;
+    if parsed.name != "adapt" {
+        return Err(RegistryError::BadSpec {
+            spec: spec.to_string(),
+            reason: format!("adapt spec must be `adapt(...)`, got `{}`", parsed.name),
+        });
+    }
+    let p = ParamTable::resolve(
+        spec,
+        &parsed,
+        &[("every", 50_000.0), ("budget", 8.0), ("degree", 2.0)],
+        &[],
+    )?;
+    let plan = AdaptPlan {
+        every: Duration::from_ticks(p.u64("every")?),
+        budget: p.usize("budget")?,
+        degree: p.usize("degree")?,
     };
     plan.validate().map_err(|e| RegistryError::BadSpec {
         spec: spec.to_string(),
@@ -822,6 +909,66 @@ mod tests {
         // Plain assoc stays plain — adaptive defaults must not leak in.
         let plain = make_policy("assoc").unwrap();
         assert_eq!(plain.label, "assoc");
+    }
+
+    #[test]
+    fn minconf_is_validated_at_spec_parse_time() {
+        // A bad value is a typed BadSpec, not a panic from the policy
+        // constructor.
+        for spec in [
+            "assoc(minconf=1.5)",
+            "assoc(minconf=-0.1)",
+            "assoc-adaptive(minconf=2)",
+            "hybrid(minconf=-1)",
+            "community(minconf=1.01)",
+        ] {
+            let e = match make_policy(spec) {
+                Err(e) => e,
+                Ok(p) => panic!("`{spec}` unexpectedly built {}", p.label),
+            };
+            assert!(
+                matches!(e, RegistryError::BadSpec { .. }),
+                "`{spec}` gave {e:?}"
+            );
+            let msg = e.to_string();
+            assert!(msg.contains("`minconf` must be in [0, 1]"), "{msg}");
+        }
+        // In-range values build on every policy that accepts the key.
+        for spec in [
+            "assoc(k=4,minconf=0.6)",
+            "assoc-adaptive(minconf=1)",
+            "hybrid(minconf=0.5)",
+            "community(n=8,minconf=0.25)",
+        ] {
+            make_policy(spec).unwrap();
+        }
+    }
+
+    #[test]
+    fn community_policy_builds_with_its_own_label() {
+        let built = make_policy("community(n=8,k=3)").unwrap();
+        assert_eq!(built.label, "community");
+    }
+
+    #[test]
+    fn adapt_specs_round_trip() {
+        let plan = make_adapt_plan("adapt(every=20000,budget=16,degree=3)").unwrap();
+        assert_eq!(plan.every, Duration::from_ticks(20_000));
+        assert_eq!(plan.budget, 16);
+        assert_eq!(plan.degree, 3);
+        let defaults = make_adapt_plan("adapt").unwrap();
+        assert_eq!(defaults.every, Duration::from_ticks(50_000));
+        assert_eq!(defaults.budget, 8);
+        assert_eq!(defaults.degree, 2);
+        // Plan-level validation surfaces through the spec error.
+        for spec in ["adapt(every=0)", "adapt(budget=0)", "adapt(degree=0)"] {
+            let e = make_adapt_plan(spec).unwrap_err().to_string();
+            assert!(e.contains("must be positive"), "`{spec}`: {e}");
+        }
+        assert!(make_adapt_plan("faults(loss=0.1)").is_err());
+        let e = make_adapt_plan("adapt(evry=10)").unwrap_err().to_string();
+        assert!(e.contains("unknown parameter `evry`"), "{e}");
+        assert!(e.contains("budget"), "{e}");
     }
 
     #[test]

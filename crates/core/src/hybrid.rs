@@ -11,8 +11,8 @@
 
 use crate::policy::{AssocPolicy, AssocPolicyConfig};
 use arq_baselines::InterestShortcuts;
-use arq_gnutella::policy::{ForwardCtx, ForwardingPolicy};
-use arq_overlay::NodeId;
+use arq_gnutella::policy::{ForwardCtx, ForwardingPolicy, ShortcutProposal};
+use arq_overlay::{Graph, NodeId};
 use arq_simkern::Rng64;
 
 /// Interest shortcuts backed by association rules, flooding as a last
@@ -108,6 +108,17 @@ impl ForwardingPolicy for HybridPolicy {
             ("flood_decisions".into(), self.flood_decisions as f64),
             ("targeted_fraction".into(), self.targeted_fraction()),
         ]
+    }
+
+    // Topology adaptation rides on the rule side: the shortcut table is
+    // per-topic and node-local, but the learned associations are exactly
+    // what the adaptation loop turns into overlay edges.
+    fn propose_shortcuts(&self, graph: &Graph) -> Vec<ShortcutProposal> {
+        self.rules.propose_shortcuts(graph)
+    }
+
+    fn shortcut_active(&self, asker: NodeId, target: NodeId, via: NodeId) -> bool {
+        self.rules.shortcut_active(asker, target, via)
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -213,6 +224,25 @@ mod tests {
         );
         assert_eq!(p.rule_decisions(), 1);
         assert!(p.targeted_fraction() > 0.99);
+    }
+
+    #[test]
+    fn adaptation_hooks_ride_on_the_rule_side() {
+        let mut p = HybridPolicy::new(4, 1, rules_cfg());
+        // Relay 0 learns {9} -> {12} on the rule side.
+        for _ in 0..3 {
+            p.on_reply(NodeId(0), Some(NodeId(9)), NodeId(12), key(3));
+        }
+        assert!(p.shortcut_active(NodeId(9), NodeId(12), NodeId(0)));
+        assert!(!p.shortcut_active(NodeId(9), NodeId(11), NodeId(0)));
+        let mut g = Graph::new(13);
+        g.add_edge(NodeId(9), NodeId(0));
+        g.add_edge(NodeId(0), NodeId(12));
+        let props = p.propose_shortcuts(&g);
+        assert_eq!(props.len(), 1);
+        assert_eq!(props[0].asker, NodeId(9));
+        assert_eq!(props[0].target, NodeId(12));
+        assert_eq!(props[0].via, NodeId(0));
     }
 
     #[test]

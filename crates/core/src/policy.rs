@@ -15,8 +15,8 @@
 //! half-life and support threshold are configurable.
 
 use arq_assoc::DecayedPairCounts;
-use arq_gnutella::policy::{ForwardCtx, ForwardingPolicy};
-use arq_overlay::NodeId;
+use arq_gnutella::policy::{ForwardCtx, ForwardingPolicy, ShortcutProposal};
+use arq_overlay::{Graph, NodeId};
 use arq_simkern::Rng64;
 use arq_trace::record::HostId;
 
@@ -31,6 +31,11 @@ pub struct AssocPolicyConfig {
     pub k: usize,
     /// Decayed support an association needs before it routes queries.
     pub min_support: f64,
+    /// Minimum confidence — the consequent's share of all decayed
+    /// observations for its antecedent — a rule needs before it routes
+    /// queries. `0.0` disables the gate (support-only ranking, the
+    /// pre-confidence behavior, bit for bit).
+    pub min_confidence: f64,
     /// Half-life of association counts, in observed replies per node.
     pub half_life: f64,
     /// When `true`, pick the k consequents with the highest support; when
@@ -57,6 +62,7 @@ impl Default for AssocPolicyConfig {
         AssocPolicyConfig {
             k: 2,
             min_support: 3.0,
+            min_confidence: 0.0,
             half_life: 500.0,
             top_by_support: true,
             demote: 1.0,
@@ -85,6 +91,7 @@ pub struct AssocPolicy {
     flood_fallbacks: u64,
     dead_demotions: u64,
     failure_remines: u64,
+    pruned_consequents: u64,
 }
 
 impl AssocPolicy {
@@ -92,6 +99,10 @@ impl AssocPolicy {
     pub fn new(cfg: AssocPolicyConfig) -> Self {
         assert!(cfg.k >= 1, "k must be at least 1");
         assert!(cfg.min_support >= 1.0, "min_support below one observation");
+        assert!(
+            (0.0..=1.0).contains(&cfg.min_confidence),
+            "min_confidence outside [0, 1]"
+        );
         assert!(
             (0.0..=1.0).contains(&cfg.demote),
             "demote factor outside [0, 1]"
@@ -108,6 +119,7 @@ impl AssocPolicy {
             flood_fallbacks: 0,
             dead_demotions: 0,
             failure_remines: 0,
+            pruned_consequents: 0,
         }
     }
 
@@ -139,6 +151,12 @@ impl AssocPolicy {
     /// Rule sets discarded by the failure-window re-mine trigger.
     pub fn failure_remines(&self) -> u64 {
         self.failure_remines
+    }
+
+    /// Consequents that met the support gate but fell below the
+    /// confidence gate at selection time.
+    pub fn pruned_consequents(&self) -> u64 {
+        self.pruned_consequents
     }
 
     fn learner(&mut self, node: NodeId) -> &mut DecayedPairCounts {
@@ -194,10 +212,14 @@ impl AssocPolicy {
     }
 
     /// The learned consequents for (`node`, antecedent) — exposed for the
-    /// topology-adaptation extension and diagnostics.
+    /// topology-adaptation extension and diagnostics. Applies the same
+    /// support and confidence gates as routing, so a shortcut stays
+    /// alive exactly as long as its rule would still route queries.
     pub fn consequents(&self, node: NodeId, antecedent: HostId, k: usize) -> Vec<HostId> {
         match self.learners.get(node.index()).and_then(Option::as_ref) {
-            Some(counts) => counts.top_k(antecedent, k, self.cfg.min_support),
+            Some(counts) => {
+                counts.top_k_confident(antecedent, k, self.cfg.min_support, self.cfg.min_confidence)
+            }
             None => Vec::new(),
         }
     }
@@ -216,14 +238,21 @@ impl ForwardingPolicy for AssocPolicy {
         let antecedent = host(ctx.from.unwrap_or(ctx.node));
         let k = self.cfg.k;
         let min_support = self.cfg.min_support;
+        let min_confidence = self.cfg.min_confidence;
         let top_by_support = self.cfg.top_by_support;
         let demote = self.cfg.demote;
         let learner = self.learner(ctx.node);
-        let all: Vec<NodeId> = learner
-            .top_k(antecedent, usize::MAX, min_support)
-            .into_iter()
-            .map(|h| NodeId(h.0))
-            .collect();
+        let confident =
+            learner.top_k_confident(antecedent, usize::MAX, min_support, min_confidence);
+        if min_confidence > 0.0 {
+            // Count how many support-qualified rules the confidence gate
+            // removed; with the gate off the two sets are identical and
+            // the extra scan is skipped.
+            let supported = learner.top_k(antecedent, usize::MAX, min_support).len();
+            self.pruned_consequents += (supported - confident.len()) as u64;
+        }
+        let learner = self.learner(ctx.node);
+        let all: Vec<NodeId> = confident.into_iter().map(|h| NodeId(h.0)).collect();
         // Qualifying consequents that are no longer live candidates are
         // observed dead; with demotion enabled, shrink them on the spot
         // so stale rules decay faster than their half-life alone allows.
@@ -288,11 +317,33 @@ impl ForwardingPolicy for AssocPolicy {
             ("flood_fallbacks".into(), self.flood_fallbacks as f64),
             ("rule_usage".into(), self.rule_usage()),
         ];
+        if self.cfg.min_confidence > 0.0 {
+            stats.push(("pruned_consequents".into(), self.pruned_consequents as f64));
+        }
         if self.cfg.adaptive() {
             stats.push(("dead_demotions".into(), self.dead_demotions as f64));
             stats.push(("failure_remines".into(), self.failure_remines as f64));
         }
         stats
+    }
+
+    fn propose_shortcuts(&self, graph: &Graph) -> Vec<ShortcutProposal> {
+        crate::topology::propose_shortcuts(graph, self)
+            .into_iter()
+            .map(|s| ShortcutProposal {
+                asker: s.asker,
+                target: s.target,
+                via: s.via,
+            })
+            .collect()
+    }
+
+    fn shortcut_active(&self, asker: NodeId, target: NodeId, via: NodeId) -> bool {
+        // The rule lives at the relay `via`, keyed by the asker: the
+        // shortcut survives while `target` still ranks among the top-k
+        // gated consequents `via` has learned for queries from `asker`.
+        self.consequents(via, host(asker), self.cfg.k)
+            .contains(&host(target))
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -490,6 +541,7 @@ mod tests {
         let mut p = AssocPolicy::new(AssocPolicyConfig {
             k: 1,
             min_support: 3.0,
+            min_confidence: 0.0,
             half_life: 1e9,
             top_by_support: true,
             demote: 0.25,
@@ -527,6 +579,7 @@ mod tests {
         let mut p = AssocPolicy::new(AssocPolicyConfig {
             k: 1,
             min_support: 2.0,
+            min_confidence: 0.0,
             half_life: 1e9,
             top_by_support: true,
             demote: 0.0, // observed-dead rules are evicted outright
@@ -562,6 +615,7 @@ mod tests {
         let mut p = AssocPolicy::new(AssocPolicyConfig {
             k: 1,
             min_support: 2.0,
+            min_confidence: 0.0,
             half_life: 1e9,
             top_by_support: true,
             demote: 1.0,
@@ -586,6 +640,7 @@ mod tests {
         let mut p = AssocPolicy::new(AssocPolicyConfig {
             k: 1,
             min_support: 2.0,
+            min_confidence: 0.0,
             half_life: 1e9,
             top_by_support: true,
             demote: 1.0,
@@ -623,6 +678,114 @@ mod tests {
         teach(&mut p, NodeId(5), NodeId(2), NodeId(11), 10);
         assert_eq!(p.consequents(NodeId(5), HostId(2), 3), vec![HostId(11)]);
         assert!(p.consequents(NodeId(9), HostId(2), 3).is_empty());
+    }
+
+    #[test]
+    fn minconf_prunes_low_confidence_rules_and_counts_them() {
+        let mut p = AssocPolicy::new(AssocPolicyConfig {
+            k: 2,
+            min_support: 2.0,
+            min_confidence: 0.6,
+            half_life: 1e9,
+            top_by_support: true,
+            ..Default::default()
+        });
+        let mut rng = Rng64::seed_from(9);
+        // 8 of 11 observations go to node 11 (confidence ~0.73), 3 of 11
+        // to node 10 (~0.27): both pass the support gate, only 11 passes
+        // the confidence gate.
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(11), 8);
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(10), 3);
+        let candidates = vec![NodeId(10), NodeId(11), NodeId(12)];
+        let m = msg();
+        let ctx = ForwardCtx {
+            node: NodeId(5),
+            from: Some(NodeId(2)),
+            query: &m,
+            candidates: &candidates,
+        };
+        assert_eq!(p.select(&ctx, &mut rng), vec![NodeId(11)]);
+        assert_eq!(p.pruned_consequents(), 1);
+        // The accessor applies the same gate.
+        assert_eq!(p.consequents(NodeId(5), HostId(2), 3), vec![HostId(11)]);
+        // And the counter reaches stats only when the gate is on.
+        assert!(p
+            .stats()
+            .iter()
+            .any(|(k, v)| k == "pruned_consequents" && *v == 1.0));
+    }
+
+    #[test]
+    fn zero_minconf_reports_no_pruning_stat() {
+        let mut p = AssocPolicy::new(AssocPolicyConfig::default());
+        let mut rng = Rng64::seed_from(10);
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(11), 6);
+        teach(&mut p, NodeId(5), NodeId(2), NodeId(10), 4);
+        let candidates = vec![NodeId(10), NodeId(11)];
+        let m = msg();
+        let ctx = ForwardCtx {
+            node: NodeId(5),
+            from: Some(NodeId(2)),
+            query: &m,
+            candidates: &candidates,
+        };
+        p.select(&ctx, &mut rng);
+        assert_eq!(p.pruned_consequents(), 0);
+        assert!(p.stats().iter().all(|(k, _)| k != "pruned_consequents"));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_confidence outside [0, 1]")]
+    fn out_of_range_minconf_is_rejected() {
+        AssocPolicy::new(AssocPolicyConfig {
+            min_confidence: 1.5,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn shortcut_hooks_track_rule_life() {
+        let mut p = AssocPolicy::new(AssocPolicyConfig {
+            k: 1,
+            min_support: 3.0,
+            min_confidence: 0.0,
+            half_life: 1e9,
+            top_by_support: true,
+            ..Default::default()
+        });
+        // Relay 7 learns {2} -> {11}: the shortcut 2 -- 11 via 7 is live.
+        teach(&mut p, NodeId(7), NodeId(2), NodeId(11), 5);
+        assert!(p.shortcut_active(NodeId(2), NodeId(11), NodeId(7)));
+        // Not for other targets, relays, or askers.
+        assert!(!p.shortcut_active(NodeId(2), NodeId(10), NodeId(7)));
+        assert!(!p.shortcut_active(NodeId(2), NodeId(11), NodeId(8)));
+        assert!(!p.shortcut_active(NodeId(3), NodeId(11), NodeId(7)));
+    }
+
+    #[test]
+    fn proposals_come_from_learned_rules() {
+        use arq_overlay::Graph;
+        let mut p = AssocPolicy::new(AssocPolicyConfig {
+            k: 1,
+            min_support: 3.0,
+            min_confidence: 0.0,
+            half_life: 1e9,
+            top_by_support: true,
+            ..Default::default()
+        });
+        // Path 2 -- 7 -- 11; relay 7 learns {2} -> {11}.
+        let mut g = Graph::new(12);
+        g.add_edge(NodeId(2), NodeId(7));
+        g.add_edge(NodeId(7), NodeId(11));
+        teach(&mut p, NodeId(7), NodeId(2), NodeId(11), 5);
+        let props = p.propose_shortcuts(&g);
+        assert_eq!(props.len(), 1);
+        assert_eq!(props[0].asker, NodeId(2));
+        assert_eq!(props[0].target, NodeId(11));
+        assert_eq!(props[0].via, NodeId(7));
+        // Once the edge exists, it is no longer proposed.
+        g.add_edge(NodeId(2), NodeId(11));
+        assert!(p.propose_shortcuts(&g).is_empty());
     }
 }
 

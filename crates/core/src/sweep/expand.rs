@@ -23,7 +23,9 @@
 use super::plan::{fmt_num, validate_key, Axis, PlanError, PlanKind, Sampler, SweepPlan, Value};
 use crate::engine::registry::{self};
 use crate::engine::spec::{RunSpec, TraceSource};
-use crate::engine::{executor, make_fault_plan, make_link_plan, make_retry_policy};
+use crate::engine::{
+    executor, make_adapt_plan, make_fault_plan, make_link_plan, make_retry_policy,
+};
 use arq_gnutella::sim::{SimConfig, Topology};
 use arq_overlay::ChurnConfig;
 use arq_simkern::rng::StreamFactory;
@@ -232,6 +234,7 @@ struct Draft {
     faults: Option<String>,
     links: Option<String>,
     retry: Option<String>,
+    adapt: Option<String>,
 }
 
 impl Draft {
@@ -257,6 +260,7 @@ impl Draft {
             faults: None,
             links: None,
             retry: None,
+            adapt: None,
         }
     }
 }
@@ -381,6 +385,7 @@ fn apply(kind: PlanKind, draft: &mut Draft, key: &str, value: &Value) -> Result<
         (PlanKind::LiveSim, "faults") => draft.faults = optional_spec(value, "`faults`")?,
         (PlanKind::LiveSim, "links") => draft.links = optional_spec(value, "`links`")?,
         (PlanKind::LiveSim, "retry") => draft.retry = optional_spec(value, "`retry`")?,
+        (PlanKind::LiveSim, "adapt") => draft.adapt = optional_spec(value, "`adapt`")?,
         (kind, dotted) => {
             let (head, param) = dotted
                 .split_once('.')
@@ -401,6 +406,9 @@ fn apply(kind: PlanKind, draft: &mut Draft, key: &str, value: &Value) -> Result<
                 }
                 (PlanKind::LiveSim, "retry") => {
                     draft.retry = Some(patch_spec(draft.retry.as_deref(), "retry", param, value)?)
+                }
+                (PlanKind::LiveSim, "adapt") => {
+                    draft.adapt = Some(patch_spec(draft.adapt.as_deref(), "adapt", param, value)?)
                 }
                 _ => unreachable!("key `{dotted}` passed validation but has no application"),
             }
@@ -523,6 +531,9 @@ fn finalize(kind: PlanKind, draft: Draft, shared: &mut SharedTraces) -> Result<R
             if let Some(retry) = &draft.retry {
                 cfg.retry =
                     Some(make_retry_policy(retry).map_err(|e| format!("key `retry`: {e}"))?);
+            }
+            if let Some(adapt) = &draft.adapt {
+                cfg.adapt = Some(make_adapt_plan(adapt).map_err(|e| format!("key `adapt`: {e}"))?);
             }
             Ok(RunSpec::LiveSim {
                 cfg,
@@ -656,6 +667,51 @@ mod tests {
         assert_eq!(churn.mean_session, Duration::from_ticks(2_000_000));
         assert_eq!(cfg.faults.as_ref().unwrap().loss, 0.05);
         assert_eq!(cfg.retry.as_ref().unwrap().max_attempts, 3);
+    }
+
+    #[test]
+    fn adapt_knob_applies_and_none_clears_it() {
+        let plan = SweepPlan::parse(
+            "name = \"a\"\nkind = \"live-sim\"\n\n[base]\nnodes = 60\nqueries = 100\n\
+             adapt = \"adapt(every=20000,budget=16,degree=3)\"\n\n\
+             [[axis]]\nkey = \"adapt\"\nvalues = [\"none\", \"adapt(every=20000,budget=16,degree=3)\"]\n",
+            "plans/a.toml",
+        )
+        .unwrap();
+        let jobs = expand(&plan).unwrap();
+        assert_eq!(jobs.len(), 2);
+        let RunSpec::LiveSim { cfg, .. } = &jobs[0].spec else {
+            unreachable!()
+        };
+        assert!(cfg.adapt.is_none());
+        let RunSpec::LiveSim { cfg, .. } = &jobs[1].spec else {
+            unreachable!()
+        };
+        let adapt = cfg.adapt.as_ref().expect("adapt configured");
+        assert_eq!(adapt.every, Duration::from_ticks(20_000));
+        assert_eq!(adapt.budget, 16);
+        assert_eq!(adapt.degree, 3);
+        // Parameter patches go through the spec grammar.
+        let plan = SweepPlan::parse(
+            "name = \"a\"\nkind = \"live-sim\"\n\n[base]\nnodes = 60\nqueries = 100\n\n\
+             [[axis]]\nkey = \"adapt.budget\"\nvalues = [4, 8]\n",
+            "plans/a.toml",
+        )
+        .unwrap();
+        let jobs = expand(&plan).unwrap();
+        let RunSpec::LiveSim { cfg, .. } = &jobs[0].spec else {
+            unreachable!()
+        };
+        assert_eq!(cfg.adapt.as_ref().unwrap().budget, 4);
+        // And a bad value surfaces with plan context.
+        let plan = SweepPlan::parse(
+            "name = \"a\"\nkind = \"live-sim\"\n\n[base]\nnodes = 60\nqueries = 100\n\
+             adapt = \"adapt(every=0)\"\n",
+            "plans/a.toml",
+        )
+        .unwrap();
+        let e = expand(&plan).unwrap_err();
+        assert!(e.to_string().contains("must be positive"), "{e}");
     }
 
     #[test]

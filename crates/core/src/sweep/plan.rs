@@ -45,13 +45,14 @@ pub const LIVE_KEYS: &[&str] = &[
     "faults",
     "links",
     "retry",
+    "adapt",
     "obs",
 ];
 
 /// Spec-string keys that additionally accept `key.<param>` overrides
 /// (patching one parameter of the spec instead of replacing it).
 const TRACE_SPEC_KEYS: &[&str] = &["strategy"];
-const LIVE_SPEC_KEYS: &[&str] = &["policy", "faults", "links", "retry"];
+const LIVE_SPEC_KEYS: &[&str] = &["policy", "faults", "links", "retry", "adapt"];
 
 /// A plan file failed to parse or validate. Carries the plan path and,
 /// for syntax-level failures, the byte offset of the offending

@@ -47,6 +47,6 @@ pub use faults::{FaultPlan, FaultPlanError, FaultState};
 pub use message::QueryMsg;
 pub use metrics::{QueryOutcome, RunMetrics};
 pub use net::{LinkPlan, LinkPlanError, LinkState};
-pub use policy::{FloodPolicy, ForwardingPolicy};
-pub use sim::{Network, RetryPolicy, SimConfig};
+pub use policy::{FloodPolicy, ForwardingPolicy, ShortcutProposal};
+pub use sim::{AdaptPlan, AdaptPlanError, Network, RetryPolicy, SimConfig};
 pub use store::GuidStore;

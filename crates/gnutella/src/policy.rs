@@ -26,6 +26,23 @@ pub struct ForwardCtx<'a> {
     pub candidates: &'a [NodeId],
 }
 
+/// A shortcut edge a policy would like the simulator to add: `asker`
+/// learned (via its rules) that queries it relays through a neighbor
+/// keep being answered along `target`, so a direct `asker — target`
+/// edge would cut the detour. The simulator owns application: proposals
+/// are collected on a tumbling schedule and applied at the *next*
+/// boundary under liveness re-validation and a per-node degree budget
+/// (see `sim::AdaptPlan`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ShortcutProposal {
+    /// The node that would gain the shortcut.
+    pub asker: NodeId,
+    /// The proposed new neighbor.
+    pub target: NodeId,
+    /// The existing neighbor whose rules motivated the proposal.
+    pub via: NodeId,
+}
+
 /// A query-forwarding strategy.
 ///
 /// Implementations may keep per-node internal state keyed by
@@ -87,6 +104,25 @@ pub trait ForwardingPolicy {
         Vec::new()
     }
 
+    /// Topology-adaptation hook: shortcut edges this policy would add to
+    /// the current overlay, derived from whatever routing state it has
+    /// learned. Called by the simulator on the tumbling schedule of an
+    /// active `sim::AdaptPlan`; the default (stateless policies, plain
+    /// flooding) proposes nothing, which keeps adaptation a no-op.
+    fn propose_shortcuts(&self, _graph: &Graph) -> Vec<ShortcutProposal> {
+        Vec::new()
+    }
+
+    /// Whether an applied shortcut's source rule is still alive: the
+    /// policy still ranks `target` among the consequents it has learned
+    /// for queries relayed toward `via` by `asker`. The simulator retires
+    /// shortcut edges for which this turns false (the rule decayed) or
+    /// whose endpoint crashed. The default says no, so policies that
+    /// never propose shortcuts never keep them alive either.
+    fn shortcut_active(&self, _asker: NodeId, _target: NodeId, _via: NodeId) -> bool {
+        false
+    }
+
     /// Downcast hook for callers that need the concrete policy back after
     /// a type-erased run (e.g. topology adaptation reading the learned
     /// association rules). Policies that expose post-run state override
@@ -137,6 +173,14 @@ impl<P: ForwardingPolicy + ?Sized> ForwardingPolicy for Box<P> {
 
     fn stats(&self) -> Vec<(String, f64)> {
         (**self).stats()
+    }
+
+    fn propose_shortcuts(&self, graph: &Graph) -> Vec<ShortcutProposal> {
+        (**self).propose_shortcuts(graph)
+    }
+
+    fn shortcut_active(&self, asker: NodeId, target: NodeId, via: NodeId) -> bool {
+        (**self).shortcut_active(asker, target, via)
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {

@@ -23,7 +23,7 @@ use crate::message::{HitMsg, QueryMsg};
 use crate::metrics::{MetricsBuilder, QueryOutcome, RunMetrics};
 use crate::net::{LinkPlan, LinkState, Transmission};
 use crate::node::Upstream;
-use crate::policy::{ForwardCtx, ForwardingPolicy};
+use crate::policy::{ForwardCtx, ForwardingPolicy, ShortcutProposal};
 use crate::store::GuidStore;
 use arq_content::{Catalog, CatalogConfig, FileId, QueryKey, WorkloadConfig, WorkloadGen};
 use arq_obs::{DropKind, Event as ObsEvent, Obs, ObsReport};
@@ -112,6 +112,81 @@ impl RetryPolicy {
     }
 }
 
+/// A parameter of an [`AdaptPlan`] is out of range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdaptPlanError {
+    /// A field that must be positive was zero.
+    ZeroField {
+        /// Which field.
+        field: &'static str,
+    },
+}
+
+impl std::fmt::Display for AdaptPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdaptPlanError::ZeroField { field } => {
+                write!(f, "adapt plan field `{field}` must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdaptPlanError {}
+
+/// Live topology adaptation on a tumbling schedule.
+///
+/// Every `every` ticks the simulator runs one adaptation round:
+///
+/// 1. **Retire** applied shortcuts whose source rule decayed out of the
+///    policy ([`ForwardingPolicy::shortcut_active`] turned false) or
+///    whose edge vanished because an endpoint left the overlay.
+/// 2. **Apply** the proposals collected at the *previous* boundary,
+///    re-validating endpoint liveness first — a proposal whose endpoint
+///    crashed between the propose and apply boundaries is rejected and
+///    counted, never applied. At most `budget` shortcuts are applied per
+///    round, and no node may own more than `degree` shortcut edges.
+/// 3. **Collect** fresh proposals via
+///    [`ForwardingPolicy::propose_shortcuts`] for the next boundary.
+///
+/// Rounds consume no randomness, so a plan over a policy that proposes
+/// nothing (plain flooding) is byte-identical to no plan at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptPlan {
+    /// Interval between adaptation rounds (the tumbling boundary).
+    pub every: Duration,
+    /// Max shortcuts applied per round, network-wide.
+    pub budget: usize,
+    /// Max shortcut edges any single node may own (as asker).
+    pub degree: usize,
+}
+
+impl AdaptPlan {
+    /// A moderate default: rounds every `every`, 8 shortcuts per round,
+    /// at most 2 owned per node.
+    pub fn default_with(every: Duration) -> Self {
+        AdaptPlan {
+            every,
+            budget: 8,
+            degree: 2,
+        }
+    }
+
+    /// Checks every field is positive.
+    pub fn validate(&self) -> Result<(), AdaptPlanError> {
+        if self.every.ticks() == 0 {
+            return Err(AdaptPlanError::ZeroField { field: "every" });
+        }
+        if self.budget == 0 {
+            return Err(AdaptPlanError::ZeroField { field: "budget" });
+        }
+        if self.degree == 0 {
+            return Err(AdaptPlanError::ZeroField { field: "degree" });
+        }
+        Ok(())
+    }
+}
+
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -166,6 +241,10 @@ pub struct SimConfig {
     /// Age limit for seen-GUID table entries; `None` keeps entries until
     /// LRU capacity eviction.
     pub guid_expiry: Option<Duration>,
+    /// Live topology adaptation on a tumbling schedule; `None` keeps the
+    /// overlay as churn leaves it. A plan over a policy that proposes no
+    /// shortcuts is byte-identical to no plan.
+    pub adapt: Option<AdaptPlan>,
     /// When `true`, an issuer downloads the file after its first hit,
     /// adding it to its own library — the replication feedback loop that
     /// spreads popular content through real file-sharing networks.
@@ -198,6 +277,7 @@ impl SimConfig {
             retry: None,
             links: None,
             guid_expiry: None,
+            adapt: None,
             download_on_hit: false,
             seed,
         }
@@ -272,6 +352,35 @@ struct LiveQuery {
     responders: Vec<NodeId>,
 }
 
+/// Book-keeping of an active [`AdaptPlan`]: the two-phase
+/// propose-then-apply pipeline plus the set of shortcuts currently
+/// applied to the overlay.
+struct AdaptState {
+    plan: AdaptPlan,
+    /// Boundary time of the next adaptation round.
+    next_round: SimTime,
+    /// Proposals collected at the previous boundary, awaiting liveness
+    /// re-validation and application at the next.
+    pending: Vec<ShortcutProposal>,
+    /// Shortcuts applied to the overlay and not yet retired.
+    applied: Vec<ShortcutProposal>,
+    /// Shortcut edges currently owned per node (asker side), bounded by
+    /// `plan.degree`.
+    degree: Vec<u32>,
+}
+
+impl AdaptState {
+    fn new(plan: AdaptPlan, nodes: usize) -> Self {
+        AdaptState {
+            next_round: SimTime::ZERO.saturating_add(plan.every),
+            pending: Vec::new(),
+            applied: Vec::new(),
+            degree: vec![0; nodes],
+            plan,
+        }
+    }
+}
+
 /// One simulation instance. Build with [`Network::new`], consume with
 /// [`Network::run`].
 pub struct Network<P: ForwardingPolicy> {
@@ -300,6 +409,8 @@ pub struct Network<P: ForwardingPolicy> {
     links: Option<LinkState>,
     /// Nodes that crashed permanently; their churn events are ignored.
     crashed: Vec<bool>,
+    /// Live topology adaptation; `None` when no plan is configured.
+    adapt: Option<AdaptState>,
     obs: Obs,
     /// Reused candidate buffer for [`Network::relay`] — the hottest call
     /// in a flood, so it must not allocate per hop.
@@ -353,6 +464,9 @@ impl<P: ForwardingPolicy> Network<P> {
         }
         if let Some(plan) = &cfg.links {
             plan.validate().expect("invalid link plan");
+        }
+        if let Some(plan) = &cfg.adapt {
+            plan.validate().expect("invalid adapt plan");
         }
         let streams = StreamFactory::new(cfg.seed);
         let mut topo_rng = streams.stream("topology");
@@ -476,6 +590,10 @@ impl<P: ForwardingPolicy> Network<P> {
             faults,
             links,
             crashed: vec![false; cfg.nodes],
+            adapt: cfg
+                .adapt
+                .clone()
+                .map(|plan| AdaptState::new(plan, cfg.nodes)),
             obs: Obs::disabled(),
             candidate_scratch: Vec::new(),
             selected_scratch: Vec::new(),
@@ -556,6 +674,96 @@ impl<P: ForwardingPolicy> Network<P> {
             }
             changed = true;
         }
+        if changed {
+            self.policy.on_topology_change(&self.graph);
+        }
+    }
+
+    /// Runs every adaptation round whose boundary is at or before
+    /// `horizon` (called after churn, before the event at `horizon` is
+    /// processed — matching the windowed engine, which runs boundaries
+    /// in its serial control phase).
+    fn apply_adaptation_until(&mut self, horizon: SimTime) {
+        let Some(mut st) = self.adapt.take() else {
+            return;
+        };
+        while st.next_round <= horizon {
+            let at = st.next_round;
+            self.adaptation_round(&mut st, at);
+            st.next_round = at.saturating_add(st.plan.every);
+        }
+        self.adapt = Some(st);
+    }
+
+    /// One adaptation round: retire dead shortcuts, apply last round's
+    /// surviving proposals, collect fresh ones. Consumes no randomness.
+    fn adaptation_round(&mut self, st: &mut AdaptState, at: SimTime) {
+        let mut changed = false;
+
+        // 1. Retire: the rule decayed, or churn took an endpoint (and
+        // with it the edge) out of the overlay.
+        let mut kept = Vec::with_capacity(st.applied.len());
+        for sc in st.applied.drain(..) {
+            let edge_alive = self.graph.has_edge(sc.asker, sc.target)
+                && self.graph.is_alive(sc.asker)
+                && self.graph.is_alive(sc.target);
+            let rule_alive = self.policy.shortcut_active(sc.asker, sc.target, sc.via);
+            if edge_alive && rule_alive {
+                kept.push(sc);
+                continue;
+            }
+            if self.graph.remove_edge(sc.asker, sc.target) {
+                changed = true;
+            }
+            st.degree[sc.asker.index()] = st.degree[sc.asker.index()].saturating_sub(1);
+            self.obs.record(|| ObsEvent::ShortcutRetired {
+                at,
+                asker: sc.asker.0,
+                target: sc.target.0,
+            });
+        }
+        st.applied = kept;
+
+        // 2. Apply the previous boundary's proposals, re-validating
+        // liveness: endpoints can crash between the propose and apply
+        // phases, and a dead proposal must be rejected, not wired in.
+        let mut spent = 0usize;
+        for sc in st.pending.drain(..) {
+            if spent >= st.plan.budget {
+                break;
+            }
+            if !self.graph.is_alive(sc.asker) || !self.graph.is_alive(sc.target) {
+                self.obs.record(|| ObsEvent::ShortcutRejected {
+                    at,
+                    asker: sc.asker.0,
+                    target: sc.target.0,
+                });
+                continue;
+            }
+            if !self.policy.shortcut_active(sc.asker, sc.target, sc.via) {
+                continue; // rule already decayed; silently stale
+            }
+            if st.degree[sc.asker.index()] >= st.plan.degree as u32
+                || self.graph.has_edge(sc.asker, sc.target)
+            {
+                continue; // over budget or redundant
+            }
+            self.graph.add_edge(sc.asker, sc.target);
+            st.degree[sc.asker.index()] += 1;
+            st.applied.push(sc);
+            spent += 1;
+            changed = true;
+            self.obs.record(|| ObsEvent::ShortcutAdded {
+                at,
+                asker: sc.asker.0,
+                target: sc.target.0,
+            });
+        }
+
+        // 3. Collect proposals for the next boundary, on the post-apply
+        // overlay so existing shortcuts are not re-proposed.
+        st.pending = self.policy.propose_shortcuts(&self.graph);
+
         if changed {
             self.policy.on_topology_change(&self.graph);
         }
@@ -969,6 +1177,7 @@ impl<P: ForwardingPolicy> Network<P> {
             .unwrap_or(self.cfg.ttl);
         while let Some(next_time) = self.queue.peek_time() {
             self.apply_churn_until(next_time);
+            self.apply_adaptation_until(next_time);
             let (now, event) = self.queue.pop().expect("peeked event vanished");
             match event {
                 Event::Issue { qidx } => {
@@ -1666,5 +1875,126 @@ mod tests {
     fn rejects_tiny_networks() {
         let cfg = SimConfig::default_with(2, 10, 0);
         Network::new(cfg, FloodPolicy);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid adapt plan")]
+    fn rejects_bad_adapt_plan() {
+        let mut cfg = tiny_cfg(1);
+        cfg.adapt = Some(AdaptPlan {
+            every: Duration::from_ticks(0),
+            budget: 8,
+            degree: 2,
+        });
+        Network::new(cfg, FloodPolicy);
+    }
+
+    #[test]
+    fn adapt_plan_over_non_proposing_policy_is_byte_identical() {
+        let clean = Network::new(tiny_cfg(83), FloodPolicy).run();
+        let mut cfg = tiny_cfg(83);
+        cfg.adapt = Some(AdaptPlan::default_with(Duration::from_ticks(10_000)));
+        let adapted = Network::new(cfg, FloodPolicy).run();
+        assert_eq!(clean.metrics.digest(), adapted.metrics.digest());
+        assert_eq!(clean.end_time, adapted.end_time);
+        assert_eq!(clean.total_attempts, adapted.total_attempts);
+    }
+
+    /// A stub that proposes a shortcut from node 0 to every live
+    /// non-neighbor and always vouches for applied shortcuts — it
+    /// isolates the simulator's propose/apply/retire machinery from any
+    /// real learning.
+    struct ProposeEverywhere;
+
+    impl ForwardingPolicy for ProposeEverywhere {
+        fn name(&self) -> &'static str {
+            "propose-everywhere"
+        }
+
+        fn select(&mut self, ctx: &ForwardCtx<'_>, _rng: &mut Rng64) -> Vec<NodeId> {
+            ctx.candidates.to_vec()
+        }
+
+        fn propose_shortcuts(&self, graph: &Graph) -> Vec<ShortcutProposal> {
+            let asker = NodeId(0);
+            if !graph.is_alive(asker) {
+                return Vec::new();
+            }
+            graph
+                .live_nodes()
+                .filter(|&n| n != asker && !graph.has_edge(asker, n))
+                .map(|target| ShortcutProposal {
+                    asker,
+                    target,
+                    via: asker,
+                })
+                .collect()
+        }
+
+        fn shortcut_active(&self, _asker: NodeId, _target: NodeId, _via: NodeId) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn adaptation_applies_proposals_under_budget_and_rejects_crashed_endpoints() {
+        use arq_obs::ObsConfig;
+        let mut cfg = tiny_cfg(89);
+        cfg.queries = 400;
+        // Churn faster than the round interval: endpoints proposed at one
+        // boundary are regularly gone by the next, exercising the
+        // crash-between-phases rejection path.
+        cfg.churn = Some(ChurnConfig {
+            mean_session: Duration::from_ticks(30_000),
+            mean_downtime: Duration::from_ticks(30_000),
+            pinned: vec![NodeId(0)],
+        });
+        cfg.adapt = Some(AdaptPlan {
+            every: Duration::from_ticks(20_000),
+            budget: 1_000,
+            degree: 3,
+        });
+        let net = Network::new(cfg, ProposeEverywhere).with_obs(Obs::enabled(ObsConfig {
+            events: false,
+            ..Default::default()
+        }));
+        let (result, _policy, graph) = net.run_full();
+        let registry = &result.obs.expect("obs attached").registry;
+        let added = registry.counter_value("shortcut_added").unwrap_or(0);
+        let rejected = registry.counter_value("shortcut_rejected").unwrap_or(0);
+        let retired = registry.counter_value("shortcut_retired").unwrap_or(0);
+        assert!(added > 0, "no shortcuts applied");
+        assert!(
+            rejected > 0,
+            "churn between boundaries produced no liveness rejections"
+        );
+        assert!(retired > 0, "departing endpoints retired no shortcuts");
+        // The per-node ownership cap bounds node 0's shortcut fan-in: its
+        // degree is base edges (BA seed m=3 side) plus at most 3 owned
+        // shortcuts at any instant, and retirement keeps it from
+        // ratcheting to the whole network.
+        assert!(
+            graph.degree(NodeId(0)) <= 50,
+            "degree budget failed to bound shortcut ownership"
+        );
+        assert_eq!(result.metrics.queries, 400);
+    }
+
+    #[test]
+    fn adaptation_runs_are_deterministic() {
+        let cfg = || {
+            let mut c = tiny_cfg(97);
+            c.churn = Some(ChurnConfig {
+                mean_session: Duration::from_ticks(50_000),
+                mean_downtime: Duration::from_ticks(25_000),
+                pinned: vec![NodeId(0)],
+            });
+            c.adapt = Some(AdaptPlan::default_with(Duration::from_ticks(15_000)));
+            c
+        };
+        let a = Network::new(cfg(), ProposeEverywhere).run();
+        let b = Network::new(cfg(), ProposeEverywhere).run();
+        assert_eq!(a.metrics.digest(), b.metrics.digest());
+        assert_eq!(a.end_time, b.end_time);
     }
 }

@@ -399,10 +399,14 @@ impl<P: ForwardingPolicy> Network<P> {
             let wstart = SimTime::from_ticks(window * w);
             let wend = SimTime::from_ticks(window * w + w);
 
-            // Phase 1: control. Churn first, then every control event in
-            // the window; both may mutate the graph and shard stores, so
-            // the parallel phase below sees a frozen world.
+            // Phase 1: control. Churn first, then adaptation rounds due
+            // by the window start, then every control event in the
+            // window; all may mutate the graph and shard stores, so the
+            // parallel phase below sees a frozen world. Adaptation only
+            // adds/removes edges — it never changes liveness, so the
+            // live-node counter is untouched.
             self.apply_churn_windowed(wstart, &mut shards, chunk, &mut live);
+            self.apply_adaptation_until(wstart);
             while self.queue.peek_time().is_some_and(|t| t < wend) {
                 let (now, event) = self.queue.pop().expect("peeked event vanished");
                 end = end.max(now);
@@ -1249,6 +1253,72 @@ mod tests {
             ..Default::default()
         });
         let _ = Network::new(cfg, FloodPolicy).run_sharded(2);
+    }
+
+    /// Stub mirroring the exact engine's adaptation tests: node 0
+    /// proposes a shortcut to every live non-neighbor and vouches for
+    /// everything applied.
+    struct ProposeEverywhere;
+
+    impl ForwardingPolicy for ProposeEverywhere {
+        fn name(&self) -> &'static str {
+            "propose-everywhere"
+        }
+
+        fn select(&mut self, ctx: &ForwardCtx<'_>, _rng: &mut arq_simkern::Rng64) -> Vec<NodeId> {
+            ctx.candidates.to_vec()
+        }
+
+        fn propose_shortcuts(&self, graph: &Graph) -> Vec<crate::policy::ShortcutProposal> {
+            let asker = NodeId(0);
+            if !graph.is_alive(asker) {
+                return Vec::new();
+            }
+            graph
+                .live_nodes()
+                .filter(|&n| n != asker && !graph.has_edge(asker, n))
+                .map(|target| crate::policy::ShortcutProposal {
+                    asker,
+                    target,
+                    via: asker,
+                })
+                .collect()
+        }
+
+        fn shortcut_active(&self, _asker: NodeId, _target: NodeId, _via: NodeId) -> bool {
+            true
+        }
+    }
+
+    fn adapt_cfg(seed: u64) -> SimConfig {
+        let mut cfg = harsh_cfg(seed);
+        cfg.adapt = Some(crate::sim::AdaptPlan {
+            every: Duration::from_ticks(20_000),
+            budget: 16,
+            degree: 3,
+        });
+        cfg
+    }
+
+    #[test]
+    fn adaptation_survives_any_thread_count() {
+        let base = fingerprint(&Network::new(adapt_cfg(41), ProposeEverywhere).run_sharded(1));
+        for threads in [2, 4, 7] {
+            let other =
+                fingerprint(&Network::new(adapt_cfg(41), ProposeEverywhere).run_sharded(threads));
+            assert_eq!(base, other, "adaptation diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn adapt_plan_over_non_proposing_policy_is_byte_identical_windowed() {
+        let mut cfg = harsh_cfg(43);
+        let clean = fingerprint(&Network::new(cfg.clone(), FloodPolicy).run_sharded(3));
+        cfg.adapt = Some(crate::sim::AdaptPlan::default_with(Duration::from_ticks(
+            10_000,
+        )));
+        let adapted = fingerprint(&Network::new(cfg, FloodPolicy).run_sharded(3));
+        assert_eq!(clean, adapted, "noop adapt plan changed a windowed run");
     }
 
     #[test]

@@ -115,6 +115,35 @@ pub enum Event {
         /// What was dropped.
         kind: DropKind,
     },
+    /// Topology adaptation applied a shortcut edge `asker — target`.
+    ShortcutAdded {
+        /// Boundary time of the adaptation round.
+        at: SimTime,
+        /// The node that gains the shortcut.
+        asker: u32,
+        /// Its new neighbor.
+        target: u32,
+    },
+    /// An applied shortcut was retired: its source rule decayed out of
+    /// the policy's consequents, or an endpoint left the overlay.
+    ShortcutRetired {
+        /// Boundary time of the adaptation round.
+        at: SimTime,
+        /// The shortcut's owner.
+        asker: u32,
+        /// The retired neighbor.
+        target: u32,
+    },
+    /// A proposed shortcut was rejected at application time because an
+    /// endpoint crashed between the propose and apply boundaries.
+    ShortcutRejected {
+        /// Boundary time of the adaptation round.
+        at: SimTime,
+        /// The proposal's owner.
+        asker: u32,
+        /// The dead (or departed) endpoint's proposed neighbor.
+        target: u32,
+    },
 }
 
 impl Event {
@@ -130,6 +159,9 @@ impl Event {
             Event::Expire { .. } => "expire",
             Event::FaultDrop { .. } => "fault_drop",
             Event::BufferDrop { .. } => "buffer_drop",
+            Event::ShortcutAdded { .. } => "shortcut_added",
+            Event::ShortcutRetired { .. } => "shortcut_retired",
+            Event::ShortcutRejected { .. } => "shortcut_rejected",
         }
     }
 }
@@ -198,6 +230,13 @@ impl ToJson for Event {
                 push("at", Json::from(at.ticks()));
                 push("kind", Json::from(kind.label()));
             }
+            Event::ShortcutAdded { at, asker, target }
+            | Event::ShortcutRetired { at, asker, target }
+            | Event::ShortcutRejected { at, asker, target } => {
+                push("at", Json::from(at.ticks()));
+                push("asker", Json::from(*asker));
+                push("target", Json::from(*target));
+            }
         }
         Json::Obj(fields)
     }
@@ -234,6 +273,15 @@ mod tests {
         assert_eq!(
             ev.to_json().to_string(),
             r#"{"ev":"buffer_drop","at":7,"kind":"query"}"#
+        );
+        let ev = Event::ShortcutAdded {
+            at: SimTime::from_ticks(9),
+            asker: 3,
+            target: 11,
+        };
+        assert_eq!(
+            ev.to_json().to_string(),
+            r#"{"ev":"shortcut_added","at":9,"asker":3,"target":11}"#
         );
     }
 
@@ -282,6 +330,24 @@ mod tests {
             Event::BufferDrop {
                 at: SimTime::ZERO,
                 kind: DropKind::Query,
+            }
+            .kind(),
+            Event::ShortcutAdded {
+                at: SimTime::ZERO,
+                asker: 0,
+                target: 0,
+            }
+            .kind(),
+            Event::ShortcutRetired {
+                at: SimTime::ZERO,
+                asker: 0,
+                target: 0,
+            }
+            .kind(),
+            Event::ShortcutRejected {
+                at: SimTime::ZERO,
+                asker: 0,
+                target: 0,
             }
             .kind(),
         ];

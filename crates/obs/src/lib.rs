@@ -77,6 +77,9 @@ struct Instruments {
     expired: CounterId,
     fault_drops: CounterId,
     buffer_drops: CounterId,
+    shortcut_added: CounterId,
+    shortcut_retired: CounterId,
+    shortcut_rejected: CounterId,
     rules: GaugeId,
     fanout: HistogramId,
     query_latency: HistogramId,
@@ -126,6 +129,9 @@ impl Obs {
             expired: registry.counter("expired"),
             fault_drops: registry.counter("fault_drops"),
             buffer_drops: registry.counter("buffer_drops"),
+            shortcut_added: registry.counter("shortcut_added"),
+            shortcut_retired: registry.counter("shortcut_retired"),
+            shortcut_rejected: registry.counter("shortcut_rejected"),
             rules: registry.gauge("rules"),
             fanout: registry.histogram("fanout", 0.0, 64.0, cfg.fanout_buckets.max(1)),
             // Link-layer instruments: first-hit latency in sim ticks and
@@ -229,6 +235,9 @@ impl Inner {
             Event::Expire { .. } => self.registry.inc(self.ids.expired, 1),
             Event::FaultDrop { .. } => self.registry.inc(self.ids.fault_drops, 1),
             Event::BufferDrop { .. } => self.registry.inc(self.ids.buffer_drops, 1),
+            Event::ShortcutAdded { .. } => self.registry.inc(self.ids.shortcut_added, 1),
+            Event::ShortcutRetired { .. } => self.registry.inc(self.ids.shortcut_retired, 1),
+            Event::ShortcutRejected { .. } => self.registry.inc(self.ids.shortcut_rejected, 1),
         }
         if self.cfg.events {
             self.events.push(ev);
